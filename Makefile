@@ -1,0 +1,41 @@
+# Development targets for the lookaside reproduction.
+
+GO ?= go
+
+.PHONY: all build test vet cover bench fuzz experiments experiments-full clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Coverage summary across all packages.
+cover:
+	$(GO) test -cover ./...
+
+# The benchmark harness: one benchmark per table/figure plus substrate
+# microbenchmarks. Metrics in the output are the reproduced rows.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Short fuzzing pass over the wire decoder.
+fuzz:
+	$(GO) test -fuzz=FuzzDecodeMessage -fuzztime=30s ./internal/dns
+
+# Regenerate every table and figure at 10% scale (about two minutes).
+experiments:
+	$(GO) run ./cmd/dlvmeasure -exp all -seed 1 -scale 10
+
+# Paper-scale run (top-1M sweep; takes a while and needs a few GB of RAM).
+experiments-full:
+	$(GO) run ./cmd/dlvmeasure -exp all -seed 1 -scale 1
+
+clean:
+	$(GO) clean ./...
+	rm -f test_output.txt bench_output.txt

@@ -1,0 +1,352 @@
+package lookaside
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (run `go test -bench=. -benchmem`); DESIGN.md §4 maps each
+// benchmark to its experiment. Benchmarks default to 1%-scale workloads so
+// the full suite runs in minutes; cmd/dlvmeasure -scale 1 reproduces the
+// paper-scale magnitudes. Custom metrics (leaked domains, proportions,
+// overhead ratios) are attached via b.ReportMetric, so the bench output
+// itself carries the reproduced rows.
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+
+	"github.com/dnsprivacy/lookaside/internal/dataset"
+	"github.com/dnsprivacy/lookaside/internal/dns"
+	"github.com/dnsprivacy/lookaside/internal/dnssec"
+	"github.com/dnsprivacy/lookaside/internal/experiment"
+)
+
+// benchParams is the shared 1%-scale configuration.
+var benchParams = experiment.Params{Seed: 1, Scale: 100}
+
+func BenchmarkTable1EnvironmentMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiment.Table1()
+		if len(res.Environments) != 8 {
+			b.Fatal("environment matrix wrong")
+		}
+	}
+}
+
+func BenchmarkTable2ConfigVariations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.Table2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8DLVQueries(b *testing.B) {
+	var last *experiment.LeakCurveResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.LeakCurve(benchParams)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	top := last.Points[len(last.Points)-1]
+	b.ReportMetric(float64(top.LeakedDomains), "leaked@max")
+	b.ReportMetric(float64(top.DLVQueries), "dlvQueries@max")
+}
+
+func BenchmarkFig9LeakProportion(b *testing.B) {
+	var last *experiment.LeakCurveResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.LeakCurve(benchParams)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.Points[0].Proportion, "proportion@min")
+	b.ReportMetric(last.Points[len(last.Points)-1].Proportion, "proportion@max")
+}
+
+func BenchmarkOrderMatters(b *testing.B) {
+	var last *experiment.OrderMattersResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.OrderMatters(benchParams, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	for _, tr := range last.Trials {
+		b.ReportMetric(tr.Proportion, "proportion/shuffle")
+		break
+	}
+}
+
+func BenchmarkTable3SecuredDomains(b *testing.B) {
+	var last *experiment.Table3Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Table3(benchParams)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	leaking := 0
+	for _, row := range last.Rows {
+		if row.ChainedLeaked > 0 {
+			leaking++
+		}
+	}
+	b.ReportMetric(float64(leaking), "leakingScenarios")
+}
+
+func BenchmarkUtility(b *testing.B) {
+	var last *experiment.UtilityResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Utility(benchParams)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.LeakagePct, "leakageShare")
+	b.ReportMetric(last.NoErrorPct, "noErrorShare")
+}
+
+func BenchmarkTable4QueryTypes(b *testing.B) {
+	var last *experiment.Table4Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Table4(benchParams)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	top := last.Rows[len(last.Rows)-1]
+	b.ReportMetric(float64(top.Counts[dns.TypeA]), "A@max")
+	b.ReportMetric(float64(top.Counts[dns.TypeDS]), "DS@max")
+}
+
+func BenchmarkTable5TXTOverhead(b *testing.B) {
+	var last *experiment.Table5Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Table5(benchParams)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	row := last.Rows[len(last.Rows)-1]
+	ov := row.Overhead()
+	b.ReportMetric(ov.ResponseTime.Seconds()/row.Baseline.ResponseTime.Seconds(), "latencyRatio")
+	b.ReportMetric(float64(ov.Bytes)/float64(row.Baseline.Bytes), "bytesRatio")
+	b.ReportMetric(float64(ov.Queries)/float64(row.Baseline.Queries), "queriesRatio")
+}
+
+func BenchmarkFig10OverheadPanels(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Table5(benchParams)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Fig10()) != 3 {
+			b.Fatal("missing panels")
+		}
+	}
+}
+
+func BenchmarkFig11RemedyComparison(b *testing.B) {
+	var last *experiment.Fig11Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Fig11(benchParams)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(float64(last.DLVLeaked), "leaked/dlv")
+	b.ReportMetric(float64(last.TXTLeaked), "leaked/txt")
+	b.ReportMetric(float64(last.ZBitLeaked), "leaked/zbit")
+}
+
+func BenchmarkFig12TraceOverhead(b *testing.B) {
+	cfg := dataset.TraceConfig{Minutes: 20, Seed: 1, MinRate: 1600, MaxRate: 3600, Scale: 1}
+	var last *experiment.Fig12Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Fig12(experiment.Params{Seed: 1, Scale: 500}, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	n := len(last.BaselineBytes) - 1
+	b.ReportMetric(float64(last.OverheadBytes[n])/float64(last.BaselineBytes[n]), "overheadShare")
+}
+
+func BenchmarkDictionaryAttack(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.Dictionary(benchParams); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNSEC3Ablation(b *testing.B) {
+	var last *experiment.NSEC3Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.NSEC3Ablation(benchParams)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(float64(last.Points[1].DLVQueries)/float64(maxInt(last.Points[0].DLVQueries, 1)), "nsec3Amplification")
+}
+
+func BenchmarkQNameMinimization(b *testing.B) {
+	var last *experiment.QNameMinResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.QNameMinimization(benchParams)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(float64(last.Points[0].RootFullNames), "rootExposure/full")
+	b.ReportMetric(float64(last.Points[1].RootFullNames), "rootExposure/min")
+}
+
+func BenchmarkPolicyAblation(b *testing.B) {
+	var last *experiment.PolicyResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.PolicyAblation(benchParams)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(float64(last.LaxLeaked), "leaked/lax")
+	b.ReportMetric(float64(last.StrictLeaked), "leaked/strict")
+}
+
+func BenchmarkRegistrySizeAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RegistrySize(benchParams); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- microbenchmarks of the substrates ---
+
+func BenchmarkWireEncode(b *testing.B) {
+	m := benchMessage()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Encode(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWireDecode(b *testing.B) {
+	m := benchMessage()
+	wire, err := m.Encode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dns.DecodeMessage(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSignVerifyECDSA(b *testing.B) {
+	benchSignVerify(b, dnssec.AlgECDSAP256)
+}
+
+func BenchmarkSignVerifyFastHMAC(b *testing.B) {
+	benchSignVerify(b, dnssec.AlgFastHMAC)
+}
+
+func benchSignVerify(b *testing.B, alg uint8) {
+	rng := rand.New(rand.NewSource(1))
+	key, err := dnssec.GenerateKey(alg, dns.DNSKEYFlagZone, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rrset := benchMessage().Answer[:1]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sig, err := dnssec.SignRRSet(key, dns.MustName("example.com"), rrset, 0, 1<<31, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := dnssec.VerifyRRSet(key.Public(), sig, rrset, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEndToEndResolution(b *testing.B) {
+	sim, err := NewSimulation(SimulationConfig{Domains: 2000, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	domains := sim.TopDomains(2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// One audit of 100 distinct domains per iteration, rotating
+		// through the population so caches do not trivialize the work.
+		start := (i * 100) % (len(domains) - 100)
+		if _, err := sim.Audit(Environments().YumDefault, domains[start:start+100]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchMessage builds a representative signed answer.
+func benchMessage() *dns.Message {
+	q := dns.NewQuery(1, dns.MustName("www.example.com"), dns.TypeA, true)
+	r := dns.NewResponse(q)
+	r.Answer = []dns.RR{
+		{Name: dns.MustName("www.example.com"), Type: dns.TypeA, Class: dns.ClassIN, TTL: 300,
+			Data: &dns.AData{Addr: addr4(192, 0, 2, 80)}},
+		{Name: dns.MustName("www.example.com"), Type: dns.TypeRRSIG, Class: dns.ClassIN, TTL: 300,
+			Data: &dns.RRSIGData{TypeCovered: dns.TypeA, Algorithm: 13, Labels: 3,
+				OriginalTTL: 300, Expiration: 1 << 31, Inception: 0, KeyTag: 12345,
+				SignerName: dns.MustName("example.com"), Signature: make([]byte, 64)}},
+	}
+	r.Authority = []dns.RR{
+		{Name: dns.MustName("example.com"), Type: dns.TypeNS, Class: dns.ClassIN, TTL: 3600,
+			Data: &dns.NSData{Target: dns.MustName("ns1.example.com")}},
+	}
+	return r
+}
+
+func addr4(a, b, c, d byte) netip.Addr {
+	return netip.AddrFrom4([4]byte{a, b, c, d})
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func BenchmarkEnumerationAttack(b *testing.B) {
+	var last *experiment.EnumerationResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Enumeration(benchParams)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.Recall, "recall")
+	b.ReportMetric(float64(last.Queries)/float64(maxInt(last.Deposits, 1)), "probesPerDeposit")
+}

@@ -1,0 +1,138 @@
+// Command dlvd serves a DLV registry zone over real UDP: a signed zone of
+// deposited look-aside records with NSEC (or NSEC3) denials, exactly the
+// server side the paper measures. Combine with dig to watch what a registry
+// operator can observe:
+//
+//	dlvd -listen 127.0.0.1:5301 -deposits 200 &
+//	dig @127.0.0.1 -p 5301 example.com.dlv.isc.org DLV
+//
+// With -hashed it runs the paper's privacy-preserving variant, where only
+// crypto_hash(domain) labels ever appear on the wire.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"github.com/dnsprivacy/lookaside/internal/authserver"
+	"github.com/dnsprivacy/lookaside/internal/dataset"
+	"github.com/dnsprivacy/lookaside/internal/dlv"
+	"github.com/dnsprivacy/lookaside/internal/dns"
+	"github.com/dnsprivacy/lookaside/internal/dnssec"
+	"github.com/dnsprivacy/lookaside/internal/udptransport"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "dlvd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dlvd", flag.ContinueOnError)
+	listen := fs.String("listen", "127.0.0.1:5301", "UDP listen address")
+	zoneName := fs.String("zone", "dlv.isc.org", "registry zone name")
+	deposits := fs.Int("deposits", 200, "number of synthetic deposits")
+	seed := fs.Int64("seed", 1, "seed for keys and deposits")
+	hashed := fs.Bool("hashed", false, "privacy-preserving (hashed) deposits")
+	nsec3 := fs.Bool("nsec3", false, "serve NSEC3 denials (defeats aggressive caching)")
+	empty := fs.Bool("empty", false, "phase-out mode: keep serving, hold no deposits")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	apex, err := dns.MakeName(*zoneName)
+	if err != nil {
+		return err
+	}
+	reg, err := dlv.NewRegistry(dlv.Config{
+		Apex:      apex,
+		Algorithm: dnssec.AlgECDSAP256, // a public-facing daemon signs for real
+		Rand:      rand.New(rand.NewSource(*seed)),
+		Inception: 0, Expiration: 1 << 31,
+		Hashed: *hashed, NSEC3: *nsec3, Empty: *empty,
+	})
+	if err != nil {
+		return err
+	}
+
+	if !*empty {
+		// Deposit every signed population domain until the target count;
+		// oversize the population so the target is always reachable.
+		pop, err := dataset.AlexaLike(dataset.PopulationConfig{
+			Size: *deposits*2 + 64, Seed: *seed,
+			Rates: dataset.DefaultRatesWithDeposit(0.9),
+		})
+		if err != nil {
+			return err
+		}
+		rng := rand.New(rand.NewSource(*seed + 1))
+		added := 0
+		for i := range pop.Domains {
+			if added >= *deposits {
+				break
+			}
+			d := &pop.Domains[i]
+			if !d.Signed {
+				continue
+			}
+			key, err := dnssec.GenerateKey(dnssec.AlgECDSAP256,
+				dns.DNSKEYFlagZone|dns.DNSKEYFlagSEP, rng)
+			if err != nil {
+				return err
+			}
+			rec, err := dnssec.MakeDLV(d.Name, key.Public(), dnssec.DigestSHA256)
+			if err != nil {
+				return err
+			}
+			if err := reg.Deposit(d.Name, rec); err != nil {
+				return err
+			}
+			added++
+		}
+		if added < *deposits {
+			fmt.Fprintf(os.Stderr, "dlvd: only %d of %d requested deposits available\n", added, *deposits)
+		}
+	}
+
+	srv, err := authserver.New(authserver.Config{Name: *zoneName}, reg.Zone())
+	if err != nil {
+		return err
+	}
+	udp, err := udptransport.Listen(*listen, srv)
+	if err != nil {
+		return err
+	}
+	tcp, err := udptransport.ListenTCP(udp.AddrPort().String(), srv)
+	if err != nil {
+		return fmt.Errorf("binding tcp: %w", err)
+	}
+	go func() { _ = tcp.Serve() }()
+	defer func() { _ = tcp.Close() }()
+	anchor, err := reg.TrustAnchorDS()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dlvd: serving %s on %s udp+tcp (deposits=%d hashed=%t nsec3=%t empty=%t)\n",
+		apex, udp.Addr(), reg.DepositCount(), *hashed, *nsec3, *empty)
+	fmt.Printf("trust anchor: %s DS %s\n", apex, anchor)
+
+	done := make(chan error, 1)
+	go func() { done <- udp.Serve() }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		return err
+	case <-sig:
+		fmt.Println("\ndlvd: shutting down")
+		_ = udp.Close()
+		<-done
+		return nil
+	}
+}

@@ -1,0 +1,197 @@
+// Command dlvmeasure regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md §4 for the experiment index).
+//
+// Usage:
+//
+//	dlvmeasure -exp all -scale 100 -seed 1
+//	dlvmeasure -exp fig8 -scale 1          # paper-scale (top-1M sweep)
+//	dlvmeasure -exp table5
+//
+// -scale divides the paper's workload sizes: 1 reproduces the full
+// magnitudes (minutes of runtime, gigabytes of simulated traffic), 100 runs
+// the same sweeps at 1% size in seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/dnsprivacy/lookaside/internal/dataset"
+	"github.com/dnsprivacy/lookaside/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "dlvmeasure: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// experimentNames lists the -exp values in execution order for "all".
+var experimentNames = []string{
+	"table1", "table2", "fig8", "fig9", "order", "table3", "utility",
+	"table4", "table5", "fig10", "fig11", "fig12", "deployment",
+	"dictionary", "nsec3", "fleet", "registry-size", "qname-min",
+	"phaseout", "policy", "padding", "enumeration",
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dlvmeasure", flag.ContinueOnError)
+	exp := fs.String("exp", "all", "experiment to run: all, "+strings.Join(experimentNames, ", "))
+	seed := fs.Int64("seed", 1, "random seed (experiments are deterministic in it)")
+	scale := fs.Int("scale", 100, "workload divisor: 1 = paper scale, 100 = 1% size")
+	traceMinutes := fs.Int("trace-minutes", 0, "override Fig. 12 trace length (0 = 7h/scale)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p := experiment.Params{Seed: *seed, Scale: *scale}
+
+	selected := map[string]bool{}
+	if *exp == "all" {
+		for _, name := range experimentNames {
+			selected[name] = true
+		}
+	} else {
+		for _, name := range strings.Split(*exp, ",") {
+			selected[strings.TrimSpace(name)] = true
+		}
+	}
+
+	start := time.Now()
+	ran := 0
+
+	// fig8 and fig9 share one sweep; when both are selected, run it once.
+	if selected["fig8"] && selected["fig9"] {
+		delete(selected, "fig8")
+		delete(selected, "fig9")
+		ran += 2
+		expStart := time.Now()
+		res, err := experiment.LeakCurve(p)
+		if err != nil {
+			return fmt.Errorf("experiment fig8/fig9: %w", err)
+		}
+		fmt.Println(res)
+		fmt.Printf("[fig8+fig9 finished in %v]\n\n", time.Since(expStart).Round(time.Millisecond))
+	}
+
+	for _, name := range experimentNames {
+		if !selected[name] {
+			continue
+		}
+		delete(selected, name)
+		ran++
+		expStart := time.Now()
+		out, err := dispatch(name, p, *traceMinutes)
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", name, err)
+		}
+		fmt.Println(out)
+		fmt.Printf("[%s finished in %v]\n\n", name, time.Since(expStart).Round(time.Millisecond))
+	}
+	if len(selected) > 0 {
+		names := make([]string, 0, len(selected))
+		for name := range selected {
+			names = append(names, name)
+		}
+		return fmt.Errorf("unknown experiment(s): %s", strings.Join(names, ", "))
+	}
+	fmt.Printf("ran %d experiment(s) in %v (seed=%d scale=%d)\n",
+		ran, time.Since(start).Round(time.Millisecond), *seed, *scale)
+	return nil
+}
+
+// dispatch runs one named experiment. fig8/fig9 share a sweep but are
+// dispatched separately so either can be regenerated alone.
+func dispatch(name string, p experiment.Params, traceMinutes int) (fmt.Stringer, error) {
+	switch name {
+	case "table1":
+		return experiment.Table1(), nil
+	case "table2":
+		return experiment.Table2()
+	case "fig8":
+		res, err := experiment.LeakCurve(p)
+		if err != nil {
+			return nil, err
+		}
+		return res.Fig8(), nil
+	case "fig9":
+		res, err := experiment.LeakCurve(p)
+		if err != nil {
+			return nil, err
+		}
+		return res.Fig9(), nil
+	case "order":
+		return experiment.OrderMatters(p, 3)
+	case "table3":
+		return experiment.Table3(p)
+	case "utility":
+		return experiment.Utility(p)
+	case "table4":
+		return experiment.Table4(p)
+	case "table5":
+		return experiment.Table5(p)
+	case "fig10":
+		res, err := experiment.Table5(p)
+		if err != nil {
+			return nil, err
+		}
+		return figList3(res.Fig10()), nil
+	case "fig11":
+		return experiment.Fig11(p)
+	case "fig12":
+		cfg := dataset.TraceConfig{}
+		if traceMinutes > 0 {
+			cfg = dataset.DefaultTraceConfig()
+			cfg.Minutes = traceMinutes
+			cfg.Scale = p.Scale
+			cfg.Seed = p.Seed
+		}
+		return experiment.Fig12(p, cfg)
+	case "deployment":
+		return experiment.Deployment(p)
+	case "dictionary":
+		return experiment.Dictionary(p)
+	case "nsec3":
+		return experiment.NSEC3Ablation(p)
+	case "fleet":
+		return experiment.Fleet()
+	case "registry-size":
+		return experiment.RegistrySize(p)
+	case "qname-min":
+		return experiment.QNameMinimization(p)
+	case "phaseout":
+		return experiment.PhaseOut(p)
+	case "policy":
+		return experiment.PolicyAblation(p)
+	case "padding":
+		return experiment.Padding(p)
+	case "enumeration":
+		return experiment.Enumeration(p)
+	default:
+		return nil, fmt.Errorf("no such experiment")
+	}
+}
+
+// figList renders several figures as one stringer.
+type figList []fmt.Stringer
+
+// String implements fmt.Stringer.
+func (f figList) String() string {
+	var b strings.Builder
+	for _, fig := range f {
+		b.WriteString(fig.String())
+	}
+	return b.String()
+}
+
+// stringers adapt heterogenous panels.
+func figList3[T fmt.Stringer](in []T) figList {
+	out := make(figList, len(in))
+	for i := range in {
+		out[i] = in[i]
+	}
+	return out
+}

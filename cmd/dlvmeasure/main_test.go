@@ -1,0 +1,52 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/dnsprivacy/lookaside/internal/experiment"
+)
+
+func TestRunFastExperiments(t *testing.T) {
+	if err := run([]string{"-exp", "table1,table2,fleet", "-scale", "2000"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	err := run([]string{"-exp", "nope"})
+	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDispatchCoversAllNames(t *testing.T) {
+	// Every advertised experiment must dispatch (at tiny scale).
+	p := experiment.Params{Seed: 1, Scale: 5000}
+	for _, name := range experimentNames {
+		switch name {
+		case "fig8", "fig9", "table4", "table5", "fig10", "fig11", "fig12",
+			"order", "utility", "nsec3", "registry-size", "table3", "deployment", "dictionary":
+			// Covered by the experiment package's own tests; skipping the
+			// slow ones here keeps this a smoke test of the wiring only.
+			continue
+		}
+		if _, err := dispatch(name, p, 2); err != nil {
+			t.Errorf("dispatch(%s): %v", name, err)
+		}
+	}
+	if _, err := dispatch("bogus", p, 0); err == nil {
+		t.Error("bogus experiment dispatched")
+	}
+}
+
+func TestFigListRendering(t *testing.T) {
+	res, err := experiment.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := figList{res, res}.String()
+	if strings.Count(out, "Table 2") != 2 {
+		t.Fatalf("figList did not concatenate: %q", out)
+	}
+}

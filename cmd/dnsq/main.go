@@ -1,0 +1,84 @@
+// Command dnsq is a minimal dig-style query client for the repository's
+// daemons (cmd/resolved, cmd/dlvd) or any UDP DNS server:
+//
+//	dnsq -server 127.0.0.1:5300 example.com A
+//	dnsq -server 127.0.0.1:5301 example.com.dlv.isc.org DLV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/netip"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/dnsprivacy/lookaside/internal/dns"
+	"github.com/dnsprivacy/lookaside/internal/udptransport"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "dnsq: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// typeByName maps mnemonics to query types.
+var typeByName = map[string]dns.Type{
+	"A": dns.TypeA, "AAAA": dns.TypeAAAA, "NS": dns.TypeNS, "CNAME": dns.TypeCNAME,
+	"SOA": dns.TypeSOA, "PTR": dns.TypePTR, "MX": dns.TypeMX, "TXT": dns.TypeTXT,
+	"DS": dns.TypeDS, "RRSIG": dns.TypeRRSIG, "NSEC": dns.TypeNSEC,
+	"DNSKEY": dns.TypeDNSKEY, "NSEC3": dns.TypeNSEC3, "DLV": dns.TypeDLV, "AXFR": dns.TypeAXFR,
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("dnsq", flag.ContinueOnError)
+	server := fs.String("server", "127.0.0.1:5300", "server address (host:port)")
+	timeout := fs.Duration("timeout", 3*time.Second, "query timeout")
+	noDNSSEC := fs.Bool("no-dnssec", false, "omit EDNS0/DO (no DNSSEC records)")
+	useTCP := fs.Bool("tcp", false, "query over TCP instead of UDP (UDP truncation falls back automatically)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) < 1 || len(rest) > 2 {
+		return fmt.Errorf("usage: dnsq [-server host:port] <name> [type]")
+	}
+	name, err := dns.MakeName(rest[0])
+	if err != nil {
+		return err
+	}
+	qtype := dns.TypeA
+	if len(rest) == 2 {
+		t, ok := typeByName[strings.ToUpper(rest[1])]
+		if !ok {
+			return fmt.Errorf("unknown type %q", rest[1])
+		}
+		qtype = t
+	}
+	addr, err := netip.ParseAddrPort(*server)
+	if err != nil {
+		return fmt.Errorf("bad server address: %w", err)
+	}
+
+	q := dns.NewQuery(uint16(time.Now().UnixNano()), name, qtype, !*noDNSSEC)
+	client := &udptransport.Client{Timeout: *timeout}
+	start := time.Now()
+	var resp *dns.Message
+	if *useTCP {
+		resp, err = client.QueryTCP(addr, q)
+	} else {
+		resp, err = client.QueryWithFallback(addr, q)
+	}
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	fmt.Fprintf(stdout, ";; %s %s @%s\n", name, qtype, addr)
+	fmt.Fprint(stdout, resp.String())
+	fmt.Fprintf(stdout, ";; query time: %v\n", elapsed.Round(time.Microsecond))
+	return nil
+}

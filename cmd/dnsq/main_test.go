@@ -1,0 +1,82 @@
+package main
+
+import (
+	"net/netip"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/dnsprivacy/lookaside/internal/dns"
+	"github.com/dnsprivacy/lookaside/internal/simnet"
+	"github.com/dnsprivacy/lookaside/internal/udptransport"
+)
+
+func startEchoServer(t *testing.T) string {
+	t.Helper()
+	h := simnet.HandlerFunc(func(q *dns.Message, _ netip.Addr) (*dns.Message, error) {
+		r := dns.NewResponse(q)
+		r.Answer = []dns.RR{{
+			Name: q.QName(), Type: dns.TypeTXT, Class: dns.ClassIN, TTL: 1,
+			Data: &dns.TXTData{Strings: []string{"pong"}},
+		}}
+		return r, nil
+	})
+	srv, err := udptransport.Listen("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = srv.Serve()
+	}()
+	t.Cleanup(func() {
+		_ = srv.Close()
+		wg.Wait()
+	})
+	return srv.AddrPort().String()
+}
+
+func TestQueryAgainstServer(t *testing.T) {
+	addr := startEchoServer(t)
+	var out strings.Builder
+	if err := run([]string{"-server", addr, "example.com", "TXT"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"pong", "NOERROR", "query time"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestDefaultTypeIsA(t *testing.T) {
+	addr := startEchoServer(t)
+	var out strings.Builder
+	if err := run([]string{"-server", addr, "example.com"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "IN A") {
+		t.Fatalf("default type not A:\n%s", out.String())
+	}
+}
+
+func TestArgumentValidation(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err == nil {
+		t.Error("no arguments accepted")
+	}
+	if err := run([]string{"a", "b", "c"}, &out); err == nil {
+		t.Error("too many arguments accepted")
+	}
+	if err := run([]string{"example.com", "BOGUS"}, &out); err == nil {
+		t.Error("bad type accepted")
+	}
+	if err := run([]string{"bad..name"}, &out); err == nil {
+		t.Error("bad name accepted")
+	}
+	if err := run([]string{"-server", "nonsense", "example.com"}, &out); err == nil {
+		t.Error("bad server accepted")
+	}
+}

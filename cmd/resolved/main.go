@@ -1,0 +1,154 @@
+// Command resolved runs the reproduction's validating, DLV-capable
+// recursive resolver as a real DNS server over UDP, resolving against the
+// synthetic internet (root, TLDs, SLD hosting, DLV registry). Point dig at
+// it to watch look-aside behavior live:
+//
+//	resolved -listen 127.0.0.1:5300 -domains 5000 &
+//	dig @127.0.0.1 -p 5300 <some-domain-from-the-population> A +ad
+//
+// Flags select the configuration scenario under test (trust anchor present
+// or missing, look-aside on or off, remedies), so the paper's leakage
+// conditions can be reproduced interactively.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"github.com/dnsprivacy/lookaside/internal/dataset"
+	"github.com/dnsprivacy/lookaside/internal/resolver"
+	"github.com/dnsprivacy/lookaside/internal/simnet"
+	"github.com/dnsprivacy/lookaside/internal/udptransport"
+	"github.com/dnsprivacy/lookaside/internal/universe"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "resolved: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("resolved", flag.ContinueOnError)
+	listen := fs.String("listen", "127.0.0.1:5300", "UDP listen address")
+	domains := fs.Int("domains", 5000, "synthetic population size")
+	domainsFile := fs.String("domains-file", "", "ranked domain list (one per line or rank,domain CSV) to use instead of the synthetic population")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	rootAnchor := fs.Bool("root-anchor", true, "install the root trust anchor (false reproduces the §4.3 misconfiguration)")
+	lookaside := fs.Bool("dlv", true, "enable DNSSEC look-aside validation")
+	remedy := fs.String("remedy", "", "client remedy: '', 'txt', or 'zbit'")
+	hashed := fs.Bool("hashed", false, "privacy-preserving (hashed) registry")
+	qnameMin := fs.Bool("qname-min", false, "RFC 7816 q-name minimization")
+	padBlock := fs.Int("pad", 0, "pad responses to this block size (RFC 7830; 0 = off)")
+	printTop := fs.Int("print-top", 10, "print the N most popular domains at startup")
+	verbose := fs.Bool("v", false, "log every query observed at the DLV registry")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var pop *dataset.Population
+	if *domainsFile != "" {
+		f, err := os.Open(*domainsFile)
+		if err != nil {
+			return err
+		}
+		pop, err = dataset.LoadRanked(f, dataset.DefaultRates(), *seed)
+		_ = f.Close()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("resolved: loaded %d domains from %s\n", len(pop.Domains), *domainsFile)
+	} else {
+		var err error
+		pop, err = dataset.AlexaLike(dataset.PopulationConfig{Size: *domains, Seed: *seed})
+		if err != nil {
+			return err
+		}
+	}
+	u, err := universe.Build(universe.Options{
+		Seed:           *seed,
+		Population:     pop,
+		Extra:          dataset.SecureDomains(),
+		RegistryHashed: *hashed,
+		TXTRemedy:      *remedy == "txt",
+		ZBitRemedy:     *remedy == "zbit",
+	})
+	if err != nil {
+		return err
+	}
+	if *verbose {
+		u.Net.AddTap(func(ev simnet.Event) {
+			if ev.DstRole == simnet.RoleDLV {
+				fmt.Printf("DLV registry observed: %s %s -> %s\n",
+					ev.Question.Name, ev.Question.Type, ev.RCode)
+			}
+		})
+	}
+
+	cfg := u.ResolverConfig(*rootAnchor, *lookaside)
+	cfg.QNameMinimization = *qnameMin
+	cfg.PaddingBlock = *padBlock
+	switch *remedy {
+	case "":
+	case "txt":
+		cfg.Lookaside.Remedy = resolver.RemedyTXT
+	case "zbit":
+		cfg.Lookaside.Remedy = resolver.RemedyZBit
+	default:
+		return fmt.Errorf("unknown remedy %q", *remedy)
+	}
+	r, err := u.StartResolver(cfg)
+	if err != nil {
+		return err
+	}
+
+	srv, err := udptransport.Listen(*listen, r)
+	if err != nil {
+		return err
+	}
+	tcpSrv, err := udptransport.ListenTCP(srv.AddrPort().String(), r)
+	if err != nil {
+		return fmt.Errorf("binding tcp: %w", err)
+	}
+	go func() { _ = tcpSrv.Serve() }()
+	defer func() { _ = tcpSrv.Close() }()
+	fmt.Printf("resolved: serving on %s udp+tcp (population=%d, dlv=%t, root-anchor=%t, remedy=%q)\n",
+		srv.Addr(), len(pop.Domains), *lookaside, *rootAnchor, *remedy)
+	fmt.Printf("registry deposits: %d; secured test domains: secure00.edu ... secure44.edu\n",
+		u.Registry.DepositCount())
+	if *printTop > 0 {
+		fmt.Println("sample domains to query:")
+		for _, d := range pop.Top(*printTop) {
+			marker := ""
+			if d.Signed {
+				marker = " (signed)"
+			}
+			fmt.Printf("  %s%s\n", d.Name, marker)
+		}
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve() }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		return err
+	case <-sig:
+		fmt.Println("\nresolved: shutting down")
+		_ = srv.Close()
+		<-done
+		printStats(r)
+		return nil
+	}
+}
+
+func printStats(r *resolver.Resolver) {
+	st := r.Stats()
+	fmt.Printf("resolutions=%d dlv-queries=%d suppressed=%d remedy-skipped=%d cache-hits=%d\n",
+		st.Resolutions, st.DLVQueries, st.DLVSuppressed, st.DLVSkippedByRemedy, st.CacheHits)
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunProducesCSV(t *testing.T) {
+	var buf strings.Builder
+	err := run([]string{"-minutes", "5", "-min-rate", "100", "-max-rate", "200", "-scale", "1"}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 6 { // header + 5 minutes
+		t.Fatalf("lines = %d:\n%s", len(lines), buf.String())
+	}
+	if lines[0] != "minute,queries,cumulative" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	for _, line := range lines[1:] {
+		if strings.Count(line, ",") != 2 {
+			t.Fatalf("bad row %q", line)
+		}
+	}
+}
+
+func TestRunRejectsBadBand(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-min-rate", "100", "-max-rate", "50"}, &buf); err == nil {
+		t.Fatal("inverted band accepted")
+	}
+	if err := run([]string{"-minutes", "0"}, &buf); err == nil {
+		t.Fatal("zero minutes accepted")
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	var a, b strings.Builder
+	args := []string{"-minutes", "10", "-seed", "3"}
+	if err := run(args, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same seed produced different traces")
+	}
+}

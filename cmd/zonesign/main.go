@@ -1,0 +1,203 @@
+// Command zonesign signs a master-file zone: it reads records, builds the
+// zone with its delegations, generates a KSK/ZSK pair, and writes the fully
+// signed zone (RRSIGs, DNSKEYs, NSEC chain) plus the DS and DLV records the
+// operator would deposit in the parent zone or a DLV registry.
+//
+//	zonesign -in example.com.zone -origin example.com -out example.com.signed
+package main
+
+import (
+	"crypto/rand"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/dnsprivacy/lookaside/internal/dns"
+	"github.com/dnsprivacy/lookaside/internal/dnssec"
+	"github.com/dnsprivacy/lookaside/internal/zone"
+	"github.com/dnsprivacy/lookaside/internal/zonefile"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "zonesign: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("zonesign", flag.ContinueOnError)
+	in := fs.String("in", "", "input zone file (master format); '-' for stdin")
+	origin := fs.String("origin", "", "zone origin (required unless the file sets $ORIGIN)")
+	out := fs.String("out", "-", "output file for the signed zone; '-' for stdout")
+	alg := fs.String("alg", "ecdsa", "signing algorithm: ecdsa (P-256) or fast (simulation HMAC)")
+	inception := fs.Uint64("inception", 0, "signature inception (epoch seconds)")
+	expiration := fs.Uint64("expiration", 1<<31, "signature expiration (epoch seconds)")
+	nsec3 := fs.Bool("nsec3", false, "use NSEC3 denials instead of NSEC")
+	check := fs.Bool("check", false, "verify an already-signed zone instead of signing")
+	checkAt := fs.Uint64("check-at", 1, "validation time for -check (epoch seconds)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("-in is required")
+	}
+
+	var algorithm uint8
+	switch *alg {
+	case "ecdsa":
+		algorithm = dnssec.AlgECDSAP256
+	case "fast":
+		algorithm = dnssec.AlgFastHMAC
+	default:
+		return fmt.Errorf("unknown algorithm %q", *alg)
+	}
+
+	var originName dns.Name
+	if *origin != "" {
+		var err error
+		if originName, err = dns.MakeName(*origin); err != nil {
+			return err
+		}
+	}
+
+	reader := os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = f.Close() }()
+		reader = f
+	}
+	rrs, err := zonefile.NewParser(originName).Parse(reader)
+	if err != nil {
+		return err
+	}
+	if len(rrs) == 0 {
+		return fmt.Errorf("no records in %s", *in)
+	}
+	if *check {
+		result, err := dnssec.VerifyZoneRecords(rrs, uint32(*checkAt))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, result)
+		for _, failed := range result.Failed {
+			fmt.Fprintf(stdout, "FAILED: %s\n", failed)
+		}
+		if !result.OK() {
+			return fmt.Errorf("%d rrset(s) failed verification", len(result.Failed))
+		}
+		return nil
+	}
+	apex, err := findApex(rrs, originName)
+	if err != nil {
+		return err
+	}
+
+	z, err := buildZone(apex, rrs)
+	if err != nil {
+		return err
+	}
+
+	ksk, err := dnssec.GenerateKey(algorithm, dns.DNSKEYFlagZone|dns.DNSKEYFlagSEP, rand.Reader)
+	if err != nil {
+		return err
+	}
+	zsk, err := dnssec.GenerateKey(algorithm, dns.DNSKEYFlagZone, rand.Reader)
+	if err != nil {
+		return err
+	}
+	if err := z.Sign(zone.SignConfig{
+		KSK: ksk, ZSK: zsk,
+		Inception: uint32(*inception), Expiration: uint32(*expiration),
+		Rand:  rand.Reader,
+		NSEC3: *nsec3, NSEC3Salt: []byte{0xAB, 0xCD}, NSEC3Iterations: 5,
+	}); err != nil {
+		return err
+	}
+
+	signed, err := z.SignedRecords()
+	if err != nil {
+		return err
+	}
+	writer := stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = f.Close() }()
+		writer = f
+	}
+	if err := zonefile.Write(writer, signed); err != nil {
+		return err
+	}
+
+	ds, err := z.DS(dnssec.DigestSHA256)
+	if err != nil {
+		return err
+	}
+	dlvRec, err := z.DLV(dnssec.DigestSHA256)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "; signed %d records (%d output) with %s, key tag %d\n",
+		len(rrs), len(signed), *alg, ksk.KeyTag())
+	fmt.Fprintf(os.Stderr, "; deposit in parent:  %s IN DS %s\n", apex, ds)
+	fmt.Fprintf(os.Stderr, "; deposit in DLV:     <apex-labels>.<registry> IN DLV %s\n", dlvRec)
+	return nil
+}
+
+// findApex picks the SOA owner (or the origin) as the zone apex.
+func findApex(rrs []dns.RR, origin dns.Name) (dns.Name, error) {
+	for _, rr := range rrs {
+		if rr.Type == dns.TypeSOA {
+			return rr.Name, nil
+		}
+	}
+	if origin != "" {
+		return origin, nil
+	}
+	return "", fmt.Errorf("no SOA record and no -origin given")
+}
+
+// buildZone loads parsed records into a zone, turning off-apex NS records
+// into delegations.
+func buildZone(apex dns.Name, rrs []dns.RR) (*zone.Zone, error) {
+	var primary dns.Name
+	for _, rr := range rrs {
+		if soa, ok := rr.Data.(*dns.SOAData); ok && rr.Name == apex {
+			primary = soa.MName
+		}
+	}
+	z, err := zone.New(zone.Config{Apex: apex, PrimaryNS: primary, Serial: 1})
+	if err != nil {
+		return nil, err
+	}
+	for _, rr := range rrs {
+		switch {
+		case rr.Type == dns.TypeSOA && rr.Name == apex:
+			continue // zone.New created it
+		case rr.Type == dns.TypeNS && rr.Name == apex:
+			if ns, ok := rr.Data.(*dns.NSData); ok && primary != "" && ns.Target == primary {
+				continue // zone.New created the apex NS
+			}
+			if err := z.Add(rr); err != nil {
+				return nil, err
+			}
+		case rr.Type == dns.TypeNS:
+			target := rr.Data.(*dns.NSData).Target
+			if err := z.Delegate(rr.Name, []dns.Name{target}, nil); err != nil {
+				return nil, err
+			}
+		default:
+			if err := z.Add(rr); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return z, nil
+}

@@ -1,0 +1,153 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/dnsprivacy/lookaside/internal/dns"
+	"github.com/dnsprivacy/lookaside/internal/zonefile"
+)
+
+const testZone = `$ORIGIN demo.net.
+$TTL 300
+@ IN SOA ns1 admin 1 7200 900 1209600 300
+@ IN NS ns1
+ns1 IN A 192.0.2.1
+www IN A 192.0.2.2
+sub IN NS ns1.sub
+ns1.sub IN A 192.0.2.4
+`
+
+func writeTempZone(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "demo.zone")
+	if err := os.WriteFile(path, []byte(content), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSignZoneFile(t *testing.T) {
+	in := writeTempZone(t, testZone)
+	out := filepath.Join(t.TempDir(), "demo.signed")
+	var stdout strings.Builder
+	if err := run([]string{"-in", in, "-out", out, "-alg", "fast"}, &stdout); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = f.Close() }()
+	// The signed output is presentation-format; count record classes by
+	// scanning for type mnemonics (the output includes RRSIG/NSEC which
+	// the parser intentionally does not read back).
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	for _, want := range []string{" RRSIG ", " NSEC ", " DNSKEY ", " SOA "} {
+		if !strings.Contains(text, want) {
+			t.Errorf("signed zone missing %s records", strings.TrimSpace(want))
+		}
+	}
+	// Glue stays unsigned: no RRSIG line for the glue owner.
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "ns1.sub.demo.net.") && strings.Contains(line, "RRSIG") {
+			t.Errorf("glue signed: %s", line)
+		}
+	}
+}
+
+func TestSignFromStdinRequiresOrigin(t *testing.T) {
+	var stdout strings.Builder
+	if err := run([]string{"-in", writeTempZone(t, "www IN A 192.0.2.1\n")}, &stdout); err == nil {
+		t.Fatal("relative zone without origin accepted")
+	}
+}
+
+func TestSignRequiresInput(t *testing.T) {
+	var stdout strings.Builder
+	if err := run(nil, &stdout); err == nil {
+		t.Fatal("missing -in accepted")
+	}
+	if err := run([]string{"-in", "/nonexistent/zone"}, &stdout); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if err := run([]string{"-in", writeTempZone(t, testZone), "-alg", "bogus"}, &stdout); err == nil {
+		t.Fatal("bad algorithm accepted")
+	}
+	if err := run([]string{"-in", writeTempZone(t, "")}, &stdout); err == nil {
+		t.Fatal("empty zone accepted")
+	}
+}
+
+func TestNSEC3Mode(t *testing.T) {
+	in := writeTempZone(t, testZone)
+	out := filepath.Join(t.TempDir(), "demo.signed")
+	var stdout strings.Builder
+	if err := run([]string{"-in", in, "-out", out, "-alg", "fast", "-nsec3"}, &stdout); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), " NSEC ") {
+		t.Error("NSEC3 mode emitted plain NSEC")
+	}
+}
+
+func TestCheckMode(t *testing.T) {
+	in := writeTempZone(t, testZone)
+	out := filepath.Join(t.TempDir(), "demo.signed")
+	var stdout strings.Builder
+	if err := run([]string{"-in", in, "-out", out, "-alg", "fast"}, &stdout); err != nil {
+		t.Fatalf("sign: %v", err)
+	}
+	stdout.Reset()
+	if err := run([]string{"-in", out, "-check"}, &stdout); err != nil {
+		t.Fatalf("check of freshly signed zone failed: %v\n%s", err, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "OK") {
+		t.Fatalf("check output: %q", stdout.String())
+	}
+
+	// Tamper with a signed record: -check must fail.
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(string(data), "192.0.2.2", "203.0.113.66", 1)
+	if tampered == string(data) {
+		t.Fatal("tamper target not found")
+	}
+	bad := filepath.Join(t.TempDir(), "tampered.signed")
+	if err := os.WriteFile(bad, []byte(tampered), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	if err := run([]string{"-in", bad, "-check"}, &stdout); err == nil {
+		t.Fatalf("tampered zone passed verification:\n%s", stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "FAILED") {
+		t.Fatalf("check output lacks failure detail: %q", stdout.String())
+	}
+}
+
+func TestFindApex(t *testing.T) {
+	rrs, err := zonefile.NewParser(dns.MustName("demo.net")).Parse(strings.NewReader("www IN A 192.0.2.1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	apex, err := findApex(rrs, dns.MustName("demo.net"))
+	if err != nil || apex != dns.MustName("demo.net") {
+		t.Fatalf("findApex = %s, %v", apex, err)
+	}
+	if _, err := findApex(rrs, ""); err == nil {
+		t.Fatal("no SOA and no origin accepted")
+	}
+}

@@ -1,0 +1,71 @@
+// Hardened resolver: stack every privacy mechanism the repository
+// implements — RFC 7816 q-name minimization, the Z-bit DLV remedy, and
+// RFC 7830 response padding — and compare the exposure surface against a
+// stock 2015-era DLV resolver.
+//
+//	go run ./examples/hardened-resolver
+package main
+
+import (
+	"fmt"
+	"log"
+
+	lookaside "github.com/dnsprivacy/lookaside"
+)
+
+func main() {
+	const domains = 2000
+	const workload = 300
+
+	stock := lookaside.Environments().YumDefault // DLV armed, no mitigations
+
+	hardened := lookaside.Environments().YumDefault
+	hardened.Name = "hardened"
+	hardened.QNameMinimization = true
+	hardened.Remedy = "zbit"
+	hardened.PaddingBlock = 468
+
+	type outcome struct {
+		name   string
+		report *lookaside.AuditReport
+	}
+	var outcomes []outcome
+	for _, mode := range []struct {
+		env  lookaside.Environment
+		zbit bool
+	}{{stock, false}, {hardened, true}} {
+		sim, err := lookaside.NewSimulation(lookaside.SimulationConfig{
+			Domains:    domains,
+			Seed:       23,
+			ZBitRemedy: mode.zbit, // the authoritative half of the Z-bit remedy
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := sim.Audit(mode.env, sim.TopDomains(workload))
+		if err != nil {
+			log.Fatalf("%s: %v", mode.env.Name, err)
+		}
+		outcomes = append(outcomes, outcome{mode.env.Name, rep})
+	}
+
+	fmt.Printf("top %d domains through two resolvers:\n\n", workload)
+	fmt.Printf("%-10s %-16s %-14s %-14s %-12s %-12s\n",
+		"resolver", "leaked to DLV", "dlv queries", "remedy skips", "time (s)", "traffic MB")
+	for _, o := range outcomes {
+		fmt.Printf("%-10s %-16d %-14d %-14d %-12.1f %-12.2f\n",
+			o.name, o.report.LeakedDomains, o.report.DLVQueries,
+			o.report.SkippedByRemedy,
+			o.report.Elapsed.Seconds(), float64(o.report.TrafficBytes)/1e6)
+	}
+
+	stockRep, hardRep := outcomes[0].report, outcomes[1].report
+	fmt.Println("\nwhat the hardening bought:")
+	fmt.Printf("  • DLV registry observations: %d → %d domains\n",
+		stockRep.LeakedDomains, hardRep.LeakedDomains)
+	fmt.Printf("  • look-aside queries gated by Z-bit signaling: %d\n", hardRep.SkippedByRemedy)
+	fmt.Println("  • root servers no longer see full query names (RFC 7816)")
+	fmt.Println("  • response sizes padded to one 468-byte bucket (RFC 7830)")
+	fmt.Println("\nall mechanisms compose: each guards a different observer in the")
+	fmt.Println("paper's threat model (registry, ancestors, on-path eavesdropper).")
+}

@@ -1,0 +1,66 @@
+// Leakage audit: reproduce the paper's configuration study (§4–5) — run
+// the 45 DNSSEC-secured domains and a popular-domain workload through each
+// installer scenario and compare what the DLV registry observes.
+//
+//	go run ./examples/leakage-audit
+package main
+
+import (
+	"fmt"
+	"log"
+
+	lookaside "github.com/dnsprivacy/lookaside"
+)
+
+func main() {
+	envs := lookaside.Environments()
+	scenarios := []lookaside.Environment{
+		envs.AptGetDefault,
+		envs.AptGetARMEdit,
+		envs.YumDefault,
+		envs.ManualInstall,
+		envs.UnboundDefault,
+	}
+
+	fmt.Println("Table 3 reproduction — secured domains sent to DLV per configuration")
+	fmt.Printf("%-10s %-9s %-14s %-14s %-12s\n",
+		"scenario", "anchor?", "secure answers", "observed@DLV", "leak verdict")
+	for _, env := range scenarios {
+		// Fresh simulation per scenario keeps captures independent.
+		sim, err := lookaside.NewSimulation(lookaside.SimulationConfig{Domains: 500, Seed: 7})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := sim.Audit(env, sim.SecuredDomains())
+		if err != nil {
+			log.Fatalf("%s: %v", env.Name, err)
+		}
+		observed := rep.LeakedDomains + rep.Case1Domains
+		verdict := "No"
+		if rep.SecureAnswers < 40 { // the 40 chained domains failed to validate
+			verdict = "Yes"
+		}
+		anchor := "yes"
+		if !env.RootAnchor {
+			anchor = "MISSING"
+		}
+		fmt.Printf("%-10s %-9s %-14d %-14d %-12s\n",
+			env.Name, anchor, rep.SecureAnswers, observed, verdict)
+	}
+
+	fmt.Println("\nPopular-domain leakage under the correct (yum) configuration:")
+	sim, err := lookaside.NewSimulation(lookaside.SimulationConfig{Domains: 3000, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, n := range []int{100, 500, 2500} {
+		rep, err := sim.Audit(envs.YumDefault, sim.TopDomains(n))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  top-%-5d leaked %4d domains (%.1f%%), %d look-asides suppressed by NSEC caching\n",
+			n, rep.LeakedDomains, 100*rep.LeakProportion, rep.SuppressedByNegCache)
+	}
+	fmt.Println("\nthe proportion falls as the sample grows — the aggressive negative")
+	fmt.Println("caching effect behind the paper's Figs. 8 and 9.")
+}

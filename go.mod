@@ -1,0 +1,3 @@
+module github.com/dnsprivacy/lookaside
+
+go 1.22

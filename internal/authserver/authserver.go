@@ -1,0 +1,232 @@
+// Package authserver turns zone data into a DNS server: it matches queries
+// to the most specific zone it is authoritative for, shapes zone.Result
+// values into wire messages, and implements the authoritative half of the
+// paper's two "DLV-aware DNS" remedies — publishing dlv=0/1 TXT signaling
+// records and setting the reserved Z header bit on responses for domains
+// with deposited DLV records (§6.2.1).
+package authserver
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"sort"
+	"sync"
+
+	"github.com/dnsprivacy/lookaside/internal/dns"
+	"github.com/dnsprivacy/lookaside/internal/simnet"
+	"github.com/dnsprivacy/lookaside/internal/zone"
+)
+
+// Source is anything that can answer authoritative lookups for one zone.
+// *zone.Zone implements it; generative sources (synthetic TLDs) do too.
+type Source interface {
+	Apex() dns.Name
+	Lookup(qname dns.Name, qtype dns.Type, dnssecOK bool) (*zone.Result, error)
+}
+
+// Compile-time check that the concrete zone satisfies Source.
+var _ Source = (*zone.Zone)(nil)
+
+// Signaler reports whether a domain has a DLV record deposited in the DLV
+// registry; the remedies use it to decide what to advertise.
+type Signaler interface {
+	HasDLV(domain dns.Name) bool
+}
+
+// SignalerFunc adapts a function to Signaler.
+type SignalerFunc func(domain dns.Name) bool
+
+// HasDLV implements Signaler.
+func (f SignalerFunc) HasDLV(domain dns.Name) bool { return f(domain) }
+
+// ErrNoZone is returned when the server is not authoritative for a query.
+var ErrNoZone = errors.New("authserver: not authoritative for name")
+
+// TXTSignalPrefix is the TXT payload prefix of the DLV-aware DNS remedy:
+// "dlv=1" advertises a deposited DLV record, "dlv=0" its absence.
+const TXTSignalPrefix = "dlv="
+
+// TXTSignal renders the TXT remedy payload.
+func TXTSignal(hasDLV bool) string {
+	if hasDLV {
+		return TXTSignalPrefix + "1"
+	}
+	return TXTSignalPrefix + "0"
+}
+
+// ParseTXTSignal extracts the remedy bit from TXT strings; ok is false when
+// no dlv= string is present.
+func ParseTXTSignal(strings []string) (hasDLV, ok bool) {
+	for _, s := range strings {
+		switch s {
+		case TXTSignalPrefix + "1":
+			return true, true
+		case TXTSignalPrefix + "0":
+			return false, true
+		}
+	}
+	return false, false
+}
+
+// Config configures an authoritative server.
+type Config struct {
+	// Name labels the server in captures, e.g. "a.gtld-servers.net".
+	Name string
+	// TXTRemedy synthesizes dlv=0/1 TXT signaling answers for names the
+	// server is authoritative for (the DLV-aware DNS remedy via TXT).
+	TXTRemedy bool
+	// ZBitRemedy sets the reserved Z header bit on responses for domains
+	// with deposited DLV records (the DLV-aware DNS remedy via Z bit).
+	ZBitRemedy bool
+	// Signaler backs the two remedies; required when either is enabled.
+	Signaler Signaler
+}
+
+// Server is an authoritative DNS server over one or more zone sources.
+type Server struct {
+	mu      sync.RWMutex
+	name    string
+	sources []Source // sorted by decreasing apex label count
+	cfg     Config
+}
+
+// Compile-time check: Server plugs into the simulated network.
+var _ simnet.Handler = (*Server)(nil)
+
+// New creates a server; sources may be added later with AddSource.
+func New(cfg Config, sources ...Source) (*Server, error) {
+	if (cfg.TXTRemedy || cfg.ZBitRemedy) && cfg.Signaler == nil {
+		return nil, errors.New("authserver: remedy enabled without signaler")
+	}
+	s := &Server{name: cfg.Name, cfg: cfg}
+	for _, src := range sources {
+		s.AddSource(src)
+	}
+	return s, nil
+}
+
+// Name returns the server's capture label.
+func (s *Server) Name() string { return s.name }
+
+// AddSource registers an additional zone source.
+func (s *Server) AddSource(src Source) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sources = append(s.sources, src)
+	sort.SliceStable(s.sources, func(i, j int) bool {
+		return s.sources[i].Apex().LabelCount() > s.sources[j].Apex().LabelCount()
+	})
+}
+
+// findSource returns the most specific source authoritative for qname.
+func (s *Server) findSource(qname dns.Name) (Source, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, src := range s.sources {
+		if qname.IsSubdomainOf(src.Apex()) {
+			return src, true
+		}
+	}
+	return nil, false
+}
+
+// HandleQuery implements simnet.Handler.
+func (s *Server) HandleQuery(q *dns.Message, _ netip.Addr) (*dns.Message, error) {
+	resp := dns.NewResponse(q)
+	if len(q.Question) == 0 {
+		resp.Header.RCode = dns.RCodeFormErr
+		return resp, nil
+	}
+	src, ok := s.findSource(q.Question[0].Name)
+	if !ok {
+		resp.Header.RCode = dns.RCodeRefused
+		return resp, nil
+	}
+	return Respond(src, s.cfg, q)
+}
+
+// Transferable is implemented by sources that can export their complete
+// contents for zone transfer (AXFR, RFC 5936); *zone.Zone qualifies.
+type Transferable interface {
+	TransferRecords() ([]dns.RR, error)
+}
+
+// Respond shapes one authoritative response for a query against a single
+// zone source, applying the configured remedies. It is shared by Server and
+// by scale-oriented handlers (the universe's hosting servers) that do their
+// own source routing.
+func Respond(src Source, cfg Config, q *dns.Message) (*dns.Message, error) {
+	resp := dns.NewResponse(q)
+	if len(q.Question) == 0 {
+		resp.Header.RCode = dns.RCodeFormErr
+		return resp, nil
+	}
+	question := q.Question[0]
+
+	if question.Type == dns.TypeAXFR {
+		return respondAXFR(src, question, resp)
+	}
+
+	res, err := src.Lookup(question.Name, question.Type, q.DNSSECOK())
+	if err != nil {
+		return nil, fmt.Errorf("authserver %s: lookup %s/%s: %w", cfg.Name, question.Name, question.Type, err)
+	}
+
+	// TXT remedy: a TXT query that would otherwise be empty is answered
+	// with the synthesized dlv=0/1 signal for names the zone contains.
+	if cfg.TXTRemedy && question.Type == dns.TypeTXT &&
+		(res.Kind == zone.KindNoData || res.Kind == zone.KindNXDomain) {
+		res = synthesizeTXT(question.Name, cfg.Signaler)
+	}
+
+	resp.Header.RCode = res.RCode
+	resp.Header.AA = res.Kind == zone.KindAnswer || res.Kind == zone.KindNXDomain || res.Kind == zone.KindNoData
+	resp.Answer = res.Answer
+	resp.Authority = res.Authority
+	resp.Additional = res.Additional
+
+	// Z-bit remedy: advertise DLV-record existence in the response header.
+	if cfg.ZBitRemedy && cfg.Signaler.HasDLV(question.Name) {
+		resp.Header.Z = true
+	}
+	return resp, nil
+}
+
+// respondAXFR serves a whole-zone transfer: the SOA-bracketed record
+// stream of RFC 5936, as a single message (this implementation's zones fit
+// one TCP frame; UDP clients receive a truncated reply and retry over TCP).
+// Sources that cannot transfer, and queries not at the zone apex, are
+// refused.
+func respondAXFR(src Source, question dns.Question, resp *dns.Message) (*dns.Message, error) {
+	tr, ok := src.(Transferable)
+	if !ok || question.Name != src.Apex() {
+		resp.Header.RCode = dns.RCodeRefused
+		return resp, nil
+	}
+	rrs, err := tr.TransferRecords()
+	if err != nil {
+		return nil, fmt.Errorf("authserver: transferring %s: %w", question.Name, err)
+	}
+	if len(rrs) == 0 || rrs[0].Type != dns.TypeSOA {
+		resp.Header.RCode = dns.RCodeServFail
+		return resp, nil
+	}
+	resp.Header.AA = true
+	resp.Answer = append(resp.Answer, rrs...)
+	resp.Answer = append(resp.Answer, rrs[0]) // closing SOA
+	return resp, nil
+}
+
+// synthesizeTXT builds the remedy signal answer.
+func synthesizeTXT(qname dns.Name, sig Signaler) *zone.Result {
+	signal := TXTSignal(sig.HasDLV(qname))
+	return &zone.Result{
+		Kind:  zone.KindAnswer,
+		RCode: dns.RCodeNoError,
+		Answer: []dns.RR{{
+			Name: qname, Type: dns.TypeTXT, Class: dns.ClassIN, TTL: 300,
+			Data: &dns.TXTData{Strings: []string{signal}},
+		}},
+	}
+}

@@ -1,0 +1,255 @@
+// Package capture implements the measurement half of the paper's threat
+// model (§3): it observes every exchange on the simulated network,
+// attributes each query to a party (root, TLD, SLD, DLV registry), and
+// classifies look-aside traffic into the paper's two leakage cases:
+//
+//   - Case-1: the queried domain has a DLV record deposited — the registry
+//     is an involved party and the exposure is no worse than ordinary
+//     resolution.
+//   - Case-2: the domain has no deposit — the registry is an uninvolved
+//     party that learns the user's query while providing no validation
+//     utility. This is the privacy leak the paper quantifies.
+package capture
+
+import (
+	"sync"
+
+	"github.com/dnsprivacy/lookaside/internal/dns"
+	"github.com/dnsprivacy/lookaside/internal/simnet"
+)
+
+// Case classifies one look-aside observation.
+type Case int
+
+// Leakage cases per §3.
+const (
+	// Case1 is an intentional, deposit-backed look-aside query.
+	Case1 Case = iota + 1
+	// Case2 is an unintentional query for a domain without a deposit.
+	Case2
+)
+
+// String implements fmt.Stringer.
+func (c Case) String() string {
+	switch c {
+	case Case1:
+		return "case-1"
+	case Case2:
+		return "case-2"
+	default:
+		return "unknown"
+	}
+}
+
+// DepositChecker reports whether a domain has a DLV record deposited; the
+// registry implements it.
+type DepositChecker interface {
+	HasDeposit(domain dns.Name) bool
+}
+
+// Config configures an analyzer.
+type Config struct {
+	// RegistryZone is the look-aside zone, e.g. "dlv.isc.org.".
+	RegistryZone dns.Name
+	// Deposits classifies observed domains into Case-1/Case-2.
+	Deposits DepositChecker
+	// Hashed marks the privacy-preserving registry: look-aside names carry
+	// hash labels that cannot be inverted to domains.
+	Hashed bool
+}
+
+// Analyzer aggregates capture events. It is a simnet.Tap and is safe for
+// concurrent use.
+type Analyzer struct {
+	mu  sync.Mutex
+	cfg Config
+
+	queriesByType map[dns.Type]int
+	queriesByRole map[simnet.Role]int
+	bytesTotal    int64
+	bytesByRole   map[simnet.Role]int64
+	events        int
+
+	// dlvDomains are the distinct original domains observed at the
+	// registry (the walk's deepest name per query); dlvCase2 the subset
+	// without deposits.
+	dlvDomains map[dns.Name]Case
+	// dlvQueries counts raw look-aside queries (including enclosing-walk
+	// steps).
+	dlvQueries int
+	// dlvNoError / dlvNXDomain count registry response codes (§5.3's
+	// validation-utility measurement).
+	dlvNoError  int
+	dlvNXDomain int
+	// hashedLabels counts distinct hash labels seen in hashed mode.
+	hashedLabels map[string]bool
+}
+
+// NewAnalyzer creates an analyzer.
+func NewAnalyzer(cfg Config) *Analyzer {
+	return &Analyzer{
+		cfg:           cfg,
+		queriesByType: make(map[dns.Type]int),
+		queriesByRole: make(map[simnet.Role]int),
+		bytesByRole:   make(map[simnet.Role]int64),
+		dlvDomains:    make(map[dns.Name]Case),
+		hashedLabels:  make(map[string]bool),
+	}
+}
+
+// Tap implements the simnet capture hook.
+func (a *Analyzer) Tap(ev simnet.Event) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.events++
+	// The by-type table counts the resolver's outbound queries (what the
+	// paper's packet captures tabulate); the stub→recursive hop is still
+	// accounted in Events and byte totals.
+	if ev.DstRole != simnet.RoleRecursive {
+		a.queriesByType[ev.Question.Type]++
+	}
+	a.queriesByRole[ev.DstRole]++
+	a.bytesTotal += int64(ev.QuerySize + ev.RespSize)
+	a.bytesByRole[ev.DstRole] += int64(ev.QuerySize + ev.RespSize)
+
+	if ev.DstRole != simnet.RoleDLV {
+		return
+	}
+	// The DLV-typed traffic is what the paper's captures filter on…
+	if ev.Question.Type == dns.TypeDLV {
+		a.dlvQueries++
+		switch ev.RCode {
+		case dns.RCodeNoError:
+			a.dlvNoError++
+		case dns.RCodeNXDomain:
+			a.dlvNXDomain++
+		}
+	}
+	// …but the registry operator observes every query that reaches the
+	// server (including NS probes from q-name-minimizing resolvers), so
+	// domain-level leak classification covers them all.
+	a.classifyLookaside(ev.Question.Name)
+}
+
+// classifyLookaside maps a look-aside query name back to the original
+// domain and records its case.
+func (a *Analyzer) classifyLookaside(qname dns.Name) {
+	rel, ok := qname.StripSuffix(a.cfg.RegistryZone)
+	if !ok || rel == "" {
+		return
+	}
+	if a.cfg.Hashed {
+		// The hash is all the registry (and we, as its observer) can see.
+		a.hashedLabels[rel] = true
+		return
+	}
+	domain, err := dns.MakeName(rel)
+	if err != nil {
+		return
+	}
+	// Enclosing-walk steps (bare TLD labels) are observations of the walk,
+	// not of a domain; only multi-label names identify a domain.
+	if domain.LabelCount() < 2 {
+		return
+	}
+	c := Case2
+	if a.cfg.Deposits != nil && a.cfg.Deposits.HasDeposit(domain) {
+		c = Case1
+	}
+	// Case-1 dominates if ever observed (a hit is a hit).
+	if prev, seen := a.dlvDomains[domain]; !seen || prev == Case2 {
+		a.dlvDomains[domain] = c
+	}
+}
+
+// Report is the aggregated capture summary.
+type Report struct {
+	// Events and BytesTotal cover every exchange on the wire.
+	Events     int
+	BytesTotal int64
+	// QueriesByType feeds Table 4.
+	QueriesByType map[dns.Type]int
+	// QueriesByRole / BytesByRole attribute load to parties.
+	QueriesByRole map[simnet.Role]int
+	BytesByRole   map[simnet.Role]int64
+	// DLVQueries is the raw look-aside query count; DLVNoError and
+	// DLVNXDomain split the registry's answers (§5.3).
+	DLVQueries  int
+	DLVNoError  int
+	DLVNXDomain int
+	// DomainsObserved is the number of distinct domains the registry saw;
+	// Case1Domains/Case2Domains split them by deposit state. In hashed
+	// mode DomainsObserved counts unlinkable hash labels instead and the
+	// case split is zero — the registry learns nothing.
+	DomainsObserved int
+	Case1Domains    int
+	Case2Domains    int
+	// HashedLabels is the distinct hash-label count (hashed mode only).
+	HashedLabels int
+}
+
+// Snapshot returns the current aggregate state.
+func (a *Analyzer) Snapshot() Report {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	r := Report{
+		Events:        a.events,
+		BytesTotal:    a.bytesTotal,
+		QueriesByType: make(map[dns.Type]int, len(a.queriesByType)),
+		QueriesByRole: make(map[simnet.Role]int, len(a.queriesByRole)),
+		BytesByRole:   make(map[simnet.Role]int64, len(a.bytesByRole)),
+		DLVQueries:    a.dlvQueries,
+		DLVNoError:    a.dlvNoError,
+		DLVNXDomain:   a.dlvNXDomain,
+		HashedLabels:  len(a.hashedLabels),
+	}
+	for k, v := range a.queriesByType {
+		r.QueriesByType[k] = v
+	}
+	for k, v := range a.queriesByRole {
+		r.QueriesByRole[k] = v
+	}
+	for k, v := range a.bytesByRole {
+		r.BytesByRole[k] = v
+	}
+	for _, c := range a.dlvDomains {
+		switch c {
+		case Case1:
+			r.Case1Domains++
+		case Case2:
+			r.Case2Domains++
+		}
+	}
+	if a.cfg.Hashed {
+		r.DomainsObserved = len(a.hashedLabels)
+	} else {
+		r.DomainsObserved = len(a.dlvDomains)
+	}
+	return r
+}
+
+// LeakedDomains returns the distinct Case-2 domains observed (sorted order
+// not guaranteed); nil in hashed mode.
+func (a *Analyzer) LeakedDomains() []dns.Name {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var out []dns.Name
+	for d, c := range a.dlvDomains {
+		if c == Case2 {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// ObservedDomains returns every distinct domain the registry saw,
+// regardless of case; nil in hashed mode.
+func (a *Analyzer) ObservedDomains() []dns.Name {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]dns.Name, 0, len(a.dlvDomains))
+	for d := range a.dlvDomains {
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,0 +1,162 @@
+package capture
+
+import (
+	"net/netip"
+	"testing"
+
+	"github.com/dnsprivacy/lookaside/internal/dns"
+	"github.com/dnsprivacy/lookaside/internal/simnet"
+)
+
+type fakeDeposits map[dns.Name]bool
+
+func (f fakeDeposits) HasDeposit(d dns.Name) bool { return f[d] }
+
+var registryZone = dns.MustName("dlv.isc.org")
+
+func newTestAnalyzer(hashed bool) *Analyzer {
+	return NewAnalyzer(Config{
+		RegistryZone: registryZone,
+		Deposits:     fakeDeposits{dns.MustName("deposited.com"): true},
+		Hashed:       hashed,
+	})
+}
+
+func dlvEvent(qname string, rcode dns.RCode) simnet.Event {
+	return simnet.Event{
+		Src: netip.MustParseAddr("10.0.0.53"), Dst: netip.MustParseAddr("149.20.64.1"),
+		DstRole: simnet.RoleDLV,
+		Question: dns.Question{
+			Name: dns.MustName(qname), Type: dns.TypeDLV, Class: dns.ClassIN,
+		},
+		QuerySize: 50, RespSize: 120, RCode: rcode,
+	}
+}
+
+func plainEvent(qname string, qtype dns.Type, role simnet.Role) simnet.Event {
+	return simnet.Event{
+		DstRole: role,
+		Question: dns.Question{
+			Name: dns.MustName(qname), Type: qtype, Class: dns.ClassIN,
+		},
+		QuerySize: 40, RespSize: 80, RCode: dns.RCodeNoError,
+	}
+}
+
+func TestCaseClassification(t *testing.T) {
+	a := newTestAnalyzer(false)
+	a.Tap(dlvEvent("deposited.com.dlv.isc.org", dns.RCodeNoError))
+	a.Tap(dlvEvent("leaked1.net.dlv.isc.org", dns.RCodeNXDomain))
+	a.Tap(dlvEvent("leaked2.org.dlv.isc.org", dns.RCodeNXDomain))
+	a.Tap(dlvEvent("leaked2.org.dlv.isc.org", dns.RCodeNXDomain)) // duplicate domain
+	a.Tap(dlvEvent("com.dlv.isc.org", dns.RCodeNXDomain))         // enclosing-walk step
+
+	rep := a.Snapshot()
+	if rep.DLVQueries != 5 {
+		t.Fatalf("DLVQueries = %d", rep.DLVQueries)
+	}
+	if rep.Case1Domains != 1 || rep.Case2Domains != 2 {
+		t.Fatalf("cases = %d/%d, want 1/2", rep.Case1Domains, rep.Case2Domains)
+	}
+	if rep.DomainsObserved != 3 {
+		t.Fatalf("DomainsObserved = %d", rep.DomainsObserved)
+	}
+	if rep.DLVNoError != 1 || rep.DLVNXDomain != 4 {
+		t.Fatalf("rcodes = %d/%d", rep.DLVNoError, rep.DLVNXDomain)
+	}
+	leaked := a.LeakedDomains()
+	if len(leaked) != 2 {
+		t.Fatalf("LeakedDomains = %v", leaked)
+	}
+	observed := a.ObservedDomains()
+	if len(observed) != 3 {
+		t.Fatalf("ObservedDomains = %v", observed)
+	}
+}
+
+func TestCase1Dominates(t *testing.T) {
+	// A domain first seen as a miss but later found deposited counts as
+	// Case-1 (a hit is a hit).
+	a := NewAnalyzer(Config{
+		RegistryZone: registryZone,
+		Deposits:     fakeDeposits{dns.MustName("flaky.com"): true},
+	})
+	a.Tap(dlvEvent("flaky.com.dlv.isc.org", dns.RCodeNXDomain))
+	a.Tap(dlvEvent("flaky.com.dlv.isc.org", dns.RCodeNoError))
+	rep := a.Snapshot()
+	if rep.Case1Domains != 1 || rep.Case2Domains != 0 {
+		t.Fatalf("cases = %d/%d", rep.Case1Domains, rep.Case2Domains)
+	}
+}
+
+func TestQueryTypeCensusExcludesStubHop(t *testing.T) {
+	a := newTestAnalyzer(false)
+	a.Tap(plainEvent("example.com", dns.TypeA, simnet.RoleTLD))
+	a.Tap(plainEvent("example.com", dns.TypeA, simnet.RoleSLD))
+	a.Tap(plainEvent("example.com", dns.TypeA, simnet.RoleRecursive)) // stub→recursive
+	a.Tap(plainEvent("example.com", dns.TypeDS, simnet.RoleTLD))
+
+	rep := a.Snapshot()
+	if rep.QueriesByType[dns.TypeA] != 2 {
+		t.Fatalf("A count = %d, want 2 (stub hop excluded)", rep.QueriesByType[dns.TypeA])
+	}
+	if rep.QueriesByType[dns.TypeDS] != 1 {
+		t.Fatalf("DS count = %d", rep.QueriesByType[dns.TypeDS])
+	}
+	if rep.Events != 4 {
+		t.Fatalf("Events = %d (all events counted)", rep.Events)
+	}
+	if rep.QueriesByRole[simnet.RoleRecursive] != 1 {
+		t.Fatalf("role census = %v", rep.QueriesByRole)
+	}
+	wantBytes := int64(4 * 120)
+	if rep.BytesTotal != wantBytes {
+		t.Fatalf("BytesTotal = %d, want %d", rep.BytesTotal, wantBytes)
+	}
+}
+
+func TestNonDLVTrafficToRegistryHost(t *testing.T) {
+	// A DNSKEY query to the registry server is not look-aside traffic.
+	a := newTestAnalyzer(false)
+	a.Tap(plainEvent("dlv.isc.org", dns.TypeDNSKEY, simnet.RoleDLV))
+	rep := a.Snapshot()
+	if rep.DLVQueries != 0 || rep.DomainsObserved != 0 {
+		t.Fatalf("misclassified DNSKEY as look-aside: %+v", rep)
+	}
+}
+
+func TestHashedModeCountsLabelsOnly(t *testing.T) {
+	a := newTestAnalyzer(true)
+	a.Tap(dlvEvent("aabbccdd00aabbccdd00aabbccdd00aa.dlv.isc.org", dns.RCodeNXDomain))
+	a.Tap(dlvEvent("aabbccdd00aabbccdd00aabbccdd00aa.dlv.isc.org", dns.RCodeNXDomain))
+	a.Tap(dlvEvent("ffeeddcc00ffeeddcc00ffeeddcc00ff.dlv.isc.org", dns.RCodeNoError))
+	rep := a.Snapshot()
+	if rep.HashedLabels != 2 || rep.DomainsObserved != 2 {
+		t.Fatalf("hashed census = %d/%d", rep.HashedLabels, rep.DomainsObserved)
+	}
+	if rep.Case1Domains != 0 || rep.Case2Domains != 0 {
+		t.Fatalf("hashed mode attributed domains: %+v", rep)
+	}
+	if got := a.ObservedDomains(); len(got) != 0 {
+		t.Fatalf("hashed ObservedDomains = %v", got)
+	}
+}
+
+func TestForeignQueryNameIgnored(t *testing.T) {
+	a := newTestAnalyzer(false)
+	ev := dlvEvent("example.com", dns.RCodeNXDomain) // not under the registry zone
+	a.Tap(ev)
+	rep := a.Snapshot()
+	if rep.DomainsObserved != 0 {
+		t.Fatalf("foreign name classified: %+v", rep)
+	}
+	if rep.DLVQueries != 1 {
+		t.Fatalf("raw count must still increment: %d", rep.DLVQueries)
+	}
+}
+
+func TestCaseStrings(t *testing.T) {
+	if Case1.String() != "case-1" || Case2.String() != "case-2" || Case(0).String() != "unknown" {
+		t.Fatal("Case.String broken")
+	}
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/dnsprivacy/lookaside/internal/dataset"
+	"github.com/dnsprivacy/lookaside/internal/simnet"
+	"github.com/dnsprivacy/lookaside/internal/universe"
+)
+
+func buildAuditor(t *testing.T) (*Auditor, *dataset.Population) {
+	t.Helper()
+	pop, err := dataset.AlexaLike(dataset.PopulationConfig{Size: 300, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := universe.Build(universe.Options{
+		Seed: 3, Population: pop, Extra: dataset.SecureDomains(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := u.ResolverConfig(true, true)
+	cfg.NSCompletionPercent, cfg.PTRSamplePercent = 0, 0
+	a, err := NewAuditor(u, Options{Resolver: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, pop
+}
+
+func TestAuditorReportCoherence(t *testing.T) {
+	a, pop := buildAuditor(t)
+	if err := a.QueryDomains(pop.Top(60)); err != nil {
+		t.Fatalf("QueryDomains: %v", err)
+	}
+	rep := a.Report()
+	if rep.QueriedDomains != 60 {
+		t.Fatalf("QueriedDomains = %d", rep.QueriedDomains)
+	}
+	if rep.Elapsed <= 0 {
+		t.Fatal("no simulated time elapsed")
+	}
+	if rep.Capture.Events == 0 || rep.Capture.BytesTotal == 0 {
+		t.Fatal("capture empty")
+	}
+	if rep.Capture.Case2Domains == 0 {
+		t.Fatal("no leakage under lax rule")
+	}
+	if got := rep.LeakedDomains(); got != rep.Capture.Case2Domains {
+		t.Fatalf("LeakedDomains() = %d, want %d", got, rep.Capture.Case2Domains)
+	}
+	if p := rep.LeakProportion(); p <= 0 || p > 1 {
+		t.Fatalf("LeakProportion = %f", p)
+	}
+	if u := rep.UtilityProportion(); u < 0 || u > 1 {
+		t.Fatalf("UtilityProportion = %f", u)
+	}
+	if len(rep.CapturedDomains()) != rep.Capture.Case1Domains+rep.Capture.Case2Domains {
+		t.Fatal("CapturedDomains inconsistent with case split")
+	}
+	// Zero-division guards.
+	empty := Report{}
+	if empty.LeakProportion() != 0 || empty.UtilityProportion() != 0 {
+		t.Fatal("empty report ratios not zero")
+	}
+}
+
+func TestAuditorAAAAShare(t *testing.T) {
+	a, pop := buildAuditor(t)
+	if err := a.QueryDomains(pop.Top(100)); err != nil {
+		t.Fatal(err)
+	}
+	rep := a.Report()
+	// Stub A queries reach the recursive for every domain; AAAA for about
+	// half. The recursive role census counts both.
+	stubQueries := rep.Capture.QueriesByRole[simnet.RoleRecursive]
+	if stubQueries < 100 || stubQueries > 200 {
+		t.Fatalf("stub query count = %d, want 100..200", stubQueries)
+	}
+	if stubQueries == 100 || stubQueries == 200 {
+		t.Fatalf("AAAA share degenerate: %d", stubQueries)
+	}
+}
+
+func TestAuditorSecureAnswerCounting(t *testing.T) {
+	a, _ := buildAuditor(t)
+	if err := a.QueryDomains(dataset.SecureDomains()); err != nil {
+		t.Fatal(err)
+	}
+	rep := a.Report()
+	// The 40 chained domains validate; islands depend on deposits.
+	if rep.SecureAnswers < 40 {
+		t.Fatalf("SecureAnswers = %d, want ≥40", rep.SecureAnswers)
+	}
+}
+
+func TestLatencyPercentiles(t *testing.T) {
+	a, pop := buildAuditor(t)
+	if err := a.QueryDomains(pop.Top(40)); err != nil {
+		t.Fatal(err)
+	}
+	rep := a.Report()
+	if rep.LatencyP50 <= 0 || rep.LatencyP95 < rep.LatencyP50 {
+		t.Fatalf("percentiles p50=%v p95=%v", rep.LatencyP50, rep.LatencyP95)
+	}
+	// Empty sample is safe.
+	if p50, p95 := percentiles(nil); p50 != 0 || p95 != 0 {
+		t.Fatal("empty percentiles nonzero")
+	}
+}

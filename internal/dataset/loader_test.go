@@ -1,0 +1,103 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/dnsprivacy/lookaside/internal/dns"
+)
+
+const sampleList = `# Tranco-style export
+1,google.com
+2,youtube.com
+3,www.facebook.com
+4,images.google.com
+5,example.co
+not-a-csv-line.net
+
+6,com
+`
+
+func TestLoadRanked(t *testing.T) {
+	pop, err := LoadRanked(strings.NewReader(sampleList), Rates{}, 1)
+	if err != nil {
+		t.Fatalf("LoadRanked: %v", err)
+	}
+	// google.com (dedup of images.google.com), youtube.com, facebook.com,
+	// example.co, not-a-csv-line.net; bare "com" dropped.
+	if len(pop.Domains) != 5 {
+		t.Fatalf("loaded %d domains: %+v", len(pop.Domains), pop.Domains)
+	}
+	if pop.Domains[0].Name != dns.MustName("google.com") || pop.Domains[0].Rank != 1 {
+		t.Fatalf("first = %+v", pop.Domains[0])
+	}
+	if _, ok := pop.Lookup(dns.MustName("facebook.com")); !ok {
+		t.Fatal("subdomain not reduced to SLD")
+	}
+	if _, ok := pop.Lookup(dns.MustName("not-a-csv-line.net")); !ok {
+		t.Fatal("bare-domain line not parsed")
+	}
+	// TLD census covers the loaded TLDs.
+	seen := map[string]bool{}
+	for _, tld := range pop.TLDs {
+		seen[tld.Label] = true
+	}
+	for _, want := range []string{"com", "co", "net"} {
+		if !seen[want] {
+			t.Errorf("TLD %s missing from census", want)
+		}
+	}
+}
+
+func TestLoadRankedDeterminism(t *testing.T) {
+	a, err := LoadRanked(strings.NewReader(sampleList), Rates{}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadRanked(strings.NewReader(sampleList), Rates{}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Domains {
+		if a.Domains[i] != b.Domains[i] {
+			t.Fatalf("annotation drift at %d: %+v vs %+v", i, a.Domains[i], b.Domains[i])
+		}
+	}
+}
+
+func TestLoadRankedErrors(t *testing.T) {
+	if _, err := LoadRanked(strings.NewReader(""), Rates{}, 1); err == nil {
+		t.Fatal("empty list accepted")
+	}
+	if _, err := LoadRanked(strings.NewReader("1,bad..name\n"), Rates{}, 1); err == nil {
+		t.Fatal("malformed domain accepted")
+	}
+	if _, err := LoadRanked(strings.NewReader("# only comments\n\n"), Rates{}, 1); err == nil {
+		t.Fatal("comment-only list accepted")
+	}
+}
+
+func TestLoadRankedAnnotations(t *testing.T) {
+	// With forced rates, every domain is a deposited island.
+	var b strings.Builder
+	for i := 0; i < 200; i++ {
+		b.WriteString(strings.Repeat("x", 1+i%5))
+		b.WriteString(labelFor(i))
+		b.WriteString(".com\n")
+	}
+	rates := Rates{TLDSigned: 1, SLDSigned: 1, DSGivenSigned: 0, DepositGivenIsland: 1}
+	pop, err := LoadRanked(strings.NewReader(b.String()), rates, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range pop.Domains {
+		if !d.Signed || !d.IsIsland() || !d.InDLV {
+			t.Fatalf("annotation wrong: %+v", d)
+		}
+	}
+}
+
+func labelFor(i int) string {
+	const alpha = "abcdefghij"
+	return string([]byte{alpha[i%10], alpha[(i/10)%10], alpha[(i/100)%10]})
+}

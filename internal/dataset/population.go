@@ -1,0 +1,311 @@
+// Package dataset synthesizes the workloads the paper measures with:
+// an Alexa-like ranked domain population with paper-calibrated DNSSEC and
+// DLV deployment rates, the 45 DNSSEC-secured test domains of §5.2, the
+// DITL-like recursive trace of §6.2.3, and the DNS-OARC operator survey
+// marginals of §5.2.
+//
+// Everything is deterministic in a seed, so experiments are reproducible
+// bit-for-bit.
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/dnsprivacy/lookaside/internal/dns"
+)
+
+// Domain is one second-level domain of the population with its DNSSEC
+// deployment state.
+type Domain struct {
+	// Name is the SLD, e.g. "example.com.".
+	Name dns.Name
+	// TLD is the top-level label, e.g. "com".
+	TLD string
+	// Signed reports whether the zone is DNSSEC-signed (publishes DNSKEYs).
+	Signed bool
+	// DSInParent reports whether the signed zone registered a DS with its
+	// parent; a signed zone without one is an island of security.
+	DSInParent bool
+	// InDLV reports whether the owner deposited the key in the DLV
+	// registry.
+	InDLV bool
+	// Rank is the popularity rank (1-based).
+	Rank int
+}
+
+// IsIsland reports whether the domain is an island of security: signed but
+// unverifiable from the root (the case DLV exists for).
+func (d *Domain) IsIsland() bool { return d.Signed && !d.DSInParent }
+
+// TLD describes a top-level domain of the population.
+type TLD struct {
+	Label  string
+	Signed bool
+	// Weight is the share of SLDs under this TLD.
+	Weight float64
+}
+
+// Rates are the deployment probabilities used by the generator. The
+// defaults are calibrated to the paper's observations: ~85% of TLDs signed
+// (§2.3), SLD signing below 1% with per-TLD variation (§6.1.1: com 0.43%,
+// net 0.61%, edu 0.89%), and a deposit population sized so that ≈1.2% of
+// queried domains find a DLV record (§5.3).
+type Rates struct {
+	// TLDSigned is the probability a TLD is signed.
+	TLDSigned float64
+	// SLDSigned is the base probability an SLD is signed; per-TLD
+	// multipliers apply on top.
+	SLDSigned float64
+	// DSGivenSigned is the probability a signed SLD has a DS in its
+	// (signed) parent.
+	DSGivenSigned float64
+	// DepositGivenIsland and DepositGivenChained are the DLV-deposit
+	// probabilities for islands and for chained zones.
+	DepositGivenIsland  float64
+	DepositGivenChained float64
+}
+
+// DefaultRates returns the paper-calibrated deployment rates.
+func DefaultRates() Rates {
+	return Rates{
+		TLDSigned:           0.85,
+		SLDSigned:           0.018,
+		DSGivenSigned:       0.35,
+		DepositGivenIsland:  0.95,
+		DepositGivenChained: 0.10,
+	}
+}
+
+// DefaultRatesWithDeposit returns the default rates rescaled so that the
+// expected fraction of domains with a DLV deposit is approximately
+// depositRate — the knob the registry-size ablation sweeps.
+func DefaultRatesWithDeposit(depositRate float64) Rates {
+	r := DefaultRates()
+	// deposits ≈ signed × (islandShare×pIsland + chainShare×pChained).
+	islandShare := 1 - r.DSGivenSigned*r.TLDSigned
+	perSigned := islandShare*r.DepositGivenIsland + (1-islandShare)*r.DepositGivenChained
+	r.SLDSigned = depositRate / perSigned
+	if r.SLDSigned > 1 {
+		r.SLDSigned = 1
+	}
+	return r
+}
+
+// PopulationConfig configures the Alexa-like generator.
+type PopulationConfig struct {
+	// Size is the number of domains (the paper uses up to 1,000,000).
+	Size int
+	// Seed drives all randomness.
+	Seed int64
+	// Rates are the deployment rates; zero value means DefaultRates.
+	Rates Rates
+}
+
+// Population is a ranked, annotated domain list.
+type Population struct {
+	Domains []Domain
+	TLDs    []TLD
+	byName  map[dns.Name]*Domain
+}
+
+// tldTable is the built-in TLD mix: labels, SLD share, and a signing-rate
+// multiplier reflecting §6.1.1 (edu signs about twice as often as com).
+var tldTable = []struct {
+	label      string
+	weight     float64
+	signedMult float64
+}{
+	{"com", 0.50, 0.72}, // 0.43%/0.60% of the base rate
+	{"net", 0.08, 1.00},
+	{"org", 0.07, 1.10},
+	{"ru", 0.05, 1.30},
+	{"de", 0.05, 1.50},
+	{"jp", 0.03, 0.60},
+	{"uk", 0.03, 0.80},
+	{"cn", 0.03, 0.40},
+	{"info", 0.025, 0.90},
+	{"fr", 0.02, 1.40},
+	{"nl", 0.02, 1.80},
+	{"br", 0.02, 1.00},
+	{"it", 0.015, 0.70},
+	{"pl", 0.015, 1.20},
+	{"au", 0.01, 0.90},
+	{"in", 0.01, 0.50},
+	{"ir", 0.01, 0.30},
+	{"biz", 0.01, 0.80},
+	{"edu", 0.01, 1.48}, // 0.89% of the base rate
+	{"io", 0.01, 0.60},
+	{"us", 0.005, 0.90},
+	{"ca", 0.005, 1.00},
+	{"se", 0.005, 2.20}, // .se was a DNSSEC pioneer
+	{"ch", 0.005, 1.60},
+	{"gov", 0.005, 3.00},
+}
+
+// syllables build pronounceable synthetic SLD labels.
+var syllables = []string{
+	"an", "ar", "ba", "be", "bo", "ca", "ce", "co", "da", "de", "di", "do",
+	"el", "en", "er", "fa", "fi", "fo", "ga", "ge", "go", "ha", "he", "hi",
+	"in", "ka", "ke", "ko", "la", "le", "li", "lo", "ma", "me", "mi", "mo",
+	"na", "ne", "ni", "no", "on", "or", "pa", "pe", "pi", "po", "ra", "re",
+	"ri", "ro", "sa", "se", "si", "so", "ta", "te", "ti", "to", "un", "va",
+	"ve", "vi", "vo", "wa", "we", "wi", "ya", "yo", "za", "ze", "zo", "qu",
+}
+
+// AlexaLike generates a ranked population of cfg.Size domains.
+func AlexaLike(cfg PopulationConfig) (*Population, error) {
+	if cfg.Size <= 0 {
+		return nil, fmt.Errorf("dataset: population size %d must be positive", cfg.Size)
+	}
+	rates := cfg.Rates
+	if rates == (Rates{}) {
+		rates = DefaultRates()
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	pop := &Population{byName: make(map[dns.Name]*Domain, cfg.Size)}
+
+	// TLD signing decisions are global, not per-domain.
+	tldSigned := make(map[string]bool, len(tldTable))
+	for _, t := range tldTable {
+		signed := rng.Float64() < rates.TLDSigned
+		tldSigned[t.label] = signed
+		pop.TLDs = append(pop.TLDs, TLD{Label: t.label, Signed: signed, Weight: t.weight})
+	}
+
+	// Cumulative weights for TLD sampling.
+	cum := make([]float64, len(tldTable))
+	total := 0.0
+	for i, t := range tldTable {
+		total += t.weight
+		cum[i] = total
+	}
+
+	seen := make(map[string]bool, cfg.Size)
+	pop.Domains = make([]Domain, 0, cfg.Size)
+	for rank := 1; len(pop.Domains) < cfg.Size; rank++ {
+		// Pick a TLD by weight.
+		x := rng.Float64() * total
+		ti := 0
+		for i := range cum {
+			if x <= cum[i] {
+				ti = i
+				break
+			}
+		}
+		t := tldTable[ti]
+		label := makeLabel(rng)
+		full := label + "." + t.label
+		if seen[full] {
+			full = fmt.Sprintf("%s%d.%s", label, len(pop.Domains), t.label)
+		}
+		seen[full] = true
+		name, err := dns.MakeName(full)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: generated invalid name %q: %w", full, err)
+		}
+
+		d := Domain{Name: name, TLD: t.label, Rank: len(pop.Domains) + 1}
+		if rng.Float64() < rates.SLDSigned*t.signedMult {
+			d.Signed = true
+			// A DS needs a signed parent to live in.
+			if tldSigned[t.label] && rng.Float64() < rates.DSGivenSigned {
+				d.DSInParent = true
+			}
+		}
+		switch {
+		case d.IsIsland():
+			d.InDLV = rng.Float64() < rates.DepositGivenIsland
+		case d.Signed:
+			d.InDLV = rng.Float64() < rates.DepositGivenChained
+		}
+		pop.Domains = append(pop.Domains, d)
+	}
+	for i := range pop.Domains {
+		pop.byName[pop.Domains[i].Name] = &pop.Domains[i]
+	}
+	return pop, nil
+}
+
+func makeLabel(rng *rand.Rand) string {
+	n := 2 + rng.Intn(4) // 2..5 syllables: 4..10 chars
+	out := make([]byte, 0, 12)
+	for i := 0; i < n; i++ {
+		out = append(out, syllables[rng.Intn(len(syllables))]...)
+	}
+	return string(out)
+}
+
+// Lookup returns the population entry for a domain name.
+func (p *Population) Lookup(name dns.Name) (*Domain, bool) {
+	d, ok := p.byName[name]
+	return d, ok
+}
+
+// Top returns the n highest-ranked domains (all of them when n exceeds the
+// population).
+func (p *Population) Top(n int) []Domain {
+	if n > len(p.Domains) {
+		n = len(p.Domains)
+	}
+	return p.Domains[:n]
+}
+
+// TLDSignedMap returns the label → signed mapping for universe building.
+func (p *Population) TLDSignedMap() map[string]bool {
+	out := make(map[string]bool, len(p.TLDs))
+	for _, t := range p.TLDs {
+		out[t.Label] = t.Signed
+	}
+	return out
+}
+
+// Census summarizes the deployment state of the population (experiment E12).
+type Census struct {
+	Size      int
+	Signed    int
+	Chained   int
+	Islands   int
+	Deposited int
+	// PerTLDSigned is the per-TLD signed-SLD rate.
+	PerTLDSigned map[string]float64
+}
+
+// Census computes deployment statistics.
+func (p *Population) Census() Census {
+	c := Census{Size: len(p.Domains), PerTLDSigned: make(map[string]float64)}
+	perTLDTotal := make(map[string]int)
+	perTLDSigned := make(map[string]int)
+	for i := range p.Domains {
+		d := &p.Domains[i]
+		perTLDTotal[d.TLD]++
+		if d.Signed {
+			c.Signed++
+			perTLDSigned[d.TLD]++
+			if d.DSInParent {
+				c.Chained++
+			} else {
+				c.Islands++
+			}
+		}
+		if d.InDLV {
+			c.Deposited++
+		}
+	}
+	for tld, total := range perTLDTotal {
+		c.PerTLDSigned[tld] = float64(perTLDSigned[tld]) / float64(total)
+	}
+	return c
+}
+
+// Shuffled returns a new ordering of the top-n domains under the given
+// seed, for the paper's "order matters" experiment (§5.1).
+func (p *Population) Shuffled(n int, seed int64) []Domain {
+	top := p.Top(n)
+	out := make([]Domain, len(top))
+	copy(out, top)
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}

@@ -1,0 +1,39 @@
+package dataset
+
+// SurveyMarginals encodes the DNS-OARC 2015 operator survey of §5.2:
+// 56 respondents running their own recursives.
+type SurveyMarginals struct {
+	// Respondents is the total sample size.
+	Respondents int
+	// PackageDefaults use their package installer's default configuration
+	// (apt-get or yum).
+	PackageDefaults int
+	// ManualDefaults installed manually and use defaults.
+	ManualDefaults int
+	// OwnConfig wrote their own configuration.
+	OwnConfig int
+	// UseISCDLV use ISC's DLV trust anchor; the rest use other anchors.
+	UseISCDLV int
+}
+
+// Survey returns the published survey marginals: 17 package-default users
+// (30.35%), 5 manual-default users (8.9%), 34 own-config users (60.7%), and
+// 35 ISC-DLV users (62.5%).
+func Survey() SurveyMarginals {
+	return SurveyMarginals{
+		Respondents:     56,
+		PackageDefaults: 17,
+		ManualDefaults:  5,
+		OwnConfig:       34,
+		UseISCDLV:       35,
+	}
+}
+
+// Fractions returns the survey shares as probabilities.
+func (s SurveyMarginals) Fractions() (pkg, manual, own, iscDLV float64) {
+	n := float64(s.Respondents)
+	return float64(s.PackageDefaults) / n,
+		float64(s.ManualDefaults) / n,
+		float64(s.OwnConfig) / n,
+		float64(s.UseISCDLV) / n
+}

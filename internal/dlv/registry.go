@@ -1,0 +1,197 @@
+// Package dlv implements the server side of DNSSEC Look-aside Validation
+// (RFC 5074 / RFC 4431): a registry zone holding deposited DLV records,
+// served as a signed zone so validators can authenticate both the records
+// and the NSEC denials that drive aggressive negative caching.
+//
+// The package also implements the paper's privacy-preserving DLV remedy
+// (§6.2.2): in hashed mode, deposits are stored under crypto_hash(domain)
+// labels and validators query the hash instead of the domain name, so a
+// miss reveals nothing about the queried domain.
+package dlv
+
+import (
+	"crypto/sha256"
+	"encoding/base32"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"github.com/dnsprivacy/lookaside/internal/dns"
+	"github.com/dnsprivacy/lookaside/internal/dnssec"
+	"github.com/dnsprivacy/lookaside/internal/zone"
+)
+
+// Registry errors.
+var (
+	ErrAlreadyDeposited = errors.New("dlv: domain already deposited")
+	ErrBadDomain        = errors.New("dlv: cannot map domain into registry")
+)
+
+// base32Hash encodes hash labels; base32hex keeps canonical ordering
+// consistent with byte ordering and fits SHA-256 output in one label
+// (52 chars ≤ 63).
+var base32Hash = base32.HexEncoding.WithPadding(base32.NoPadding)
+
+// HashLabel computes the privacy-preserving deposit label for a domain:
+// lowercase base32hex of SHA-256 over the canonical wire-form name.
+func HashLabel(domain dns.Name) string {
+	sum := sha256.Sum256(dns.EncodeName(domain))
+	enc := base32Hash.EncodeToString(sum[:])
+	b := []byte(enc)
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+		}
+	}
+	return string(b)
+}
+
+// LookasideName maps a domain to the name queried in the registry: the
+// domain's labels prepended to the registry apex (plain mode), or the hash
+// label prepended (hashed mode). E.g. example.com + dlv.isc.org →
+// example.com.dlv.isc.org.
+func LookasideName(domain, apex dns.Name, hashed bool) (dns.Name, error) {
+	if hashed {
+		n, err := apex.Prepend(HashLabel(domain))
+		if err != nil {
+			return "", fmt.Errorf("%w: %v", ErrBadDomain, err)
+		}
+		return n, nil
+	}
+	rel, ok := domain.StripSuffix(dns.Root)
+	if !ok || rel == "" {
+		return "", fmt.Errorf("%w: %s", ErrBadDomain, domain)
+	}
+	n, err := dns.Concat(rel, apex)
+	if err != nil {
+		return "", fmt.Errorf("%w: %v", ErrBadDomain, err)
+	}
+	return n, nil
+}
+
+// Config configures a registry.
+type Config struct {
+	// Apex is the registry zone, e.g. "dlv.isc.org.".
+	Apex dns.Name
+	// Algorithm selects the signing scheme for the registry zone
+	// (dnssec.AlgECDSAP256 or dnssec.AlgFastHMAC).
+	Algorithm uint8
+	// Rand supplies key-generation and signing randomness; required.
+	Rand io.Reader
+	// Inception/Expiration bound the registry's signature validity.
+	Inception, Expiration uint32
+	// NSEC3 switches the registry to hashed denials, defeating aggressive
+	// negative caching (the §7.3 ablation).
+	NSEC3 bool
+	// Hashed enables the privacy-preserving deposit scheme (§6.2.2).
+	Hashed bool
+	// Empty builds a registry with no way to accept deposits, modeling
+	// ISC's 2017 phase-out state where the zone keeps answering with
+	// denials only (§7.3.2).
+	Empty bool
+}
+
+// Registry is a DLV registry: a signed zone of deposited DLV records.
+type Registry struct {
+	mu       sync.RWMutex
+	cfg      Config
+	zone     *zone.Zone
+	deposits map[dns.Name]bool
+	ksk      *dnssec.KeyPair
+}
+
+// NewRegistry builds and signs an empty registry zone.
+func NewRegistry(cfg Config) (*Registry, error) {
+	if cfg.Rand == nil {
+		return nil, errors.New("dlv: registry requires a randomness source")
+	}
+	if cfg.Algorithm == 0 {
+		cfg.Algorithm = dnssec.AlgECDSAP256
+	}
+	z, err := zone.New(zone.Config{Apex: cfg.Apex, Serial: 1})
+	if err != nil {
+		return nil, fmt.Errorf("dlv: creating registry zone: %w", err)
+	}
+	ksk, err := dnssec.GenerateKey(cfg.Algorithm, dns.DNSKEYFlagZone|dns.DNSKEYFlagSEP, cfg.Rand)
+	if err != nil {
+		return nil, fmt.Errorf("dlv: generating registry ksk: %w", err)
+	}
+	zsk, err := dnssec.GenerateKey(cfg.Algorithm, dns.DNSKEYFlagZone, cfg.Rand)
+	if err != nil {
+		return nil, fmt.Errorf("dlv: generating registry zsk: %w", err)
+	}
+	if err := z.Sign(zone.SignConfig{
+		KSK: ksk, ZSK: zsk,
+		Inception: cfg.Inception, Expiration: cfg.Expiration,
+		Rand:  cfg.Rand,
+		NSEC3: cfg.NSEC3, NSEC3Salt: []byte{0xD1, 0x5C}, NSEC3Iterations: 1,
+	}); err != nil {
+		return nil, fmt.Errorf("dlv: signing registry zone: %w", err)
+	}
+	return &Registry{cfg: cfg, zone: z, deposits: make(map[dns.Name]bool), ksk: ksk}, nil
+}
+
+// Apex returns the registry zone name.
+func (r *Registry) Apex() dns.Name { return r.cfg.Apex }
+
+// Hashed reports whether the registry runs the privacy-preserving scheme.
+func (r *Registry) Hashed() bool { return r.cfg.Hashed }
+
+// Zone exposes the registry zone as an authoritative source.
+func (r *Registry) Zone() *zone.Zone { return r.zone }
+
+// TrustAnchorDS returns the DS form of the registry's key, which resolvers
+// configure as the DLV trust anchor.
+func (r *Registry) TrustAnchorDS() (*dns.DSData, error) {
+	return r.zone.DS(dnssec.DigestSHA256)
+}
+
+// TrustAnchorKey returns the registry's public KSK, the form BIND's
+// bind.keys file distributes.
+func (r *Registry) TrustAnchorKey() *dns.DNSKEYData {
+	return r.ksk.Public()
+}
+
+// Deposit stores a DLV record for domain. In hashed mode the record is
+// stored under the hash label; in plain mode under the domain's own labels.
+func (r *Registry) Deposit(domain dns.Name, record *dns.DLVData) error {
+	if r.cfg.Empty {
+		return errors.New("dlv: registry is phased out and accepts no deposits")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.deposits[domain] {
+		return fmt.Errorf("%w: %s", ErrAlreadyDeposited, domain)
+	}
+	owner, err := LookasideName(domain, r.cfg.Apex, r.cfg.Hashed)
+	if err != nil {
+		return err
+	}
+	if err := r.zone.Add(dns.RR{
+		Name: owner, Type: dns.TypeDLV, Class: dns.ClassIN, TTL: 3600, Data: record,
+	}); err != nil {
+		return fmt.Errorf("dlv: storing deposit for %s: %w", domain, err)
+	}
+	r.deposits[domain] = true
+	return nil
+}
+
+// HasDeposit reports whether domain (the original name, not the registry
+// name) has a deposited record. It implements authserver.Signaler for the
+// DLV-aware DNS remedies.
+func (r *Registry) HasDeposit(domain dns.Name) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.deposits[domain]
+}
+
+// HasDLV implements the authserver.Signaler method set.
+func (r *Registry) HasDLV(domain dns.Name) bool { return r.HasDeposit(domain) }
+
+// DepositCount returns the number of deposited domains.
+func (r *Registry) DepositCount() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.deposits)
+}

@@ -1,0 +1,257 @@
+package dlv
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/dnsprivacy/lookaside/internal/dns"
+	"github.com/dnsprivacy/lookaside/internal/dnssec"
+	"github.com/dnsprivacy/lookaside/internal/zone"
+)
+
+func testRegistry(t *testing.T, mutate func(*Config)) *Registry {
+	t.Helper()
+	cfg := Config{
+		Apex:      dns.MustName("dlv.isc.org"),
+		Algorithm: dnssec.AlgFastHMAC,
+		Rand:      rand.New(rand.NewSource(1)),
+		Inception: 0, Expiration: 1 << 31,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	r, err := NewRegistry(cfg)
+	if err != nil {
+		t.Fatalf("NewRegistry: %v", err)
+	}
+	return r
+}
+
+func sampleDLV(t *testing.T, domain string, seed int64) (dns.Name, *dns.DLVData) {
+	t.Helper()
+	name := dns.MustName(domain)
+	key, err := dnssec.GenerateKey(dnssec.AlgFastHMAC, dns.DNSKEYFlagZone|dns.DNSKEYFlagSEP,
+		rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := dnssec.MakeDLV(name, key.Public(), dnssec.DigestSHA256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return name, rec
+}
+
+func TestLookasideNamePlain(t *testing.T) {
+	apex := dns.MustName("dlv.isc.org")
+	got, err := LookasideName(dns.MustName("example.com"), apex, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != dns.MustName("example.com.dlv.isc.org") {
+		t.Fatalf("LookasideName = %s", got)
+	}
+	deep, err := LookasideName(dns.MustName("bbs.sub1.example.com"), apex, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deep != dns.MustName("bbs.sub1.example.com.dlv.isc.org") {
+		t.Fatalf("deep LookasideName = %s", deep)
+	}
+	if _, err := LookasideName(dns.Root, apex, false); !errors.Is(err, ErrBadDomain) {
+		t.Fatalf("root mapping err = %v", err)
+	}
+}
+
+func TestLookasideNameHashed(t *testing.T) {
+	apex := dns.MustName("dlv.isc.org")
+	got, err := LookasideName(dns.MustName("example.com"), apex, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.IsSubdomainOf(apex) || got.LabelCount() != apex.LabelCount()+1 {
+		t.Fatalf("hashed name shape: %s", got)
+	}
+	label := got.FirstLabel()
+	if len(label) != 52 {
+		t.Fatalf("hash label length = %d, want 52", len(label))
+	}
+	if strings.Contains(label, "example") {
+		t.Fatal("hashed label leaks the domain")
+	}
+	// Deterministic and domain-sensitive.
+	again, err := LookasideName(dns.MustName("example.com"), apex, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != again {
+		t.Fatal("hashing is not deterministic")
+	}
+	other, err := LookasideName(dns.MustName("example.net"), apex, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == other {
+		t.Fatal("different domains hash to the same name")
+	}
+}
+
+func TestDepositAndServe(t *testing.T) {
+	r := testRegistry(t, nil)
+	domain, rec := sampleDLV(t, "island.example.com", 10)
+	if err := r.Deposit(domain, rec); err != nil {
+		t.Fatalf("Deposit: %v", err)
+	}
+	if !r.HasDeposit(domain) || !r.HasDLV(domain) {
+		t.Fatal("deposit not registered")
+	}
+	if r.DepositCount() != 1 {
+		t.Fatalf("DepositCount = %d", r.DepositCount())
+	}
+	if err := r.Deposit(domain, rec); !errors.Is(err, ErrAlreadyDeposited) {
+		t.Fatalf("duplicate deposit err = %v", err)
+	}
+
+	qname, err := LookasideName(domain, r.Apex(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Zone().Lookup(qname, dns.TypeDLV, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != zone.KindAnswer {
+		t.Fatalf("lookup kind = %s, want answer", res.Kind)
+	}
+	dlvSet := res.AnswerRRSetOfType(dns.TypeDLV)
+	if len(dlvSet) != 1 {
+		t.Fatalf("DLV answers = %v", res.Answer)
+	}
+	got := dlvSet[0].Data.(*dns.DLVData)
+	if got.KeyTag != rec.KeyTag {
+		t.Fatal("served DLV record differs from deposit")
+	}
+}
+
+func TestMissReturnsNXDomainWithNSEC(t *testing.T) {
+	r := testRegistry(t, nil)
+	domain, rec := sampleDLV(t, "deposited.example.org", 11)
+	if err := r.Deposit(domain, rec); err != nil {
+		t.Fatal(err)
+	}
+	qname, err := LookasideName(dns.MustName("not-deposited.example.com"), r.Apex(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Zone().Lookup(qname, dns.TypeDLV, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != zone.KindNXDomain {
+		t.Fatalf("kind = %s, want nxdomain", res.Kind)
+	}
+	sawNSEC := false
+	for _, rr := range res.Authority {
+		if rr.Type == dns.TypeNSEC {
+			sawNSEC = true
+		}
+	}
+	if !sawNSEC {
+		t.Fatal("miss lacks NSEC proof (aggressive caching impossible)")
+	}
+}
+
+func TestHashedRegistry(t *testing.T) {
+	r := testRegistry(t, func(c *Config) { c.Hashed = true })
+	if !r.Hashed() {
+		t.Fatal("Hashed() = false")
+	}
+	domain, rec := sampleDLV(t, "secret.example.com", 12)
+	if err := r.Deposit(domain, rec); err != nil {
+		t.Fatal(err)
+	}
+	// Plain lookup must miss; hashed lookup must hit.
+	plain, err := LookasideName(domain, r.Apex(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Zone().Lookup(plain, dns.TypeDLV, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != zone.KindNXDomain {
+		t.Fatalf("plain lookup in hashed registry = %s, want nxdomain", res.Kind)
+	}
+	hashed, err := LookasideName(domain, r.Apex(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = r.Zone().Lookup(hashed, dns.TypeDLV, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != zone.KindAnswer {
+		t.Fatalf("hashed lookup = %s, want answer", res.Kind)
+	}
+}
+
+func TestEmptyRegistryRefusesDeposits(t *testing.T) {
+	r := testRegistry(t, func(c *Config) { c.Empty = true })
+	domain, rec := sampleDLV(t, "late.example.com", 13)
+	if err := r.Deposit(domain, rec); err == nil {
+		t.Fatal("phased-out registry accepted a deposit")
+	}
+	// It still answers (with denials) — the ISC phase-out behavior.
+	qname, err := LookasideName(domain, r.Apex(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Zone().Lookup(qname, dns.TypeDLV, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != zone.KindNXDomain {
+		t.Fatalf("phase-out lookup = %s, want nxdomain", res.Kind)
+	}
+}
+
+func TestNSEC3Registry(t *testing.T) {
+	r := testRegistry(t, func(c *Config) { c.NSEC3 = true })
+	qname, err := LookasideName(dns.MustName("whatever.example.net"), r.Apex(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Zone().Lookup(qname, dns.TypeDLV, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rr := range res.Authority {
+		if rr.Type == dns.TypeNSEC {
+			t.Fatal("NSEC3 registry emitted plain NSEC")
+		}
+	}
+}
+
+func TestTrustAnchors(t *testing.T) {
+	r := testRegistry(t, nil)
+	ds, err := r.TrustAnchorDS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := r.TrustAnchorKey()
+	if !dnssec.MatchDS(ds, r.Apex(), key) {
+		t.Fatal("trust anchor DS does not authenticate the registry key")
+	}
+	if !key.IsKSK() {
+		t.Fatal("registry anchor is not a KSK")
+	}
+}
+
+func TestRegistryRequiresRand(t *testing.T) {
+	_, err := NewRegistry(Config{Apex: dns.MustName("dlv.test")})
+	if err == nil {
+		t.Fatal("registry without rng accepted")
+	}
+}

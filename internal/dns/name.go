@@ -1,0 +1,241 @@
+// Package dns implements the DNS substrate used throughout the repository:
+// domain names, record types, resource records, messages, and the RFC 1035
+// wire codec (including name compression and EDNS0).
+//
+// The package is self-contained and uses only the standard library. It
+// implements the subset of DNS needed to reproduce the paper faithfully:
+// ordinary lookups, DNSSEC record types (DNSKEY, DS, RRSIG, NSEC, NSEC3),
+// the DLV record type (32769, RFC 4431), EDNS0 with the DO bit, and the
+// reserved header Z bit used by the paper's "DLV-aware DNS" remedy.
+package dns
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Name is a fully-qualified, canonicalized domain name.
+//
+// Invariants (established by MakeName / MustName and preserved by all
+// methods): the text is lowercase, ends with a trailing dot, and every label
+// is 1..63 bytes with a total length of at most 255 bytes. The DNS root is
+// the single dot ".".
+type Name string
+
+// Root is the DNS root name.
+const Root Name = "."
+
+// Maximum sizes from RFC 1035 §2.3.4.
+const (
+	maxLabelLen = 63
+	maxNameLen  = 255
+)
+
+// Errors returned by name construction and manipulation.
+var (
+	ErrEmptyLabel   = errors.New("dns: empty label")
+	ErrLabelTooLong = errors.New("dns: label exceeds 63 octets")
+	ErrNameTooLong  = errors.New("dns: name exceeds 255 octets")
+	ErrBadLabelChar = errors.New("dns: label contains prohibited character")
+)
+
+// MakeName parses and canonicalizes a textual domain name. The input may or
+// may not carry a trailing dot; it is lowercased and validated. Escapes are
+// not supported: a dot always separates labels.
+func MakeName(s string) (Name, error) {
+	if s == "" || s == "." {
+		return Root, nil
+	}
+	s = strings.ToLower(strings.TrimSuffix(s, "."))
+	if len(s)+1 > maxNameLen {
+		return "", fmt.Errorf("%w: %q", ErrNameTooLong, s)
+	}
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i != len(s) && s[i] != '.' {
+			if !isNameChar(s[i]) {
+				return "", fmt.Errorf("%w: %q in %q", ErrBadLabelChar, string(s[i]), s)
+			}
+			continue
+		}
+		label := s[start:i]
+		if label == "" {
+			return "", fmt.Errorf("%w: %q", ErrEmptyLabel, s)
+		}
+		if len(label) > maxLabelLen {
+			return "", fmt.Errorf("%w: %q", ErrLabelTooLong, label)
+		}
+		start = i + 1
+	}
+	return Name(s + "."), nil
+}
+
+// isNameChar reports whether c may appear inside a label. We accept the
+// hostname alphabet plus underscore (used by service labels and by DNSSEC
+// tooling) and '*' (wildcards); this is a superset of the hostname rule and
+// a subset of what the wire format technically permits.
+func isNameChar(c byte) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= '0' && c <= '9':
+		return true
+	case c == '-' || c == '_' || c == '*':
+		return true
+	default:
+		return false
+	}
+}
+
+// MustName is MakeName for constant inputs; it panics on invalid input and
+// is intended for tests and literals.
+func MustName(s string) Name {
+	n, err := MakeName(s)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// IsRoot reports whether n is the DNS root.
+func (n Name) IsRoot() bool { return n == Root || n == "" }
+
+// String returns the canonical textual form (always with a trailing dot).
+func (n Name) String() string {
+	if n == "" {
+		return "."
+	}
+	return string(n)
+}
+
+// Labels returns the labels of n from leftmost to rightmost. The root has no
+// labels.
+func (n Name) Labels() []string {
+	if n.IsRoot() {
+		return nil
+	}
+	return strings.Split(strings.TrimSuffix(string(n), "."), ".")
+}
+
+// LabelCount returns the number of labels in n.
+func (n Name) LabelCount() int {
+	if n.IsRoot() {
+		return 0
+	}
+	return strings.Count(string(n), ".")
+}
+
+// Parent returns n with its leftmost label removed; the parent of the root
+// is the root itself.
+func (n Name) Parent() Name {
+	if n.IsRoot() {
+		return Root
+	}
+	s := string(n)
+	i := strings.IndexByte(s, '.')
+	rest := s[i+1:]
+	if rest == "" {
+		return Root
+	}
+	return Name(rest)
+}
+
+// FirstLabel returns the leftmost label of n, or "" for the root.
+func (n Name) FirstLabel() string {
+	if n.IsRoot() {
+		return ""
+	}
+	s := string(n)
+	return s[:strings.IndexByte(s, '.')]
+}
+
+// IsSubdomainOf reports whether n is equal to or underneath zone.
+func (n Name) IsSubdomainOf(zone Name) bool {
+	if zone.IsRoot() {
+		return true
+	}
+	if n == zone {
+		return true
+	}
+	return strings.HasSuffix(string(n), "."+string(zone))
+}
+
+// Prepend returns label.n. It validates the new label.
+func (n Name) Prepend(label string) (Name, error) {
+	return MakeName(label + "." + string(n))
+}
+
+// Concat joins a relative prefix (which may itself contain dots) onto a
+// suffix name, e.g. Concat("example.com", dlvZone) for look-aside queries.
+func Concat(prefix string, suffix Name) (Name, error) {
+	prefix = strings.TrimSuffix(prefix, ".")
+	if prefix == "" {
+		return suffix, nil
+	}
+	if suffix.IsRoot() {
+		return MakeName(prefix)
+	}
+	return MakeName(prefix + "." + string(suffix))
+}
+
+// StripSuffix returns the part of n above zone, as a relative textual name
+// without a trailing dot, and whether n was inside zone. For n == zone it
+// returns "" and true.
+func (n Name) StripSuffix(zone Name) (string, bool) {
+	if !n.IsSubdomainOf(zone) {
+		return "", false
+	}
+	if n == zone {
+		return "", true
+	}
+	s := strings.TrimSuffix(string(n), ".")
+	if zone.IsRoot() {
+		return s, true
+	}
+	return strings.TrimSuffix(s, "."+strings.TrimSuffix(string(zone), ".")), true
+}
+
+// WireLen returns the uncompressed wire-format length of n in octets.
+func (n Name) WireLen() int {
+	if n.IsRoot() {
+		return 1
+	}
+	return len(n) + 1
+}
+
+// CanonicalCompare orders names per RFC 4034 §6.1 ("canonical DNS name
+// order"): labels are compared right to left as case-insensitive byte
+// strings, and absence of a label sorts before any label. It returns -1, 0,
+// or +1. This ordering underpins the NSEC chain and span-covering logic.
+func CanonicalCompare(a, b Name) int {
+	al, bl := a.Labels(), b.Labels()
+	for i := 1; ; i++ {
+		ai, bi := len(al)-i, len(bl)-i
+		switch {
+		case ai < 0 && bi < 0:
+			return 0
+		case ai < 0:
+			return -1
+		case bi < 0:
+			return 1
+		}
+		if c := strings.Compare(al[ai], bl[bi]); c != 0 {
+			return c
+		}
+	}
+}
+
+// CanonicalLess reports whether a sorts strictly before b in canonical
+// order.
+func CanonicalLess(a, b Name) bool { return CanonicalCompare(a, b) < 0 }
+
+// Covered reports whether name falls strictly between lower and next in
+// canonical order, treating the interval as wrapping at the zone apex the
+// way an NSEC chain does: if next <= lower the span wraps around the end of
+// the zone.
+func Covered(name, lower, next Name) bool {
+	if CanonicalCompare(lower, next) < 0 {
+		return CanonicalCompare(lower, name) < 0 && CanonicalCompare(name, next) < 0
+	}
+	// Wrap-around span (last NSEC in the chain points back to the apex).
+	return CanonicalCompare(lower, name) < 0 || CanonicalCompare(name, next) < 0
+}

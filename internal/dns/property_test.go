@@ -1,0 +1,203 @@
+package dns
+
+import (
+	"math/rand"
+	"net/netip"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// genMessage is a quick.Generator producing arbitrary valid messages: random
+// headers, questions, and record sections drawn from every supported type.
+type genMessage struct {
+	msg *Message
+}
+
+// Generate implements quick.Generator.
+func (genMessage) Generate(r *rand.Rand, _ int) reflect.Value {
+	m := &Message{
+		Header: Header{
+			ID:     uint16(r.Uint32()),
+			QR:     r.Intn(2) == 0,
+			Opcode: OpcodeQuery,
+			AA:     r.Intn(2) == 0,
+			RD:     r.Intn(2) == 0,
+			RA:     r.Intn(2) == 0,
+			Z:      r.Intn(2) == 0,
+			AD:     r.Intn(2) == 0,
+			CD:     r.Intn(2) == 0,
+			RCode:  RCode(r.Intn(6)),
+		},
+	}
+	for i := 0; i < 1+r.Intn(2); i++ {
+		m.Question = append(m.Question, Question{
+			Name: genName(r), Type: genType(r), Class: ClassIN,
+		})
+	}
+	fill := func(out *[]RR, max int) {
+		for i := 0; i < r.Intn(max+1); i++ {
+			*out = append(*out, genRR(r))
+		}
+	}
+	fill(&m.Answer, 4)
+	fill(&m.Authority, 3)
+	fill(&m.Additional, 3)
+	if r.Intn(2) == 0 {
+		m.EDNS = &EDNS{UDPSize: 512 + uint16(r.Intn(4096)), DO: r.Intn(2) == 0, Padding: r.Intn(64)}
+	}
+	return reflect.ValueOf(genMessage{msg: m})
+}
+
+func genName(r *rand.Rand) Name {
+	const alphabet = "abcdefghijklmnopqrstuvwxyz0123456789"
+	labels := 1 + r.Intn(4)
+	s := ""
+	for i := 0; i < labels; i++ {
+		if i > 0 {
+			s += "."
+		}
+		n := 1 + r.Intn(10)
+		for j := 0; j < n; j++ {
+			s += string(alphabet[r.Intn(len(alphabet))])
+		}
+	}
+	return MustName(s)
+}
+
+var genTypes = []Type{
+	TypeA, TypeAAAA, TypeNS, TypeCNAME, TypeSOA, TypePTR, TypeMX, TypeTXT,
+	TypeDNSKEY, TypeDS, TypeDLV, TypeRRSIG, TypeNSEC, TypeNSEC3,
+}
+
+func genType(r *rand.Rand) Type { return genTypes[r.Intn(len(genTypes))] }
+
+func genBytes(r *rand.Rand, max int) []byte {
+	b := make([]byte, 1+r.Intn(max))
+	r.Read(b)
+	return b
+}
+
+func genRR(r *rand.Rand) RR {
+	name := genName(r)
+	ttl := uint32(r.Intn(86400))
+	var data RData
+	switch genType(r) {
+	case TypeA:
+		var a [4]byte
+		r.Read(a[:])
+		data = &AData{Addr: netip.AddrFrom4(a)}
+	case TypeAAAA:
+		var a [16]byte
+		r.Read(a[:])
+		a[0] = 0x20 // keep it out of the v4-mapped range
+		data = &AAAAData{Addr: netip.AddrFrom16(a)}
+	case TypeNS:
+		data = &NSData{Target: genName(r)}
+	case TypeCNAME:
+		data = &CNAMEData{Target: genName(r)}
+	case TypeSOA:
+		data = &SOAData{
+			MName: genName(r), RName: genName(r),
+			Serial: r.Uint32(), Refresh: r.Uint32(), Retry: r.Uint32(),
+			Expire: r.Uint32(), MinTTL: r.Uint32(),
+		}
+	case TypePTR:
+		data = &PTRData{Target: genName(r)}
+	case TypeMX:
+		data = &MXData{Preference: uint16(r.Uint32()), Exchange: genName(r)}
+	case TypeTXT:
+		strs := make([]string, 1+r.Intn(3))
+		for i := range strs {
+			strs[i] = string(genBytes(r, 50))
+		}
+		data = &TXTData{Strings: strs}
+	case TypeDNSKEY:
+		data = &DNSKEYData{Flags: uint16(r.Uint32()), Protocol: 3, Algorithm: uint8(r.Uint32()), PublicKey: genBytes(r, 64)}
+	case TypeDS:
+		data = &DSData{KeyTag: uint16(r.Uint32()), Algorithm: uint8(r.Uint32()), DigestType: uint8(r.Uint32()), Digest: genBytes(r, 32)}
+	case TypeDLV:
+		data = &DLVData{KeyTag: uint16(r.Uint32()), Algorithm: uint8(r.Uint32()), DigestType: uint8(r.Uint32()), Digest: genBytes(r, 32)}
+	case TypeRRSIG:
+		data = &RRSIGData{
+			TypeCovered: genType(r), Algorithm: uint8(r.Uint32()), Labels: uint8(r.Intn(8)),
+			OriginalTTL: r.Uint32(), Expiration: r.Uint32(), Inception: r.Uint32(),
+			KeyTag: uint16(r.Uint32()), SignerName: genName(r), Signature: genBytes(r, 64),
+		}
+	case TypeNSEC:
+		types := make([]Type, 1+r.Intn(5))
+		seen := map[Type]bool{}
+		out := types[:0]
+		for range types {
+			t := genType(r)
+			if !seen[t] {
+				seen[t] = true
+				out = append(out, t)
+			}
+		}
+		SortTypes(out)
+		data = &NSECData{NextName: genName(r), Types: out}
+	default: // NSEC3
+		data = &NSEC3Data{
+			HashAlgorithm: 1, Flags: uint8(r.Intn(2)), Iterations: uint16(r.Intn(100)),
+			Salt: genBytes(r, 8), NextHash: genBytes(r, 20), Types: []Type{TypeA},
+		}
+	}
+	return RR{Name: name, Type: data.RType(), Class: ClassIN, TTL: ttl, Data: data}
+}
+
+// TestRandomMessageRoundTrip: encode(decode(encode(m))) is stable for any
+// generated message, and decode(encode(m)) preserves the question and the
+// section record keys.
+func TestRandomMessageRoundTrip(t *testing.T) {
+	prop := func(g genMessage) bool {
+		m := g.msg
+		wire, err := m.Encode()
+		if err != nil {
+			t.Logf("encode: %v", err)
+			return false
+		}
+		back, err := DecodeMessage(wire)
+		if err != nil {
+			t.Logf("decode: %v", err)
+			return false
+		}
+		if back.Header != m.Header {
+			t.Logf("header mismatch: %+v vs %+v", back.Header, m.Header)
+			return false
+		}
+		if len(back.Question) != len(m.Question) ||
+			len(back.Answer) != len(m.Answer) ||
+			len(back.Authority) != len(m.Authority) ||
+			len(back.Additional) != len(m.Additional) {
+			t.Log("section length mismatch")
+			return false
+		}
+		for i := range m.Answer {
+			if back.Answer[i].Key() != m.Answer[i].Key() {
+				t.Logf("answer %d key mismatch", i)
+				return false
+			}
+		}
+		// Second roundtrip must be byte-identical (canonical encoding).
+		wire2, err := back.Encode()
+		if err != nil {
+			return false
+		}
+		if len(wire) != len(wire2) {
+			t.Logf("re-encode size changed: %d vs %d", len(wire), len(wire2))
+			return false
+		}
+		for i := range wire {
+			if wire[i] != wire2[i] {
+				t.Logf("re-encode differs at byte %d", i)
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 400, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,336 @@
+package dns
+
+import (
+	"encoding/hex"
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+)
+
+// RR is a DNS resource record: an owner name, type metadata, and typed
+// RDATA. OPT pseudo-records are not represented as RR values; EDNS0 is
+// carried on Message directly.
+type RR struct {
+	Name  Name
+	Type  Type
+	Class Class
+	TTL   uint32
+	Data  RData
+}
+
+// String renders the record in zone-file-like presentation format.
+func (r RR) String() string {
+	return fmt.Sprintf("%s %d %s %s %s", r.Name, r.TTL, r.Class, r.Type, r.Data)
+}
+
+// Key identifies the RRset an RR belongs to.
+type Key struct {
+	Name  Name
+	Type  Type
+	Class Class
+}
+
+// Key returns the RRset key of r.
+func (r RR) Key() Key { return Key{Name: r.Name, Type: r.Type, Class: r.Class} }
+
+// String implements fmt.Stringer.
+func (k Key) String() string { return fmt.Sprintf("%s/%s/%s", k.Name, k.Class, k.Type) }
+
+// RData is the typed payload of a resource record.
+type RData interface {
+	// RType returns the record type this payload belongs to.
+	RType() Type
+	// String renders the RDATA in presentation format.
+	String() string
+}
+
+// Compile-time interface compliance checks.
+var (
+	_ RData = (*AData)(nil)
+	_ RData = (*AAAAData)(nil)
+	_ RData = (*NSData)(nil)
+	_ RData = (*CNAMEData)(nil)
+	_ RData = (*SOAData)(nil)
+	_ RData = (*PTRData)(nil)
+	_ RData = (*MXData)(nil)
+	_ RData = (*TXTData)(nil)
+	_ RData = (*DNSKEYData)(nil)
+	_ RData = (*DSData)(nil)
+	_ RData = (*DLVData)(nil)
+	_ RData = (*RRSIGData)(nil)
+	_ RData = (*NSECData)(nil)
+	_ RData = (*NSEC3Data)(nil)
+	_ RData = (*RawData)(nil)
+)
+
+// AData is an IPv4 address record payload.
+type AData struct {
+	Addr netip.Addr
+}
+
+// RType implements RData.
+func (*AData) RType() Type { return TypeA }
+
+// String implements RData.
+func (d *AData) String() string { return d.Addr.String() }
+
+// AAAAData is an IPv6 address record payload.
+type AAAAData struct {
+	Addr netip.Addr
+}
+
+// RType implements RData.
+func (*AAAAData) RType() Type { return TypeAAAA }
+
+// String implements RData.
+func (d *AAAAData) String() string { return d.Addr.String() }
+
+// NSData delegates a zone to a name server.
+type NSData struct {
+	Target Name
+}
+
+// RType implements RData.
+func (*NSData) RType() Type { return TypeNS }
+
+// String implements RData.
+func (d *NSData) String() string { return d.Target.String() }
+
+// CNAMEData aliases the owner name to Target.
+type CNAMEData struct {
+	Target Name
+}
+
+// RType implements RData.
+func (*CNAMEData) RType() Type { return TypeCNAME }
+
+// String implements RData.
+func (d *CNAMEData) String() string { return d.Target.String() }
+
+// SOAData is the start-of-authority payload.
+type SOAData struct {
+	MName   Name
+	RName   Name
+	Serial  uint32
+	Refresh uint32
+	Retry   uint32
+	Expire  uint32
+	MinTTL  uint32
+}
+
+// RType implements RData.
+func (*SOAData) RType() Type { return TypeSOA }
+
+// String implements RData.
+func (d *SOAData) String() string {
+	return fmt.Sprintf("%s %s %d %d %d %d %d",
+		d.MName, d.RName, d.Serial, d.Refresh, d.Retry, d.Expire, d.MinTTL)
+}
+
+// PTRData is a reverse-mapping pointer payload.
+type PTRData struct {
+	Target Name
+}
+
+// RType implements RData.
+func (*PTRData) RType() Type { return TypePTR }
+
+// String implements RData.
+func (d *PTRData) String() string { return d.Target.String() }
+
+// MXData is a mail-exchanger payload.
+type MXData struct {
+	Preference uint16
+	Exchange   Name
+}
+
+// RType implements RData.
+func (*MXData) RType() Type { return TypeMX }
+
+// String implements RData.
+func (d *MXData) String() string { return fmt.Sprintf("%d %s", d.Preference, d.Exchange) }
+
+// TXTData carries one or more character strings. The paper's DLV-aware DNS
+// remedy publishes "dlv=1" / "dlv=0" in a TXT record.
+type TXTData struct {
+	Strings []string
+}
+
+// RType implements RData.
+func (*TXTData) RType() Type { return TypeTXT }
+
+// String implements RData.
+func (d *TXTData) String() string {
+	quoted := make([]string, len(d.Strings))
+	for i, s := range d.Strings {
+		quoted[i] = fmt.Sprintf("%q", s)
+	}
+	return strings.Join(quoted, " ")
+}
+
+// DNSKEY flag bits (RFC 4034 §2.1.1).
+const (
+	DNSKEYFlagZone uint16 = 1 << 8 // ZONE: key may sign zone data
+	DNSKEYFlagSEP  uint16 = 1      // SEP: key-signing key
+)
+
+// DNSKEYData is a zone public key.
+type DNSKEYData struct {
+	Flags     uint16
+	Protocol  uint8
+	Algorithm uint8
+	PublicKey []byte
+}
+
+// RType implements RData.
+func (*DNSKEYData) RType() Type { return TypeDNSKEY }
+
+// String implements RData.
+func (d *DNSKEYData) String() string {
+	return fmt.Sprintf("%d %d %d %s", d.Flags, d.Protocol, d.Algorithm, hex.EncodeToString(d.PublicKey))
+}
+
+// IsKSK reports whether the key is a key-signing key (SEP bit set).
+func (d *DNSKEYData) IsKSK() bool { return d.Flags&DNSKEYFlagSEP != 0 }
+
+// DSData is a delegation-signer digest deposited in the parent zone.
+type DSData struct {
+	KeyTag     uint16
+	Algorithm  uint8
+	DigestType uint8
+	Digest     []byte
+}
+
+// RType implements RData.
+func (*DSData) RType() Type { return TypeDS }
+
+// String implements RData.
+func (d *DSData) String() string {
+	return fmt.Sprintf("%d %d %d %s", d.KeyTag, d.Algorithm, d.DigestType, hex.EncodeToString(d.Digest))
+}
+
+// DLVData is a look-aside delegation record (RFC 4431). Its RDATA layout is
+// identical to DS; only the type code differs.
+type DLVData struct {
+	KeyTag     uint16
+	Algorithm  uint8
+	DigestType uint8
+	Digest     []byte
+}
+
+// RType implements RData.
+func (*DLVData) RType() Type { return TypeDLV }
+
+// String implements RData.
+func (d *DLVData) String() string {
+	return fmt.Sprintf("%d %d %d %s", d.KeyTag, d.Algorithm, d.DigestType, hex.EncodeToString(d.Digest))
+}
+
+// AsDS converts the DLV payload to the equivalent DS payload for trust-chain
+// building, as RFC 5074 §4 prescribes.
+func (d *DLVData) AsDS() *DSData {
+	return &DSData{KeyTag: d.KeyTag, Algorithm: d.Algorithm, DigestType: d.DigestType, Digest: d.Digest}
+}
+
+// RRSIGData is a signature over an RRset (RFC 4034 §3).
+type RRSIGData struct {
+	TypeCovered Type
+	Algorithm   uint8
+	Labels      uint8
+	OriginalTTL uint32
+	Expiration  uint32
+	Inception   uint32
+	KeyTag      uint16
+	SignerName  Name
+	Signature   []byte
+}
+
+// RType implements RData.
+func (*RRSIGData) RType() Type { return TypeRRSIG }
+
+// String implements RData.
+func (d *RRSIGData) String() string {
+	return fmt.Sprintf("%s %d %d %d %d %d %d %s %s",
+		d.TypeCovered, d.Algorithm, d.Labels, d.OriginalTTL,
+		d.Expiration, d.Inception, d.KeyTag, d.SignerName,
+		hex.EncodeToString(d.Signature))
+}
+
+// NSECData proves denial of existence over a canonical span of the zone
+// (RFC 4034 §4). Aggressive caching of these spans is the mechanism behind
+// the paper's Fig. 8/9 results.
+type NSECData struct {
+	NextName Name
+	Types    []Type
+}
+
+// RType implements RData.
+func (*NSECData) RType() Type { return TypeNSEC }
+
+// String implements RData.
+func (d *NSECData) String() string {
+	parts := make([]string, 0, len(d.Types)+1)
+	parts = append(parts, d.NextName.String())
+	for _, t := range d.Types {
+		parts = append(parts, t.String())
+	}
+	return strings.Join(parts, " ")
+}
+
+// NSEC3Data is the hashed denial-of-existence record (RFC 5155), included
+// for the paper's §7.3 ablation: NSEC3 defeats aggressive negative caching
+// and therefore increases DLV leakage.
+type NSEC3Data struct {
+	HashAlgorithm uint8
+	Flags         uint8
+	Iterations    uint16
+	Salt          []byte
+	NextHash      []byte
+	Types         []Type
+}
+
+// RType implements RData.
+func (*NSEC3Data) RType() Type { return TypeNSEC3 }
+
+// String implements RData.
+func (d *NSEC3Data) String() string {
+	parts := make([]string, 0, len(d.Types)+2)
+	parts = append(parts,
+		fmt.Sprintf("%d %d %d %s", d.HashAlgorithm, d.Flags, d.Iterations, hex.EncodeToString(d.Salt)),
+		hex.EncodeToString(d.NextHash))
+	for _, t := range d.Types {
+		parts = append(parts, t.String())
+	}
+	return strings.Join(parts, " ")
+}
+
+// RawData is the RFC 3597 fallback for types without a dedicated decoder.
+type RawData struct {
+	T    Type
+	Data []byte
+}
+
+// RType implements RData.
+func (d *RawData) RType() Type { return d.T }
+
+// String implements RData.
+func (d *RawData) String() string {
+	return fmt.Sprintf("\\# %d %s", len(d.Data), hex.EncodeToString(d.Data))
+}
+
+// SortTypes sorts a type list in ascending numeric order, as the NSEC type
+// bitmap requires.
+func SortTypes(ts []Type) {
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+}
+
+// HasType reports whether ts contains t.
+func HasType(ts []Type, t Type) bool {
+	for _, x := range ts {
+		if x == t {
+			return true
+		}
+	}
+	return false
+}

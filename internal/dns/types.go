@@ -1,0 +1,120 @@
+package dns
+
+import "fmt"
+
+// Type is a DNS resource record type code.
+type Type uint16
+
+// Record types used in this repository. TypeDLV is the look-aside record of
+// RFC 4431; its query type code 32769 is what the paper filters on when
+// extracting DLV traffic from captures.
+const (
+	TypeA      Type = 1
+	TypeNS     Type = 2
+	TypeCNAME  Type = 5
+	TypeSOA    Type = 6
+	TypePTR    Type = 12
+	TypeMX     Type = 15
+	TypeTXT    Type = 16
+	TypeAAAA   Type = 28
+	TypeOPT    Type = 41
+	TypeDS     Type = 43
+	TypeRRSIG  Type = 46
+	TypeNSEC   Type = 47
+	TypeDNSKEY Type = 48
+	TypeNSEC3  Type = 50
+	TypeAXFR   Type = 252
+	TypeDLV    Type = 32769
+)
+
+var typeNames = map[Type]string{
+	TypeA:      "A",
+	TypeNS:     "NS",
+	TypeCNAME:  "CNAME",
+	TypeSOA:    "SOA",
+	TypePTR:    "PTR",
+	TypeMX:     "MX",
+	TypeTXT:    "TXT",
+	TypeAAAA:   "AAAA",
+	TypeOPT:    "OPT",
+	TypeDS:     "DS",
+	TypeRRSIG:  "RRSIG",
+	TypeNSEC:   "NSEC",
+	TypeDNSKEY: "DNSKEY",
+	TypeNSEC3:  "NSEC3",
+	TypeAXFR:   "AXFR",
+	TypeDLV:    "DLV",
+}
+
+// String returns the mnemonic for known types and TYPEnnn otherwise
+// (RFC 3597 presentation).
+func (t Type) String() string {
+	if s, ok := typeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("TYPE%d", uint16(t))
+}
+
+// Class is a DNS class code. Only IN is used.
+type Class uint16
+
+// Classes.
+const (
+	ClassIN Class = 1
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	if c == ClassIN {
+		return "IN"
+	}
+	return fmt.Sprintf("CLASS%d", uint16(c))
+}
+
+// RCode is a DNS response code.
+type RCode uint8
+
+// Response codes. The paper's DLV-server observations distinguish exactly
+// "No error" (record deposited) from "No such name" (NXDOMAIN, pure
+// leakage).
+const (
+	RCodeNoError  RCode = 0
+	RCodeFormErr  RCode = 1
+	RCodeServFail RCode = 2
+	RCodeNXDomain RCode = 3
+	RCodeNotImp   RCode = 4
+	RCodeRefused  RCode = 5
+)
+
+var rcodeNames = map[RCode]string{
+	RCodeNoError:  "NOERROR",
+	RCodeFormErr:  "FORMERR",
+	RCodeServFail: "SERVFAIL",
+	RCodeNXDomain: "NXDOMAIN",
+	RCodeNotImp:   "NOTIMP",
+	RCodeRefused:  "REFUSED",
+}
+
+// String implements fmt.Stringer.
+func (r RCode) String() string {
+	if s, ok := rcodeNames[r]; ok {
+		return s
+	}
+	return fmt.Sprintf("RCODE%d", uint8(r))
+}
+
+// Opcode is a DNS operation code; only queries are used here.
+type Opcode uint8
+
+// Opcodes.
+const (
+	OpcodeQuery Opcode = 0
+)
+
+// String implements fmt.Stringer.
+func (o Opcode) String() string {
+	if o == OpcodeQuery {
+		return "QUERY"
+	}
+	return fmt.Sprintf("OPCODE%d", uint8(o))
+}

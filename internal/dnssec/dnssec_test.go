@@ -1,0 +1,416 @@
+package dnssec
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+
+	"github.com/dnsprivacy/lookaside/internal/dns"
+)
+
+// testRNG returns a deterministic randomness source for key generation and
+// signing in tests.
+func testRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+var algorithms = []uint8{AlgECDSAP256, AlgFastHMAC}
+
+func testRRSet(owner string) []dns.RR {
+	name := dns.MustName(owner)
+	return []dns.RR{
+		{Name: name, Type: dns.TypeA, Class: dns.ClassIN, TTL: 300,
+			Data: &dns.AData{Addr: netip.MustParseAddr("192.0.2.1")}},
+		{Name: name, Type: dns.TypeA, Class: dns.ClassIN, TTL: 300,
+			Data: &dns.AData{Addr: netip.MustParseAddr("192.0.2.2")}},
+	}
+}
+
+func TestGenerateKeyUnknownAlgorithm(t *testing.T) {
+	if _, err := GenerateKey(99, dns.DNSKEYFlagZone, testRNG(1)); !errors.Is(err, ErrUnknownAlgorithm) {
+		t.Fatalf("err = %v, want ErrUnknownAlgorithm", err)
+	}
+}
+
+func TestSignVerifyRoundTrip(t *testing.T) {
+	for _, alg := range algorithms {
+		t.Run(algName(alg), func(t *testing.T) {
+			key, err := GenerateKey(alg, dns.DNSKEYFlagZone, testRNG(2))
+			if err != nil {
+				t.Fatalf("GenerateKey: %v", err)
+			}
+			rrset := testRRSet("www.example.com")
+			sig, err := SignRRSet(key, dns.MustName("example.com"), rrset, 1000, 2000, testRNG(3))
+			if err != nil {
+				t.Fatalf("SignRRSet: %v", err)
+			}
+			if err := VerifyRRSet(key.Public(), sig, rrset, 1500); err != nil {
+				t.Fatalf("VerifyRRSet: %v", err)
+			}
+		})
+	}
+}
+
+func TestVerifyRejectsTamperedData(t *testing.T) {
+	for _, alg := range algorithms {
+		t.Run(algName(alg), func(t *testing.T) {
+			key, err := GenerateKey(alg, dns.DNSKEYFlagZone, testRNG(4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rrset := testRRSet("www.example.com")
+			sig, err := SignRRSet(key, dns.MustName("example.com"), rrset, 1000, 2000, testRNG(5))
+			if err != nil {
+				t.Fatal(err)
+			}
+			tampered := testRRSet("www.example.com")
+			tampered[0].Data = &dns.AData{Addr: netip.MustParseAddr("203.0.113.99")}
+			if err := VerifyRRSet(key.Public(), sig, tampered, 1500); !errors.Is(err, ErrBadSignature) {
+				t.Fatalf("err = %v, want ErrBadSignature", err)
+			}
+		})
+	}
+}
+
+func TestVerifyRejectsWrongKey(t *testing.T) {
+	for _, alg := range algorithms {
+		t.Run(algName(alg), func(t *testing.T) {
+			key1, err := GenerateKey(alg, dns.DNSKEYFlagZone, testRNG(6))
+			if err != nil {
+				t.Fatal(err)
+			}
+			key2, err := GenerateKey(alg, dns.DNSKEYFlagZone, testRNG(7))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rrset := testRRSet("www.example.com")
+			sig, err := SignRRSet(key1, dns.MustName("example.com"), rrset, 1000, 2000, testRNG(8))
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = VerifyRRSet(key2.Public(), sig, rrset, 1500)
+			if !errors.Is(err, ErrKeyMismatch) && !errors.Is(err, ErrBadSignature) {
+				t.Fatalf("err = %v, want key mismatch or bad signature", err)
+			}
+		})
+	}
+}
+
+func TestVerifyRejectsOutsideValidityWindow(t *testing.T) {
+	key, err := GenerateKey(AlgFastHMAC, dns.DNSKEYFlagZone, testRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rrset := testRRSet("www.example.com")
+	sig, err := SignRRSet(key, dns.MustName("example.com"), rrset, 1000, 2000, testRNG(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, now := range []uint32{999, 2001} {
+		if err := VerifyRRSet(key.Public(), sig, rrset, now); !errors.Is(err, ErrExpired) {
+			t.Fatalf("now=%d: err = %v, want ErrExpired", now, err)
+		}
+	}
+}
+
+func TestSignRejectsMixedRRSet(t *testing.T) {
+	key, err := GenerateKey(AlgFastHMAC, dns.DNSKEYFlagZone, testRNG(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed := testRRSet("a.example.com")
+	mixed = append(mixed, testRRSet("b.example.com")...)
+	if _, err := SignRRSet(key, dns.MustName("example.com"), mixed, 1, 2, testRNG(12)); !errors.Is(err, ErrMixedRRSet) {
+		t.Fatalf("err = %v, want ErrMixedRRSet", err)
+	}
+	if _, err := SignRRSet(key, dns.MustName("example.com"), nil, 1, 2, testRNG(13)); !errors.Is(err, ErrEmptyRRSet) {
+		t.Fatalf("err = %v, want ErrEmptyRRSet", err)
+	}
+}
+
+func TestSignatureIndependentOfRRSetOrder(t *testing.T) {
+	// Canonical ordering must make the signed data identical regardless of
+	// the order records are presented in.
+	key, err := GenerateKey(AlgFastHMAC, dns.DNSKEYFlagZone, testRNG(14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rrset := testRRSet("www.example.com")
+	reversed := []dns.RR{rrset[1], rrset[0]}
+	sig1, err := SignRRSet(key, dns.MustName("example.com"), rrset, 1000, 2000, testRNG(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyRRSet(key.Public(), sig1, reversed, 1500); err != nil {
+		t.Fatalf("verification order-sensitive: %v", err)
+	}
+	sig2, err := SignRRSet(key, dns.MustName("example.com"), reversed, 1000, 2000, testRNG(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, d2 := sig1.Data.(*dns.RRSIGData), sig2.Data.(*dns.RRSIGData)
+	if !bytes.Equal(d1.Signature, d2.Signature) {
+		t.Fatal("HMAC signatures differ across input order; canonical form broken")
+	}
+}
+
+func TestCrossAlgorithmOutcomeEquivalence(t *testing.T) {
+	// The FastHMAC substitute must accept and reject in exactly the same
+	// cases as real ECDSA: valid, tampered, wrong-key.
+	type outcome struct{ valid, tampered, wrongKey bool }
+	outcomes := map[uint8]outcome{}
+	for _, alg := range algorithms {
+		key, err := GenerateKey(alg, dns.DNSKEYFlagZone, testRNG(20))
+		if err != nil {
+			t.Fatal(err)
+		}
+		other, err := GenerateKey(alg, dns.DNSKEYFlagZone, testRNG(21))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rrset := testRRSet("www.example.com")
+		sig, err := SignRRSet(key, dns.MustName("example.com"), rrset, 1000, 2000, testRNG(22))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tampered := testRRSet("www.example.com")
+		tampered[0].Data = &dns.AData{Addr: netip.MustParseAddr("198.51.100.1")}
+		outcomes[alg] = outcome{
+			valid:    VerifyRRSet(key.Public(), sig, rrset, 1500) == nil,
+			tampered: VerifyRRSet(key.Public(), sig, tampered, 1500) == nil,
+			wrongKey: VerifyRRSet(other.Public(), sig, rrset, 1500) == nil,
+		}
+	}
+	if outcomes[AlgECDSAP256] != outcomes[AlgFastHMAC] {
+		t.Fatalf("behavioral divergence between schemes: ecdsa=%+v fast=%+v",
+			outcomes[AlgECDSAP256], outcomes[AlgFastHMAC])
+	}
+	want := outcome{valid: true}
+	if outcomes[AlgECDSAP256] != want {
+		t.Fatalf("ecdsa outcomes = %+v, want %+v", outcomes[AlgECDSAP256], want)
+	}
+}
+
+func TestKeyTagStability(t *testing.T) {
+	key, err := GenerateKey(AlgECDSAP256, dns.DNSKEYFlagZone|dns.DNSKEYFlagSEP, testRNG(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key.KeyTag() != KeyTag(key.Public()) {
+		t.Fatal("KeyTag() disagrees with KeyTag(Public())")
+	}
+	if !key.IsKSK() || !key.Public().IsKSK() {
+		t.Fatal("SEP flag lost")
+	}
+	zsk, err := GenerateKey(AlgECDSAP256, dns.DNSKEYFlagZone, testRNG(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zsk.IsKSK() {
+		t.Fatal("ZSK misreported as KSK")
+	}
+	if zsk.KeyTag() == key.KeyTag() {
+		t.Fatal("distinct keys produced identical tags (possible but astronomically unlikely)")
+	}
+}
+
+func TestDSMatching(t *testing.T) {
+	owner := dns.MustName("example.com")
+	for _, alg := range algorithms {
+		for _, dt := range []uint8{DigestSHA1, DigestSHA256} {
+			key, err := GenerateKey(alg, dns.DNSKEYFlagZone|dns.DNSKEYFlagSEP, testRNG(40))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ds, err := MakeDS(owner, key.Public(), dt)
+			if err != nil {
+				t.Fatalf("MakeDS: %v", err)
+			}
+			if !MatchDS(ds, owner, key.Public()) {
+				t.Fatalf("alg=%d digest=%d: DS does not match its own key", alg, dt)
+			}
+			if MatchDS(ds, dns.MustName("evil.com"), key.Public()) {
+				t.Fatal("DS matched under wrong owner name")
+			}
+			other, err := GenerateKey(alg, dns.DNSKEYFlagZone|dns.DNSKEYFlagSEP, testRNG(41))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if MatchDS(ds, owner, other.Public()) {
+				t.Fatal("DS matched a different key")
+			}
+		}
+	}
+	key, err := GenerateKey(AlgFastHMAC, dns.DNSKEYFlagZone, testRNG(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MakeDS(owner, key.Public(), 99); !errors.Is(err, ErrUnknownDigest) {
+		t.Fatalf("err = %v, want ErrUnknownDigest", err)
+	}
+}
+
+func TestMakeDLVEquivalentToDS(t *testing.T) {
+	owner := dns.MustName("island.example.net")
+	key, err := GenerateKey(AlgECDSAP256, dns.DNSKEYFlagZone|dns.DNSKEYFlagSEP, testRNG(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := MakeDS(owner, key.Public(), DigestSHA256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dlv, err := MakeDLV(owner, key.Public(), DigestSHA256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dlv.KeyTag != ds.KeyTag || dlv.Algorithm != ds.Algorithm ||
+		dlv.DigestType != ds.DigestType || !bytes.Equal(dlv.Digest, ds.Digest) {
+		t.Fatal("DLV payload differs from DS payload")
+	}
+	back := dlv.AsDS()
+	if !MatchDS(back, owner, key.Public()) {
+		t.Fatal("DLV.AsDS() does not authenticate the key")
+	}
+}
+
+func TestNSEC3HashKnownVector(t *testing.T) {
+	// RFC 5155 Appendix A: H(example) with salt aabbccdd, 12 iterations is
+	// 0p9mhaveqvm6t7vbl5lop2u3t2rp3tom.
+	salt := []byte{0xAA, 0xBB, 0xCC, 0xDD}
+	got := NSEC3OwnerLabel(NSEC3Hash(dns.MustName("example"), salt, 12))
+	if got != "0p9mhaveqvm6t7vbl5lop2u3t2rp3tom" {
+		t.Fatalf("NSEC3 hash = %q, want RFC 5155 vector", got)
+	}
+}
+
+func TestNSEC3OwnerName(t *testing.T) {
+	zone := dns.MustName("example")
+	owner, err := NSEC3OwnerName(dns.MustName("a.example"), zone, []byte{0xAA, 0xBB, 0xCC, 0xDD}, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !owner.IsSubdomainOf(zone) || owner.LabelCount() != 2 {
+		t.Fatalf("owner = %q, want single-label child of %q", owner, zone)
+	}
+}
+
+func TestNSEC3HashDistribution(t *testing.T) {
+	// Distinct names must hash to distinct owners (collision would break
+	// span logic); verified over a few thousand names.
+	seen := map[string]dns.Name{}
+	r := testRNG(60)
+	for i := 0; i < 3000; i++ {
+		n := dns.MustName(randomLabel(r) + ".example.com")
+		h := NSEC3OwnerLabel(NSEC3Hash(n, nil, 0))
+		if prev, dup := seen[h]; dup && prev != n {
+			t.Fatalf("hash collision: %q and %q → %q", prev, n, h)
+		}
+		seen[h] = n
+	}
+}
+
+func randomLabel(r *rand.Rand) string {
+	const alphabet = "abcdefghijklmnopqrstuvwxyz0123456789"
+	n := 3 + r.Intn(14)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = alphabet[r.Intn(len(alphabet))]
+	}
+	return string(b)
+}
+
+func TestStatusStrings(t *testing.T) {
+	tests := map[Status]string{
+		StatusSecure:        "secure",
+		StatusInsecure:      "insecure",
+		StatusBogus:         "bogus",
+		StatusIndeterminate: "indeterminate",
+		Status(0):           "unknown",
+	}
+	for s, want := range tests {
+		if got := s.String(); got != want {
+			t.Errorf("Status(%d).String() = %q, want %q", s, got, want)
+		}
+	}
+	if !StatusBogus.Servfails() {
+		t.Error("bogus must servfail")
+	}
+	for _, s := range []Status{StatusSecure, StatusInsecure, StatusIndeterminate} {
+		if s.Servfails() {
+			t.Errorf("%s must not servfail", s)
+		}
+	}
+}
+
+func TestGroupRRSets(t *testing.T) {
+	rrs := append(testRRSet("a.example.com"), testRRSet("b.example.com")...)
+	groups := GroupRRSets(rrs)
+	if len(groups) != 2 {
+		t.Fatalf("got %d groups, want 2", len(groups))
+	}
+	for k, set := range groups {
+		if len(set) != 2 {
+			t.Fatalf("group %s has %d records, want 2", k, len(set))
+		}
+	}
+}
+
+func TestSignVerifyProperty(t *testing.T) {
+	// Any RRset signed with a fresh key verifies with that key's public
+	// half and fails with an unrelated key.
+	prop := func(seed int64, octet uint8) bool {
+		rng := testRNG(seed)
+		key, err := GenerateKey(AlgFastHMAC, dns.DNSKEYFlagZone, rng)
+		if err != nil {
+			return false
+		}
+		owner := dns.MustName(randomLabel(rng) + ".example.org")
+		rrset := []dns.RR{{
+			Name: owner, Type: dns.TypeA, Class: dns.ClassIN, TTL: 60,
+			Data: &dns.AData{Addr: netip.AddrFrom4([4]byte{192, 0, 2, octet})},
+		}}
+		sig, err := SignRRSet(key, dns.MustName("example.org"), rrset, 10, 20, rng)
+		if err != nil {
+			return false
+		}
+		return VerifyRRSet(key.Public(), sig, rrset, 15) == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalBadPublicKey(t *testing.T) {
+	key, err := GenerateKey(AlgECDSAP256, dns.DNSKEYFlagZone, testRNG(70))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rrset := testRRSet("www.example.com")
+	sig, err := SignRRSet(key, dns.MustName("example.com"), rrset, 1000, 2000, testRNG(71))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := key.Public()
+	bad.PublicKey = bad.PublicKey[:10]
+	if err := VerifyRRSet(bad, sig, rrset, 1500); !errors.Is(err, ErrBadPublicKey) && !errors.Is(err, ErrKeyMismatch) {
+		t.Fatalf("err = %v, want bad-public-key class error", err)
+	}
+	offCurve := key.Public()
+	offCurve.PublicKey = bytes.Repeat([]byte{0xFF}, 64)
+	if err := VerifyRRSet(offCurve, sig, rrset, 1500); err == nil {
+		t.Fatal("verification succeeded with off-curve key")
+	}
+}
+
+func algName(alg uint8) string {
+	switch alg {
+	case AlgECDSAP256:
+		return "ecdsa-p256"
+	case AlgFastHMAC:
+		return "fast-hmac"
+	default:
+		return "unknown"
+	}
+}

@@ -1,0 +1,80 @@
+package dnssec
+
+import (
+	"bytes"
+	"crypto/sha1"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+
+	"github.com/dnsprivacy/lookaside/internal/dns"
+)
+
+// DS digest type numbers (RFC 4034 / RFC 4509).
+const (
+	DigestSHA1   uint8 = 1
+	DigestSHA256 uint8 = 2
+)
+
+// ErrUnknownDigest is returned for unsupported DS digest types.
+var ErrUnknownDigest = errors.New("dnssec: unknown digest type")
+
+// MakeDS computes the delegation-signer payload for a DNSKEY at owner,
+// digest = H(owner wire-form | DNSKEY RDATA) per RFC 4034 §5.1.4.
+func MakeDS(owner dns.Name, key *dns.DNSKEYData, digestType uint8) (*dns.DSData, error) {
+	digest, err := dsDigest(owner, key, digestType)
+	if err != nil {
+		return nil, err
+	}
+	return &dns.DSData{
+		KeyTag:     KeyTag(key),
+		Algorithm:  key.Algorithm,
+		DigestType: digestType,
+		Digest:     digest,
+	}, nil
+}
+
+// MakeDLV computes the look-aside payload (RFC 4431) — identical to DS but
+// carried on the DLV type code and deposited in a DLV registry zone.
+func MakeDLV(owner dns.Name, key *dns.DNSKEYData, digestType uint8) (*dns.DLVData, error) {
+	ds, err := MakeDS(owner, key, digestType)
+	if err != nil {
+		return nil, err
+	}
+	return &dns.DLVData{
+		KeyTag:     ds.KeyTag,
+		Algorithm:  ds.Algorithm,
+		DigestType: ds.DigestType,
+		Digest:     ds.Digest,
+	}, nil
+}
+
+// MatchDS reports whether the DS record authenticates the DNSKEY at owner.
+func MatchDS(ds *dns.DSData, owner dns.Name, key *dns.DNSKEYData) bool {
+	if ds.KeyTag != KeyTag(key) || ds.Algorithm != key.Algorithm {
+		return false
+	}
+	digest, err := dsDigest(owner, key, ds.DigestType)
+	if err != nil {
+		return false
+	}
+	return bytes.Equal(digest, ds.Digest)
+}
+
+func dsDigest(owner dns.Name, key *dns.DNSKEYData, digestType uint8) ([]byte, error) {
+	rdata, err := dns.EncodeRData(key)
+	if err != nil {
+		return nil, fmt.Errorf("dnssec: encoding dnskey rdata: %w", err)
+	}
+	input := append(dns.EncodeName(owner), rdata...)
+	switch digestType {
+	case DigestSHA1:
+		sum := sha1.Sum(input)
+		return sum[:], nil
+	case DigestSHA256:
+		sum := sha256.Sum256(input)
+		return sum[:], nil
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownDigest, digestType)
+	}
+}

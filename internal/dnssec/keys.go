@@ -1,0 +1,220 @@
+// Package dnssec implements the cryptographic half of the DNS security
+// extensions used by the reproduction: key pairs, RRset signing and
+// verification (RFC 4034), DS digests, key tags, NSEC3 hashing (RFC 5155),
+// and the four validation statuses of RFC 4033 §5.
+//
+// Two signature schemes are provided behind one interface:
+//
+//   - AlgECDSAP256 (13, RFC 6605): real ECDSA over P-256, used by unit and
+//     integration tests to keep the implementation honest.
+//   - AlgFastHMAC (253, the RFC 4034 PRIVATEDNS code point): a keyed
+//     HMAC-SHA256 scheme in which the MAC key doubles as the published
+//     "public key". It is NOT secure against a forging adversary — it
+//     exists so that million-domain experiments validate at simulation
+//     speed — but its accept/reject behavior is identical to the real
+//     scheme for every experiment in the paper (validation succeeds with
+//     the right key and untampered data, fails otherwise), which
+//     cross-checking tests assert.
+package dnssec
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/hmac"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+
+	"github.com/dnsprivacy/lookaside/internal/dns"
+)
+
+// DNSSEC algorithm numbers.
+const (
+	// AlgECDSAP256 is ECDSA Curve P-256 with SHA-256 (RFC 6605).
+	AlgECDSAP256 uint8 = 13
+	// AlgFastHMAC is the simulation-only HMAC scheme on the PRIVATEDNS
+	// private-use code point.
+	AlgFastHMAC uint8 = 253
+)
+
+// Errors returned by key handling and signature verification.
+var (
+	ErrUnknownAlgorithm = errors.New("dnssec: unknown algorithm")
+	ErrBadSignature     = errors.New("dnssec: signature verification failed")
+	ErrBadPublicKey     = errors.New("dnssec: malformed public key")
+	ErrKeyMismatch      = errors.New("dnssec: rrsig does not match key")
+)
+
+const fastKeySize = 32
+
+// KeyPair is a DNSSEC signing key with its public DNSKEY form.
+type KeyPair struct {
+	algorithm uint8
+	flags     uint16
+	ecdsaPriv *ecdsa.PrivateKey
+	hmacKey   []byte
+	public    dns.DNSKEYData
+}
+
+// GenerateKey creates a key pair for the given algorithm with the given
+// DNSKEY flags (dns.DNSKEYFlagZone, optionally |dns.DNSKEYFlagSEP for a
+// KSK), drawing randomness from rng.
+func GenerateKey(algorithm uint8, flags uint16, rng io.Reader) (*KeyPair, error) {
+	kp := &KeyPair{algorithm: algorithm, flags: flags}
+	switch algorithm {
+	case AlgECDSAP256:
+		priv, err := ecdsa.GenerateKey(elliptic.P256(), rng)
+		if err != nil {
+			return nil, fmt.Errorf("dnssec: generating ecdsa key: %w", err)
+		}
+		kp.ecdsaPriv = priv
+		kp.public = dns.DNSKEYData{
+			Flags:     flags,
+			Protocol:  3,
+			Algorithm: algorithm,
+			PublicKey: marshalP256Public(&priv.PublicKey),
+		}
+	case AlgFastHMAC:
+		key := make([]byte, fastKeySize)
+		if _, err := io.ReadFull(rng, key); err != nil {
+			return nil, fmt.Errorf("dnssec: generating hmac key: %w", err)
+		}
+		kp.hmacKey = key
+		pub := make([]byte, fastKeySize)
+		copy(pub, key)
+		kp.public = dns.DNSKEYData{
+			Flags:     flags,
+			Protocol:  3,
+			Algorithm: algorithm,
+			PublicKey: pub,
+		}
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownAlgorithm, algorithm)
+	}
+	return kp, nil
+}
+
+// Algorithm returns the key's DNSSEC algorithm number.
+func (k *KeyPair) Algorithm() uint8 { return k.algorithm }
+
+// Flags returns the DNSKEY flags.
+func (k *KeyPair) Flags() uint16 { return k.flags }
+
+// IsKSK reports whether the key carries the SEP bit.
+func (k *KeyPair) IsKSK() bool { return k.flags&dns.DNSKEYFlagSEP != 0 }
+
+// Public returns a copy of the public DNSKEY payload.
+func (k *KeyPair) Public() *dns.DNSKEYData {
+	pub := make([]byte, len(k.public.PublicKey))
+	copy(pub, k.public.PublicKey)
+	return &dns.DNSKEYData{
+		Flags:     k.public.Flags,
+		Protocol:  k.public.Protocol,
+		Algorithm: k.public.Algorithm,
+		PublicKey: pub,
+	}
+}
+
+// KeyTag returns the RFC 4034 Appendix B key tag of the public key.
+func (k *KeyPair) KeyTag() uint16 {
+	return KeyTag(&k.public)
+}
+
+// DNSKEYRR returns the DNSKEY resource record for the key at the zone apex.
+func (k *KeyPair) DNSKEYRR(zone dns.Name, ttl uint32) dns.RR {
+	return dns.RR{Name: zone, Type: dns.TypeDNSKEY, Class: dns.ClassIN, TTL: ttl, Data: k.Public()}
+}
+
+// sign produces a raw signature over data.
+func (k *KeyPair) sign(data []byte, rng io.Reader) ([]byte, error) {
+	switch k.algorithm {
+	case AlgECDSAP256:
+		digest := sha256.Sum256(data)
+		r, s, err := ecdsa.Sign(rng, k.ecdsaPriv, digest[:])
+		if err != nil {
+			return nil, fmt.Errorf("dnssec: ecdsa sign: %w", err)
+		}
+		sig := make([]byte, 64)
+		r.FillBytes(sig[:32])
+		s.FillBytes(sig[32:])
+		return sig, nil
+	case AlgFastHMAC:
+		mac := hmac.New(sha256.New, k.hmacKey)
+		mac.Write(data)
+		return mac.Sum(nil), nil
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownAlgorithm, k.algorithm)
+	}
+}
+
+// verifyWithKey checks a raw signature over data against a public DNSKEY.
+func verifyWithKey(key *dns.DNSKEYData, data, sig []byte) error {
+	switch key.Algorithm {
+	case AlgECDSAP256:
+		pub, err := unmarshalP256Public(key.PublicKey)
+		if err != nil {
+			return err
+		}
+		if len(sig) != 64 {
+			return fmt.Errorf("%w: ecdsa signature length %d", ErrBadSignature, len(sig))
+		}
+		digest := sha256.Sum256(data)
+		r := new(big.Int).SetBytes(sig[:32])
+		s := new(big.Int).SetBytes(sig[32:])
+		if !ecdsa.Verify(pub, digest[:], r, s) {
+			return ErrBadSignature
+		}
+		return nil
+	case AlgFastHMAC:
+		if len(key.PublicKey) != fastKeySize {
+			return fmt.Errorf("%w: hmac key length %d", ErrBadPublicKey, len(key.PublicKey))
+		}
+		mac := hmac.New(sha256.New, key.PublicKey)
+		mac.Write(data)
+		if !hmac.Equal(mac.Sum(nil), sig) {
+			return ErrBadSignature
+		}
+		return nil
+	default:
+		return fmt.Errorf("%w: %d", ErrUnknownAlgorithm, key.Algorithm)
+	}
+}
+
+func marshalP256Public(pub *ecdsa.PublicKey) []byte {
+	out := make([]byte, 64)
+	pub.X.FillBytes(out[:32])
+	pub.Y.FillBytes(out[32:])
+	return out
+}
+
+func unmarshalP256Public(raw []byte) (*ecdsa.PublicKey, error) {
+	if len(raw) != 64 {
+		return nil, fmt.Errorf("%w: length %d", ErrBadPublicKey, len(raw))
+	}
+	x := new(big.Int).SetBytes(raw[:32])
+	y := new(big.Int).SetBytes(raw[32:])
+	if !elliptic.P256().IsOnCurve(x, y) {
+		return nil, fmt.Errorf("%w: point not on curve", ErrBadPublicKey)
+	}
+	return &ecdsa.PublicKey{Curve: elliptic.P256(), X: x, Y: y}, nil
+}
+
+// KeyTag computes the RFC 4034 Appendix B key tag over the DNSKEY RDATA.
+func KeyTag(key *dns.DNSKEYData) uint16 {
+	rdata, err := dns.EncodeRData(key)
+	if err != nil {
+		return 0
+	}
+	var acc uint32
+	for i, b := range rdata {
+		if i&1 == 0 {
+			acc += uint32(b) << 8
+		} else {
+			acc += uint32(b)
+		}
+	}
+	acc += acc >> 16 & 0xFFFF
+	return uint16(acc & 0xFFFF)
+}

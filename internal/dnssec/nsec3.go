@@ -1,0 +1,61 @@
+package dnssec
+
+import (
+	"crypto/sha1"
+	"encoding/base32"
+	"fmt"
+
+	"github.com/dnsprivacy/lookaside/internal/dns"
+)
+
+// NSEC3HashSHA1 is the only NSEC3 hash algorithm defined (RFC 5155 §11).
+const NSEC3HashSHA1 uint8 = 1
+
+// base32Hex is the extended-hex base32 alphabet without padding that NSEC3
+// owner names use (RFC 5155 §4.3).
+var base32Hex = base32.HexEncoding.WithPadding(base32.NoPadding)
+
+// NSEC3Hash computes the iterated, salted hash of a name per RFC 5155 §5:
+// IH(0) = H(owner | salt), IH(k) = H(IH(k-1) | salt).
+func NSEC3Hash(name dns.Name, salt []byte, iterations uint16) []byte {
+	h := sha1.New()
+	h.Write(dns.EncodeName(name))
+	h.Write(salt)
+	digest := h.Sum(nil)
+	for i := uint16(0); i < iterations; i++ {
+		h.Reset()
+		h.Write(digest)
+		h.Write(salt)
+		digest = h.Sum(digest[:0])
+	}
+	return digest
+}
+
+// NSEC3OwnerLabel renders a hash as the base32hex owner label used in NSEC3
+// record owner names.
+func NSEC3OwnerLabel(hash []byte) string {
+	// base32hex of SHA-1 output is 32 chars of [0-9a-v]; fold to lowercase
+	// to satisfy name canonicalization.
+	return toLower(base32Hex.EncodeToString(hash))
+}
+
+// NSEC3OwnerName builds the full owner name of the NSEC3 record for a name
+// within a zone.
+func NSEC3OwnerName(name, zone dns.Name, salt []byte, iterations uint16) (dns.Name, error) {
+	label := NSEC3OwnerLabel(NSEC3Hash(name, salt, iterations))
+	owner, err := zone.Prepend(label)
+	if err != nil {
+		return "", fmt.Errorf("dnssec: building nsec3 owner: %w", err)
+	}
+	return owner, nil
+}
+
+func toLower(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+		}
+	}
+	return string(b)
+}

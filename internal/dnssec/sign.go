@@ -1,0 +1,181 @@
+package dnssec
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/dnsprivacy/lookaside/internal/dns"
+)
+
+// Signing errors.
+var (
+	ErrEmptyRRSet = errors.New("dnssec: empty rrset")
+	ErrMixedRRSet = errors.New("dnssec: rrset mixes names, types, or classes")
+	ErrExpired    = errors.New("dnssec: signature outside validity window")
+)
+
+// SignRRSet signs an RRset with the key, returning an RRSIG record owned by
+// the RRset's name. The signer name is the apex of the signing zone; the
+// validity window is in seconds-since-epoch as in RFC 4034.
+func SignRRSet(key *KeyPair, signer dns.Name, rrset []dns.RR, inception, expiration uint32, rng io.Reader) (dns.RR, error) {
+	if len(rrset) == 0 {
+		return dns.RR{}, ErrEmptyRRSet
+	}
+	k := rrset[0].Key()
+	for _, rr := range rrset[1:] {
+		if rr.Key() != k {
+			return dns.RR{}, fmt.Errorf("%w: %s vs %s", ErrMixedRRSet, k, rr.Key())
+		}
+	}
+	labels := k.Name.LabelCount()
+	if k.Name.FirstLabel() == "*" {
+		// RFC 4034 §3.1.3: the Labels field excludes the wildcard label.
+		labels--
+	}
+	sig := &dns.RRSIGData{
+		TypeCovered: k.Type,
+		Algorithm:   key.algorithm,
+		Labels:      uint8(labels),
+		OriginalTTL: rrset[0].TTL,
+		Expiration:  expiration,
+		Inception:   inception,
+		KeyTag:      key.KeyTag(),
+		SignerName:  signer,
+	}
+	data, err := signedData(sig, rrset)
+	if err != nil {
+		return dns.RR{}, err
+	}
+	raw, err := key.sign(data, rng)
+	if err != nil {
+		return dns.RR{}, err
+	}
+	sig.Signature = raw
+	return dns.RR{Name: k.Name, Type: dns.TypeRRSIG, Class: k.Class, TTL: rrset[0].TTL, Data: sig}, nil
+}
+
+// VerifyRRSet checks an RRSIG over an RRset against a public key. now is
+// the validation time in seconds-since-epoch; pass the signature's own
+// inception to skip temporal checking in logical-clock simulations.
+func VerifyRRSet(key *dns.DNSKEYData, sigRR dns.RR, rrset []dns.RR, now uint32) error {
+	sig, ok := sigRR.Data.(*dns.RRSIGData)
+	if !ok {
+		return fmt.Errorf("dnssec: record %s is not an RRSIG", sigRR.Key())
+	}
+	if len(rrset) == 0 {
+		return ErrEmptyRRSet
+	}
+	if sig.KeyTag != KeyTag(key) || sig.Algorithm != key.Algorithm {
+		return fmt.Errorf("%w: sig tag=%d alg=%d, key tag=%d alg=%d",
+			ErrKeyMismatch, sig.KeyTag, sig.Algorithm, KeyTag(key), key.Algorithm)
+	}
+	if sig.TypeCovered != rrset[0].Type {
+		return fmt.Errorf("%w: rrsig covers %s, rrset is %s", ErrKeyMismatch, sig.TypeCovered, rrset[0].Type)
+	}
+	if now < sig.Inception || now > sig.Expiration {
+		return fmt.Errorf("%w: now=%d window=[%d,%d]", ErrExpired, now, sig.Inception, sig.Expiration)
+	}
+	data, err := signedData(sig, rrset)
+	if err != nil {
+		return err
+	}
+	if err := verifyWithKey(key, data, sig.Signature); err != nil {
+		return fmt.Errorf("verifying %s: %w", rrset[0].Key(), err)
+	}
+	return nil
+}
+
+// signedData builds the RFC 4034 §3.1.8.1 canonical signing buffer:
+// RRSIG RDATA (with empty signature) followed by the canonical RRset.
+func signedData(sig *dns.RRSIGData, rrset []dns.RR) ([]byte, error) {
+	header := &dns.RRSIGData{
+		TypeCovered: sig.TypeCovered,
+		Algorithm:   sig.Algorithm,
+		Labels:      sig.Labels,
+		OriginalTTL: sig.OriginalTTL,
+		Expiration:  sig.Expiration,
+		Inception:   sig.Inception,
+		KeyTag:      sig.KeyTag,
+		SignerName:  sig.SignerName,
+	}
+	buf, err := dns.EncodeRData(header)
+	if err != nil {
+		return nil, fmt.Errorf("dnssec: encoding rrsig header: %w", err)
+	}
+
+	type wireRR struct {
+		rdata []byte
+	}
+	wires := make([]wireRR, len(rrset))
+	for i, rr := range rrset {
+		rd, err := dns.EncodeRData(rr.Data)
+		if err != nil {
+			return nil, fmt.Errorf("dnssec: encoding rdata of %s: %w", rr.Key(), err)
+		}
+		wires[i] = wireRR{rdata: rd}
+	}
+	// Canonical RRset order: ascending RDATA as a left-justified octet
+	// sequence (RFC 4034 §6.3).
+	sort.Slice(wires, func(i, j int) bool { return bytes.Compare(wires[i].rdata, wires[j].rdata) < 0 })
+
+	// RFC 4035 §5.3.2: when the RRSIG Labels field is smaller than the
+	// owner's label count, the RRset was synthesized from a wildcard; the
+	// canonical owner is the wildcard itself ("*." + rightmost labels).
+	ownerName, err := canonicalOwner(rrset[0].Name, sig.Labels)
+	if err != nil {
+		return nil, err
+	}
+	owner := dns.EncodeName(ownerName)
+	for _, w := range wires {
+		buf = append(buf, owner...)
+		buf = appendUint16(buf, uint16(rrset[0].Type))
+		buf = appendUint16(buf, uint16(rrset[0].Class))
+		buf = appendUint32(buf, sig.OriginalTTL)
+		buf = appendUint16(buf, uint16(len(w.rdata)))
+		buf = append(buf, w.rdata...)
+	}
+	return buf, nil
+}
+
+// canonicalOwner reconstructs the signing owner name from the RRSIG Labels
+// field: the name itself for ordinary records, the source wildcard for
+// synthesized ones.
+func canonicalOwner(name dns.Name, labels uint8) (dns.Name, error) {
+	count := name.LabelCount()
+	if name.FirstLabel() == "*" {
+		count-- // the wildcard's own Labels field excludes "*"
+	}
+	if int(labels) >= count {
+		return name, nil
+	}
+	base := name
+	for base.LabelCount() > int(labels) {
+		base = base.Parent()
+	}
+	owner, err := base.Prepend("*")
+	if err != nil {
+		return "", fmt.Errorf("dnssec: reconstructing wildcard owner of %s: %w", name, err)
+	}
+	return owner, nil
+}
+
+func appendUint16(b []byte, v uint16) []byte {
+	return append(b, byte(v>>8), byte(v))
+}
+
+func appendUint32(b []byte, v uint32) []byte {
+	return append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// GroupRRSets splits records into RRsets keyed by (name, type, class),
+// preserving no particular order inside each set.
+func GroupRRSets(rrs []dns.RR) map[dns.Key][]dns.RR {
+	out := make(map[dns.Key][]dns.RR)
+	for _, rr := range rrs {
+		out[rr.Key()] = append(out[rr.Key()], rr)
+	}
+	return out
+}

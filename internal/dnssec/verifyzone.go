@@ -1,0 +1,102 @@
+package dnssec
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/dnsprivacy/lookaside/internal/dns"
+)
+
+// ErrNoApex is returned when a record set has no SOA to anchor on.
+var ErrNoApex = errors.New("dnssec: no SOA record (cannot locate apex)")
+
+// ZoneCheck summarizes whole-zone signature verification.
+type ZoneCheck struct {
+	// Apex is the zone origin (the SOA owner).
+	Apex dns.Name
+	// Keys is the number of DNSKEYs published at the apex.
+	Keys int
+	// Verified counts RRsets whose signature checked out; Unsigned counts
+	// RRsets with no covering RRSIG (delegation NS and glue are expected
+	// here); Failed lists RRsets whose signature did not verify.
+	Verified int
+	Unsigned int
+	Failed   []dns.Key
+}
+
+// OK reports whether no signature failed.
+func (c *ZoneCheck) OK() bool { return len(c.Failed) == 0 }
+
+// VerifyZoneRecords checks every signed RRset of a flattened zone (as
+// produced by zone.SignedRecords or parsed from a signed master file)
+// against the DNSKEYs published at its apex. now is the validation time in
+// epoch seconds.
+func VerifyZoneRecords(rrs []dns.RR, now uint32) (*ZoneCheck, error) {
+	check := &ZoneCheck{}
+	for _, rr := range rrs {
+		if rr.Type == dns.TypeSOA {
+			check.Apex = rr.Name
+			break
+		}
+	}
+	if check.Apex == "" {
+		return nil, ErrNoApex
+	}
+
+	var keys []*dns.DNSKEYData
+	for _, rr := range rrs {
+		if rr.Name == check.Apex && rr.Type == dns.TypeDNSKEY {
+			if k, ok := rr.Data.(*dns.DNSKEYData); ok {
+				keys = append(keys, k)
+			}
+		}
+	}
+	check.Keys = len(keys)
+
+	sets := GroupRRSets(rrs)
+	// Index signatures by (owner, covered type).
+	type sigKey struct {
+		name    dns.Name
+		covered dns.Type
+	}
+	sigs := make(map[sigKey]dns.RR)
+	for _, rr := range rrs {
+		if sig, ok := rr.Data.(*dns.RRSIGData); ok {
+			sigs[sigKey{rr.Name, sig.TypeCovered}] = rr
+		}
+	}
+
+	for key, rrset := range sets {
+		if key.Type == dns.TypeRRSIG {
+			continue
+		}
+		sig, ok := sigs[sigKey{key.Name, key.Type}]
+		if !ok {
+			check.Unsigned++
+			continue
+		}
+		verified := false
+		for _, k := range keys {
+			if VerifyRRSet(k, sig, rrset, now) == nil {
+				verified = true
+				break
+			}
+		}
+		if verified {
+			check.Verified++
+		} else {
+			check.Failed = append(check.Failed, key)
+		}
+	}
+	return check, nil
+}
+
+// String renders the check result.
+func (c *ZoneCheck) String() string {
+	status := "OK"
+	if !c.OK() {
+		status = fmt.Sprintf("%d FAILED", len(c.Failed))
+	}
+	return fmt.Sprintf("zone %s: %d keys, %d rrsets verified, %d unsigned — %s",
+		c.Apex, c.Keys, c.Verified, c.Unsigned, status)
+}

@@ -1,0 +1,103 @@
+package dnssec
+
+import (
+	"errors"
+	"net/netip"
+	"testing"
+
+	"github.com/dnsprivacy/lookaside/internal/dns"
+)
+
+// buildSignedRecords assembles a small flattened signed zone by hand.
+func buildSignedRecords(t *testing.T) ([]dns.RR, *KeyPair) {
+	t.Helper()
+	apex := dns.MustName("check.test")
+	key, err := GenerateKey(AlgFastHMAC, dns.DNSKEYFlagZone|dns.DNSKEYFlagSEP, testRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	soa := dns.RR{Name: apex, Type: dns.TypeSOA, Class: dns.ClassIN, TTL: 300,
+		Data: &dns.SOAData{MName: apex, RName: apex, MinTTL: 60}}
+	www := dns.RR{Name: dns.MustName("www.check.test"), Type: dns.TypeA, Class: dns.ClassIN, TTL: 300,
+		Data: &dns.AData{Addr: netip.MustParseAddr("192.0.2.1")}}
+	keyRR := key.DNSKEYRR(apex, 300)
+
+	out := []dns.RR{soa, www, keyRR}
+	for _, rrset := range [][]dns.RR{{soa}, {www}, {keyRR}} {
+		sig, err := SignRRSet(key, apex, rrset, 0, 1<<31, testRNG(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, sig)
+	}
+	return out, key
+}
+
+func TestVerifyZoneRecordsOK(t *testing.T) {
+	rrs, _ := buildSignedRecords(t)
+	check, err := VerifyZoneRecords(rrs, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !check.OK() || check.Verified != 3 || check.Unsigned != 0 || check.Keys != 1 {
+		t.Fatalf("check = %+v", check)
+	}
+	if check.Apex != dns.MustName("check.test") {
+		t.Fatalf("apex = %s", check.Apex)
+	}
+}
+
+func TestVerifyZoneRecordsDetectsTampering(t *testing.T) {
+	rrs, _ := buildSignedRecords(t)
+	for i := range rrs {
+		if rrs[i].Type == dns.TypeA {
+			rrs[i].Data = &dns.AData{Addr: netip.MustParseAddr("203.0.113.66")}
+		}
+	}
+	check, err := VerifyZoneRecords(rrs, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if check.OK() || len(check.Failed) != 1 {
+		t.Fatalf("tampering not detected: %+v", check)
+	}
+	if check.Failed[0].Type != dns.TypeA {
+		t.Fatalf("wrong failure: %s", check.Failed[0])
+	}
+}
+
+func TestVerifyZoneRecordsUnsigned(t *testing.T) {
+	rrs, _ := buildSignedRecords(t)
+	rrs = append(rrs, dns.RR{
+		Name: dns.MustName("glue.check.test"), Type: dns.TypeA, Class: dns.ClassIN, TTL: 300,
+		Data: &dns.AData{Addr: netip.MustParseAddr("192.0.2.9")},
+	})
+	check, err := VerifyZoneRecords(rrs, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if check.Unsigned != 1 || !check.OK() {
+		t.Fatalf("check = %+v", check)
+	}
+}
+
+func TestVerifyZoneRecordsNoApex(t *testing.T) {
+	_, err := VerifyZoneRecords([]dns.RR{{
+		Name: dns.MustName("x.test"), Type: dns.TypeA, Class: dns.ClassIN,
+		Data: &dns.AData{Addr: netip.MustParseAddr("192.0.2.1")},
+	}}, 100)
+	if !errors.Is(err, ErrNoApex) {
+		t.Fatalf("err = %v, want ErrNoApex", err)
+	}
+}
+
+func TestZoneCheckString(t *testing.T) {
+	rrs, _ := buildSignedRecords(t)
+	check, err := VerifyZoneRecords(rrs, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := check.String(); got == "" || !check.OK() {
+		t.Fatalf("String = %q", got)
+	}
+}

@@ -1,0 +1,121 @@
+package enum
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"testing"
+
+	"github.com/dnsprivacy/lookaside/internal/authserver"
+	"github.com/dnsprivacy/lookaside/internal/dlv"
+	"github.com/dnsprivacy/lookaside/internal/dns"
+	"github.com/dnsprivacy/lookaside/internal/dnssec"
+	"github.com/dnsprivacy/lookaside/internal/simnet"
+)
+
+var (
+	attacker = netip.MustParseAddr("203.0.113.99")
+	regAddr  = netip.MustParseAddr("149.20.64.1")
+)
+
+// buildRegistry serves a registry with n deposits on a fresh network.
+func buildRegistry(t *testing.T, n int, nsec3 bool) (*simnet.Network, *dlv.Registry, []dns.Name) {
+	t.Helper()
+	reg, err := dlv.NewRegistry(dlv.Config{
+		Apex:      dns.MustName("dlv.isc.org"),
+		Algorithm: dnssec.AlgFastHMAC,
+		Rand:      rand.New(rand.NewSource(1)),
+		Inception: 0, Expiration: 1 << 31,
+		NSEC3: nsec3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	var deposited []dns.Name
+	for i := 0; i < n; i++ {
+		domain := dns.MustName(fmt.Sprintf("victim%03d.example%d.com", i, i%7))
+		key, err := dnssec.GenerateKey(dnssec.AlgFastHMAC, dns.DNSKEYFlagZone|dns.DNSKEYFlagSEP, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := dnssec.MakeDLV(domain, key.Public(), dnssec.DigestSHA256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := reg.Deposit(domain, rec); err != nil {
+			t.Fatal(err)
+		}
+		deposited = append(deposited, domain)
+	}
+	net := simnet.New()
+	srv, err := authserver.New(authserver.Config{Name: "dlv"}, reg.Zone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Register(regAddr, "dlv", simnet.RoleDLV, 0, srv); err != nil {
+		t.Fatal(err)
+	}
+	return net, reg, deposited
+}
+
+func TestWalkEnumeratesEverything(t *testing.T) {
+	const deposits = 25
+	net, _, deposited := buildRegistry(t, deposits, false)
+	res, err := Walk(net, attacker, regAddr, dns.MustName("dlv.isc.org"), 500)
+	if err != nil {
+		t.Fatalf("Walk: %v", err)
+	}
+	if !res.Complete {
+		t.Fatal("walk did not close the chain")
+	}
+	found := map[dns.Name]bool{}
+	for _, n := range res.Names {
+		found[n] = true
+	}
+	for _, victim := range deposited {
+		lookName, err := dlv.LookasideName(victim, dns.MustName("dlv.isc.org"), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !found[lookName] {
+			t.Errorf("deposit %s not enumerated", lookName)
+		}
+	}
+	// The walk is efficient: roughly one probe per name.
+	if res.Queries > deposits*3+10 {
+		t.Errorf("walk used %d probes for %d deposits", res.Queries, deposits)
+	}
+}
+
+func TestWalkBlockedByNSEC3(t *testing.T) {
+	net, _, _ := buildRegistry(t, 10, true)
+	_, err := Walk(net, attacker, regAddr, dns.MustName("dlv.isc.org"), 100)
+	if !errors.Is(err, ErrNotWalkable) {
+		t.Fatalf("err = %v, want ErrNotWalkable", err)
+	}
+}
+
+func TestWalkHonorsLimit(t *testing.T) {
+	net, _, _ := buildRegistry(t, 50, false)
+	_, err := Walk(net, attacker, regAddr, dns.MustName("dlv.isc.org"), 5)
+	if !errors.Is(err, ErrLimit) {
+		t.Fatalf("err = %v, want ErrLimit", err)
+	}
+}
+
+func TestWalkEmptyZone(t *testing.T) {
+	net, _, _ := buildRegistry(t, 0, false)
+	res, err := Walk(net, attacker, regAddr, dns.MustName("dlv.isc.org"), 10)
+	if err != nil {
+		t.Fatalf("Walk: %v", err)
+	}
+	if !res.Complete {
+		t.Fatal("empty zone should close immediately")
+	}
+	// Only the apex (and possibly its SOA-owner alias) appear.
+	if len(res.Names) > 2 {
+		t.Fatalf("empty zone enumerated %d names", len(res.Names))
+	}
+}

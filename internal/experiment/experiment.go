@@ -1,0 +1,101 @@
+// Package experiment implements one driver per table and figure of the
+// paper's evaluation (see DESIGN.md §4 for the index). Each driver returns
+// a typed result with a String() rendering, consumed by cmd/dlvmeasure,
+// the root-level benchmarks, and the test suite.
+package experiment
+
+import (
+	"fmt"
+
+	"github.com/dnsprivacy/lookaside/internal/core"
+	"github.com/dnsprivacy/lookaside/internal/dataset"
+	"github.com/dnsprivacy/lookaside/internal/resolver"
+	"github.com/dnsprivacy/lookaside/internal/universe"
+)
+
+// Params are the shared experiment knobs.
+type Params struct {
+	// Seed drives all randomness; experiments are deterministic in it.
+	Seed int64
+	// Scale divides the paper's workload sizes for laptop-scale runs:
+	// 1 reproduces the paper's magnitudes, 100 runs the same sweeps at 1%
+	// size. Zero means 100 (the test-friendly default).
+	Scale int
+}
+
+// scale returns the effective scale divisor.
+func (p Params) scale() int {
+	if p.Scale <= 0 {
+		return 100
+	}
+	return p.Scale
+}
+
+// scaled divides a paper-scale workload size, keeping at least min.
+func (p Params) scaled(n, min int) int {
+	v := n / p.scale()
+	if v < min {
+		v = min
+	}
+	return v
+}
+
+// buildPopulation generates the Alexa-like population of the given size.
+func buildPopulation(size int, seed int64) (*dataset.Population, error) {
+	return dataset.AlexaLike(dataset.PopulationConfig{Size: size, Seed: seed})
+}
+
+// buildUniverse assembles a universe over a population with optional
+// option tweaks.
+func buildUniverse(pop *dataset.Population, seed int64, mutate func(*universe.Options)) (*universe.Universe, error) {
+	opts := universe.Options{
+		Seed:       seed,
+		Population: pop,
+		Extra:      dataset.SecureDomains(),
+	}
+	if mutate != nil {
+		mutate(&opts)
+	}
+	return universe.Build(opts)
+}
+
+// auditSetup configures one audit run.
+type auditSetup struct {
+	withRootAnchor bool
+	withLookaside  bool
+	remedy         resolver.RemedyMode
+	policy         resolver.LookasidePolicy
+	disableAggro   bool
+	validation     *bool // override ValidationEnabled (nil: on)
+	dlvAnchor      *bool // override DLV anchor presence (nil: present)
+}
+
+// runAudit resets the network taps, installs a fresh resolver per the
+// setup, runs the workload, and reports.
+func runAudit(u *universe.Universe, setup auditSetup, workload []dataset.Domain) (core.Report, error) {
+	u.Net.ResetTaps()
+	cfg := u.ResolverConfig(setup.withRootAnchor, setup.withLookaside)
+	if setup.remedy != 0 && cfg.Lookaside != nil {
+		cfg.Lookaside.Remedy = setup.remedy
+	}
+	if setup.policy != 0 && cfg.Lookaside != nil {
+		cfg.Lookaside.Policy = setup.policy
+	}
+	if setup.disableAggro && cfg.Lookaside != nil {
+		cfg.Lookaside.DisableAggressiveNegCache = true
+	}
+	if setup.validation != nil {
+		cfg.ValidationEnabled = *setup.validation
+	}
+	if setup.dlvAnchor != nil && !*setup.dlvAnchor && cfg.Lookaside != nil {
+		cfg.Lookaside.Anchor = nil
+	}
+	auditor, err := core.NewAuditor(u, core.Options{Resolver: cfg})
+	if err != nil {
+		return core.Report{}, fmt.Errorf("experiment: %w", err)
+	}
+	if err := auditor.QueryDomains(workload); err != nil {
+		return core.Report{}, err
+	}
+	return auditor.Report(), nil
+}

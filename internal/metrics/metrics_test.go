@@ -1,0 +1,83 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableRendering(t *testing.T) {
+	tbl := Table{
+		Title:  "Demo",
+		Header: []string{"name", "count"},
+	}
+	tbl.AddRow("alpha", 1)
+	tbl.AddRow("beta-longer", 20000)
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "== Demo ==") {
+		t.Fatalf("title: %q", lines[0])
+	}
+	// Columns align: the header and rows share the count column offset.
+	hdrIdx := strings.Index(lines[1], "count")
+	rowIdx := strings.Index(lines[3], "1")
+	if hdrIdx != rowIdx {
+		t.Fatalf("misaligned columns: header@%d value@%d\n%s", hdrIdx, rowIdx, out)
+	}
+	// Untitled table omits the banner.
+	if strings.Contains((&Table{Header: []string{"a"}}).String(), "==") {
+		t.Fatal("untitled table printed a banner")
+	}
+}
+
+func TestFigureRendering(t *testing.T) {
+	s1 := &Series{Name: "leaked"}
+	s1.Add(100, 84)
+	s1.Add(1000, 420)
+	s2 := &Series{Name: "queries"}
+	s2.Add(100, 100)
+	s2.Add(1000, 510)
+	fig := Figure{Title: "Fig. X", XLabel: "domains", YLabel: "count",
+		Series: []*Series{s1, s2}}
+	out := fig.String()
+	for _, want := range []string{"Fig. X", "domains", "leaked", "queries", "84", "510"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Ragged series must not panic.
+	short := &Series{Name: "short"}
+	short.Add(100, 1)
+	fig.Series = append(fig.Series, short)
+	_ = fig.String()
+}
+
+func TestUnitFormatters(t *testing.T) {
+	if got := Seconds(90 * time.Second); got != "90.00" {
+		t.Errorf("Seconds = %q", got)
+	}
+	if got := Megabytes(2_500_000); got != "2.50" {
+		t.Errorf("Megabytes = %q", got)
+	}
+	if got := Percent(0.1868); got != "18.68%" {
+		t.Errorf("Percent = %q", got)
+	}
+	if got := Ratio(7.13, 38.16); got != "18.68%" {
+		t.Errorf("Ratio = %q", got)
+	}
+	if got := Ratio(1, 0); got != "n/a" {
+		t.Errorf("Ratio/0 = %q", got)
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	if got := trimFloat(100); got != "100" {
+		t.Errorf("trimFloat(100) = %q", got)
+	}
+	if got := trimFloat(0.125); got != "0.125" {
+		t.Errorf("trimFloat(0.125) = %q", got)
+	}
+}

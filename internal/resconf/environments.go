@@ -1,0 +1,100 @@
+package resconf
+
+// Environment is one of the 16 operating-system / installer contexts of
+// Table 1, with the resolver versions the paper tested.
+type Environment struct {
+	// OS is the distribution and release.
+	OS string
+	// Installer is the package manager of the distribution (apt-get or
+	// yum) — manual installs are represented by the same OS rows with
+	// Installer = Manual.
+	Installer Installer
+	// BINDPackaged / BINDManual are the BIND versions per install method.
+	BINDPackaged, BINDManual string
+	// UnboundPackaged / UnboundManual likewise for Unbound.
+	UnboundPackaged, UnboundManual string
+}
+
+// Environments reproduces Table 1: the resolver versions and settings of
+// the 8 operating systems × 2 install methods the paper measured.
+func Environments() []Environment {
+	return []Environment{
+		{OS: "CentOS 6.7", Installer: Yum, BINDPackaged: "9.9.4", BINDManual: "9.10.3", UnboundPackaged: "1.4.20", UnboundManual: "1.5.7"},
+		{OS: "CentOS 7.1", Installer: Yum, BINDPackaged: "9.9.4", BINDManual: "9.10.3", UnboundPackaged: "1.4.29", UnboundManual: "1.5.7"},
+		{OS: "Debian 7", Installer: AptGet, BINDPackaged: "9.8.4", BINDManual: "9.10.3", UnboundPackaged: "1.4.17", UnboundManual: "1.5.7"},
+		{OS: "Debian 8", Installer: AptGet, BINDPackaged: "9.9.5", BINDManual: "9.10.3", UnboundPackaged: "1.4.22", UnboundManual: "1.5.7"},
+		{OS: "Fedora 21", Installer: Yum, BINDPackaged: "9.9.6", BINDManual: "9.10.3", UnboundPackaged: "1.5.7", UnboundManual: "1.5.7"},
+		{OS: "Fedora 22", Installer: Yum, BINDPackaged: "9.10.2", BINDManual: "9.10.3", UnboundPackaged: "1.5.7", UnboundManual: "1.5.7"},
+		{OS: "Ubuntu 12.04", Installer: AptGet, BINDPackaged: "9.9.5", BINDManual: "9.10.3", UnboundPackaged: "1.4.16", UnboundManual: "1.5.7"},
+		{OS: "Ubuntu 14.04", Installer: AptGet, BINDPackaged: "9.9.5", BINDManual: "9.10.3", UnboundPackaged: "1.4.22", UnboundManual: "1.5.7"},
+	}
+}
+
+// ComplianceIssue flags a default that contradicts the BIND ARM (the red
+// values in Table 2).
+type ComplianceIssue struct {
+	Installer Installer
+	Option    string
+	Default   string
+	ARMSays   string
+}
+
+// ComplianceIssues lists the distribution defaults the paper found to
+// contradict the BIND Administrator Reference Manual.
+func ComplianceIssues() []ComplianceIssue {
+	return []ComplianceIssue{
+		{Installer: AptGet, Option: "dnssec-validation", Default: "auto", ARMSays: "yes"},
+		{Installer: Yum, Option: "dnssec-lookaside", Default: "auto", ARMSays: "no"},
+		{Installer: Yum, Option: "dnssec-validation", Default: "yes (anchor included)", ARMSays: "yes (anchor manual)"},
+	}
+}
+
+// Scenario is one column of Table 3: an installer context with DLV armed
+// the way the paper's measurement requires.
+type Scenario struct {
+	Name      string
+	Software  Software
+	Installer Installer
+	// Config is the effective semantics after the user's DLV-arming step.
+	Config Effective
+}
+
+// Scenarios returns the four BIND columns of Table 3 plus the Unbound
+// control, each with its effective semantics.
+func Scenarios() ([]Scenario, error) {
+	mk := func(name string, inst Installer, arm bool) (Scenario, error) {
+		opts, err := DefaultBIND(inst)
+		if err != nil {
+			return Scenario{}, err
+		}
+		if arm {
+			opts = EnableDLV(opts)
+		}
+		return Scenario{Name: name, Software: BIND, Installer: inst, Config: opts.Effective()}, nil
+	}
+	aptget, err := mk("apt-get", AptGet, true)
+	if err != nil {
+		return nil, err
+	}
+	aptgetMod, err := mk("apt-get†", AptGetModified, false) // already armed
+	if err != nil {
+		return nil, err
+	}
+	yum, err := mk("yum", Yum, false) // yum default already arms DLV
+	if err != nil {
+		return nil, err
+	}
+	manual, err := mk("manual", Manual, true)
+	if err != nil {
+		return nil, err
+	}
+	ub, err := DefaultUnbound(AptGet)
+	if err != nil {
+		return nil, err
+	}
+	unbound := Scenario{
+		Name: "unbound", Software: Unbound, Installer: AptGet,
+		Config: EnableUnboundDLV(ub).Effective(),
+	}
+	return []Scenario{aptget, aptgetMod, yum, manual, unbound}, nil
+}

@@ -1,0 +1,267 @@
+// Package resconf models the resolver configuration surface the paper
+// studies: BIND's dnssec-enable / dnssec-validation / dnssec-lookaside
+// options and trust-anchor inclusion, Unbound's anchor-file-implied
+// enablement, the per-installer defaults of Figs. 4–7 and Table 2, and the
+// 16-environment matrix of Table 1. Each configuration maps onto the
+// effective resolver semantics (validation on/off, root anchor present,
+// look-aside enabled) that package resolver executes.
+package resconf
+
+import "fmt"
+
+// Software identifies the resolver implementation.
+type Software int
+
+// Resolver software.
+const (
+	BIND Software = iota + 1
+	Unbound
+)
+
+// String implements fmt.Stringer.
+func (s Software) String() string {
+	switch s {
+	case BIND:
+		return "BIND"
+	case Unbound:
+		return "Unbound"
+	default:
+		return "unknown"
+	}
+}
+
+// Installer identifies how the resolver was installed; the paper shows the
+// default configuration differs per installer and often contradicts the
+// BIND Administrator Reference Manual.
+type Installer int
+
+// Install methods. AptGetModified is the paper's "apt-get†": a user who,
+// following the ARM, changed dnssec-validation from auto to yes — thereby
+// losing the automatic trust anchor.
+const (
+	AptGet Installer = iota + 1
+	Yum
+	Manual
+	AptGetModified
+)
+
+var installerNames = map[Installer]string{
+	AptGet:         "apt-get",
+	Yum:            "yum",
+	Manual:         "manual",
+	AptGetModified: "apt-get†",
+}
+
+// String implements fmt.Stringer.
+func (i Installer) String() string {
+	if s, ok := installerNames[i]; ok {
+		return s
+	}
+	return "unknown"
+}
+
+// ValidationSetting is BIND's dnssec-validation value.
+type ValidationSetting int
+
+// dnssec-validation values. Auto loads the built-in trust anchor; Yes
+// requires the anchor to be configured explicitly.
+const (
+	ValidationUnset ValidationSetting = iota + 1
+	ValidationYes
+	ValidationAuto
+	ValidationNo
+)
+
+var validationNames = map[ValidationSetting]string{
+	ValidationUnset: "N/A",
+	ValidationYes:   "yes",
+	ValidationAuto:  "auto",
+	ValidationNo:    "no",
+}
+
+// String implements fmt.Stringer.
+func (v ValidationSetting) String() string {
+	if s, ok := validationNames[v]; ok {
+		return s
+	}
+	return "unknown"
+}
+
+// LookasideSetting is BIND's dnssec-lookaside value.
+type LookasideSetting int
+
+// dnssec-lookaside values.
+const (
+	LookasideUnset LookasideSetting = iota + 1
+	LookasideAuto
+	LookasideNo
+)
+
+var lookasideNames = map[LookasideSetting]string{
+	LookasideUnset: "N/A",
+	LookasideAuto:  "auto",
+	LookasideNo:    "no",
+}
+
+// String implements fmt.Stringer.
+func (l LookasideSetting) String() string {
+	if s, ok := lookasideNames[l]; ok {
+		return s
+	}
+	return "unknown"
+}
+
+// BINDOptions is the named.conf surface of interest (Figs. 4–6).
+type BINDOptions struct {
+	// DNSSECEnable is dnssec-enable (ARM default: yes).
+	DNSSECEnable bool
+	// Validation is dnssec-validation.
+	Validation ValidationSetting
+	// Lookaside is dnssec-lookaside.
+	Lookaside LookasideSetting
+	// TrustAnchorIncluded reports whether the root trust anchor is present
+	// in the configuration (bind.keys included or managed-keys configured).
+	TrustAnchorIncluded bool
+	// DLVAnchorIncluded reports whether the registry's trust anchor is
+	// available (shipped in bind.keys).
+	DLVAnchorIncluded bool
+}
+
+// UnboundOptions is the unbound.conf surface (Fig. 7): enablement is
+// implicit in anchor-file presence.
+type UnboundOptions struct {
+	// AutoTrustAnchorFile configures the root anchor (auto-trust-anchor-file).
+	AutoTrustAnchorFile bool
+	// DLVAnchorFile configures the registry anchor (dlv-anchor-file).
+	DLVAnchorFile bool
+}
+
+// Effective is the semantics a configuration actually produces, the input
+// to package resolver.
+type Effective struct {
+	// ValidationEnabled: the resolver attempts DNSSEC validation.
+	ValidationEnabled bool
+	// RootAnchorPresent: a usable root trust anchor is installed.
+	RootAnchorPresent bool
+	// LookasideEnabled: the DLV validator is armed.
+	LookasideEnabled bool
+	// DLVAnchorPresent: the registry's records can be authenticated.
+	DLVAnchorPresent bool
+}
+
+// SecuredDomainsLeak predicts the Table 3 row: will DNSSEC-secured,
+// chain-complete domains be sent to the DLV server? They are exactly when
+// validation runs with look-aside armed but no root anchor — every chain
+// attempt ends indeterminate and the lax rule ships the query off-path.
+func (e Effective) SecuredDomainsLeak() bool {
+	return e.ValidationEnabled && e.LookasideEnabled && !e.RootAnchorPresent
+}
+
+// Effective computes the semantics of a BIND configuration.
+func (o BINDOptions) Effective() Effective {
+	e := Effective{}
+	if !o.DNSSECEnable {
+		return e
+	}
+	switch o.Validation {
+	case ValidationAuto:
+		e.ValidationEnabled = true
+		e.RootAnchorPresent = true // auto loads the built-in anchor
+	case ValidationYes:
+		e.ValidationEnabled = true
+		e.RootAnchorPresent = o.TrustAnchorIncluded
+	default:
+		return e
+	}
+	if o.Lookaside == LookasideAuto {
+		e.LookasideEnabled = true
+		e.DLVAnchorPresent = o.DLVAnchorIncluded
+	}
+	return e
+}
+
+// Effective computes the semantics of an Unbound configuration: validation
+// and look-aside exist only through their anchor files, which is why the
+// paper finds Unbound immune to the missing-anchor misconfigurations.
+func (o UnboundOptions) Effective() Effective {
+	return Effective{
+		ValidationEnabled: o.AutoTrustAnchorFile || o.DLVAnchorFile,
+		RootAnchorPresent: o.AutoTrustAnchorFile,
+		LookasideEnabled:  o.DLVAnchorFile,
+		DLVAnchorPresent:  o.DLVAnchorFile,
+	}
+}
+
+// DefaultBIND returns the out-of-the-box named.conf per installer
+// (Figs. 4–6 / Table 2), before any user edits.
+func DefaultBIND(inst Installer) (BINDOptions, error) {
+	switch inst {
+	case AptGet:
+		// Fig. 4: dnssec-validation auto; lookaside not configured. The
+		// ARM says the default should be yes — non-compliant.
+		return BINDOptions{
+			DNSSECEnable: true,
+			Validation:   ValidationAuto,
+			Lookaside:    LookasideUnset,
+		}, nil
+	case Yum:
+		// Fig. 5: everything on, trust anchors included via bind.keys.
+		// The ARM says lookaside defaults to no — non-compliant.
+		return BINDOptions{
+			DNSSECEnable:        true,
+			Validation:          ValidationYes,
+			Lookaside:           LookasideAuto,
+			TrustAnchorIncluded: true,
+			DLVAnchorIncluded:   true,
+		}, nil
+	case Manual:
+		// No configuration file at all: BIND's compiled-in defaults leave
+		// validation requiring a manually supplied anchor.
+		return BINDOptions{
+			DNSSECEnable: true,
+			Validation:   ValidationYes,
+			Lookaside:    LookasideUnset,
+		}, nil
+	case AptGetModified:
+		// The paper's apt-get†: the user follows the ARM and sets
+		// dnssec-validation yes, losing the auto anchor, then enables DLV.
+		return BINDOptions{
+			DNSSECEnable:      true,
+			Validation:        ValidationYes,
+			Lookaside:         LookasideAuto,
+			DLVAnchorIncluded: true,
+		}, nil
+	default:
+		return BINDOptions{}, fmt.Errorf("resconf: unknown installer %d", inst)
+	}
+}
+
+// DefaultUnbound returns the out-of-the-box unbound.conf per installer.
+func DefaultUnbound(inst Installer) (UnboundOptions, error) {
+	switch inst {
+	case AptGet, Yum:
+		// Package installs enable DNSSEC (root anchor); DLV needs the
+		// anchor to be added explicitly.
+		return UnboundOptions{AutoTrustAnchorFile: true}, nil
+	case Manual:
+		// All statements are commented out until the user acts.
+		return UnboundOptions{}, nil
+	default:
+		return UnboundOptions{}, fmt.Errorf("resconf: unknown installer %d for unbound", inst)
+	}
+}
+
+// EnableDLV returns the configuration after the user arms look-aside the
+// way each software requires: BIND gets dnssec-lookaside auto (the paper's
+// measurement setting), Unbound gets the dlv-anchor-file.
+func EnableDLV(b BINDOptions) BINDOptions {
+	b.Lookaside = LookasideAuto
+	b.DLVAnchorIncluded = true
+	return b
+}
+
+// EnableUnboundDLV arms look-aside on an Unbound configuration.
+func EnableUnboundDLV(o UnboundOptions) UnboundOptions {
+	o.DLVAnchorFile = true
+	return o
+}

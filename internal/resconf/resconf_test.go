@@ -1,0 +1,186 @@
+package resconf
+
+import "testing"
+
+func TestDefaultBINDTable2(t *testing.T) {
+	// Table 2 rows: installer → (DNSSEC, validation, DLV, trust anchor).
+	tests := []struct {
+		inst       Installer
+		validation ValidationSetting
+		lookaside  LookasideSetting
+		anchor     bool
+	}{
+		{AptGet, ValidationAuto, LookasideUnset, false},
+		{Yum, ValidationYes, LookasideAuto, true},
+		{Manual, ValidationYes, LookasideUnset, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.inst.String(), func(t *testing.T) {
+			got, err := DefaultBIND(tt.inst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.DNSSECEnable {
+				t.Error("dnssec-enable should default on")
+			}
+			if got.Validation != tt.validation {
+				t.Errorf("validation = %s, want %s", got.Validation, tt.validation)
+			}
+			if got.Lookaside != tt.lookaside {
+				t.Errorf("lookaside = %s, want %s", got.Lookaside, tt.lookaside)
+			}
+			if got.TrustAnchorIncluded != tt.anchor {
+				t.Errorf("anchor = %t, want %t", got.TrustAnchorIncluded, tt.anchor)
+			}
+		})
+	}
+	if _, err := DefaultBIND(Installer(99)); err == nil {
+		t.Error("unknown installer accepted")
+	}
+	if _, err := DefaultUnbound(Installer(99)); err == nil {
+		t.Error("unknown installer accepted for unbound")
+	}
+}
+
+func TestEffectiveSemantics(t *testing.T) {
+	tests := []struct {
+		name string
+		opts BINDOptions
+		want Effective
+	}{
+		{
+			name: "validation auto loads anchor",
+			opts: BINDOptions{DNSSECEnable: true, Validation: ValidationAuto},
+			want: Effective{ValidationEnabled: true, RootAnchorPresent: true},
+		},
+		{
+			name: "validation yes without anchor",
+			opts: BINDOptions{DNSSECEnable: true, Validation: ValidationYes},
+			want: Effective{ValidationEnabled: true},
+		},
+		{
+			name: "validation yes with anchor",
+			opts: BINDOptions{DNSSECEnable: true, Validation: ValidationYes, TrustAnchorIncluded: true},
+			want: Effective{ValidationEnabled: true, RootAnchorPresent: true},
+		},
+		{
+			name: "dnssec-enable off kills everything",
+			opts: BINDOptions{Validation: ValidationAuto, Lookaside: LookasideAuto},
+			want: Effective{},
+		},
+		{
+			name: "validation no disables lookaside too",
+			opts: BINDOptions{DNSSECEnable: true, Validation: ValidationNo, Lookaside: LookasideAuto},
+			want: Effective{},
+		},
+		{
+			name: "lookaside auto arms DLV",
+			opts: BINDOptions{DNSSECEnable: true, Validation: ValidationAuto, Lookaside: LookasideAuto, DLVAnchorIncluded: true},
+			want: Effective{ValidationEnabled: true, RootAnchorPresent: true, LookasideEnabled: true, DLVAnchorPresent: true},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.opts.Effective(); got != tt.want {
+				t.Errorf("Effective() = %+v, want %+v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestUnboundEffective(t *testing.T) {
+	// Unbound cannot be misconfigured into anchor-less validation: the
+	// anchors ARE the enablement.
+	o := UnboundOptions{}
+	if o.Effective().ValidationEnabled {
+		t.Error("empty unbound config should not validate")
+	}
+	armed := EnableUnboundDLV(UnboundOptions{AutoTrustAnchorFile: true})
+	e := armed.Effective()
+	if !e.ValidationEnabled || !e.RootAnchorPresent || !e.LookasideEnabled || !e.DLVAnchorPresent {
+		t.Errorf("armed unbound = %+v", e)
+	}
+	if e.SecuredDomainsLeak() {
+		t.Error("unbound with anchors must not leak secured domains")
+	}
+}
+
+func TestScenariosMatchTable3(t *testing.T) {
+	scenarios, err := Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table 3: DLV leakage of secured domains per configuration.
+	want := map[string]bool{
+		"apt-get":  false,
+		"apt-get†": true,
+		"yum":      false,
+		"manual":   true,
+		"unbound":  false,
+	}
+	if len(scenarios) != len(want) {
+		t.Fatalf("got %d scenarios, want %d", len(scenarios), len(want))
+	}
+	for _, s := range scenarios {
+		expect, ok := want[s.Name]
+		if !ok {
+			t.Fatalf("unexpected scenario %q", s.Name)
+		}
+		if got := s.Config.SecuredDomainsLeak(); got != expect {
+			t.Errorf("%s: SecuredDomainsLeak = %t, want %t (config %+v)", s.Name, got, expect, s.Config)
+		}
+		if !s.Config.LookasideEnabled {
+			t.Errorf("%s: scenario must have DLV armed", s.Name)
+		}
+	}
+}
+
+func TestEnvironmentsTable1(t *testing.T) {
+	envs := Environments()
+	if len(envs) != 8 {
+		t.Fatalf("got %d environments, want 8 OS rows", len(envs))
+	}
+	for _, e := range envs {
+		if e.BINDManual != "9.10.3" {
+			t.Errorf("%s: manual BIND = %s, want 9.10.3", e.OS, e.BINDManual)
+		}
+		if e.UnboundManual != "1.5.7" {
+			t.Errorf("%s: manual Unbound = %s, want 1.5.7", e.OS, e.UnboundManual)
+		}
+		if e.BINDPackaged == "" || e.UnboundPackaged == "" {
+			t.Errorf("%s: missing packaged versions", e.OS)
+		}
+	}
+}
+
+func TestComplianceIssues(t *testing.T) {
+	issues := ComplianceIssues()
+	if len(issues) == 0 {
+		t.Fatal("no compliance issues modeled")
+	}
+	seen := map[Installer]bool{}
+	for _, i := range issues {
+		seen[i.Installer] = true
+		if i.Option == "" || i.Default == i.ARMSays {
+			t.Errorf("degenerate issue: %+v", i)
+		}
+	}
+	if !seen[AptGet] || !seen[Yum] {
+		t.Error("both apt-get and yum defaults contradict the ARM in the paper")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if BIND.String() != "BIND" || Unbound.String() != "Unbound" || Software(0).String() != "unknown" {
+		t.Error("Software.String broken")
+	}
+	if AptGetModified.String() != "apt-get†" || Installer(0).String() != "unknown" {
+		t.Error("Installer.String broken")
+	}
+	if ValidationAuto.String() != "auto" || ValidationSetting(0).String() != "unknown" {
+		t.Error("ValidationSetting.String broken")
+	}
+	if LookasideNo.String() != "no" || LookasideSetting(0).String() != "unknown" {
+		t.Error("LookasideSetting.String broken")
+	}
+}

@@ -1,0 +1,188 @@
+package resolver
+
+import (
+	"net/netip"
+	"sort"
+
+	"github.com/dnsprivacy/lookaside/internal/dns"
+)
+
+// cache holds every piece of resolver state: positive and negative answer
+// caches, the delegation (referral) cache, per-zone validation results,
+// and the validated NSEC span store that powers aggressive negative
+// caching of the DLV zone.
+type cache struct {
+	positive    map[dns.Key]posEntry
+	negative    map[dns.Key]negEntry
+	delegations map[dns.Name]*delegation
+	zoneStatus  map[dns.Name]*zoneOutcome
+	spans       map[dns.Name]*spanStore
+	seenServers map[netip.Addr]bool
+	nsCompleted map[dns.Name]bool
+}
+
+func newCache() *cache {
+	return &cache{
+		positive:    make(map[dns.Key]posEntry),
+		negative:    make(map[dns.Key]negEntry),
+		delegations: make(map[dns.Name]*delegation),
+		zoneStatus:  make(map[dns.Name]*zoneOutcome),
+		spans:       make(map[dns.Name]*spanStore),
+		seenServers: make(map[netip.Addr]bool),
+		nsCompleted: make(map[dns.Name]bool),
+	}
+}
+
+type posEntry struct {
+	rrs     []dns.RR
+	zone    dns.Name
+	status  ValidationStatus
+	usedDLV bool
+	zbit    bool
+	expires uint32
+}
+
+type negEntry struct {
+	rcode   dns.RCode
+	zone    dns.Name
+	expires uint32
+}
+
+// nsServer is one name server of a delegation; addr is the zero value when
+// no glue was provided and the address must be resolved.
+type nsServer struct {
+	name dns.Name
+	addr netip.Addr
+}
+
+// delegation caches a zone cut discovered through referrals.
+type delegation struct {
+	parent  dns.Name
+	servers []nsServer
+}
+
+// zoneOutcome caches per-zone validation state.
+type zoneOutcome struct {
+	status ValidationStatus
+	// keys are the zone's validated (or best-effort) DNSKEYs.
+	keys []*dns.DNSKEYData
+	// signed reports whether the zone publishes DNSKEYs at all.
+	signed bool
+	// viaDLV reports whether the chain was established through the
+	// look-aside registry.
+	viaDLV bool
+}
+
+// span is one validated NSEC interval of a zone's canonical chain.
+type span struct {
+	owner, next dns.Name
+	expires     uint32
+}
+
+// spanStore keeps validated NSEC spans queryable by coverage. Inserts go to
+// an unsorted tail; when the tail grows past a threshold it is merged into
+// the sorted body, keeping both insert and lookup cheap at the scale of the
+// million-domain sweeps.
+type spanStore struct {
+	sorted []span
+	tail   []span
+}
+
+// tailLimit bounds the unsorted tail before a merge.
+const tailLimit = 512
+
+func (s *spanStore) add(sp span) {
+	s.tail = append(s.tail, sp)
+	if len(s.tail) >= tailLimit {
+		s.merge()
+	}
+}
+
+func (s *spanStore) merge() {
+	s.sorted = append(s.sorted, s.tail...)
+	s.tail = s.tail[:0]
+	sort.Slice(s.sorted, func(i, j int) bool {
+		return dns.CanonicalLess(s.sorted[i].owner, s.sorted[j].owner)
+	})
+	// Deduplicate identical owners, keeping the freshest expiry.
+	out := s.sorted[:0]
+	for _, sp := range s.sorted {
+		if len(out) > 0 && out[len(out)-1].owner == sp.owner {
+			if sp.expires > out[len(out)-1].expires {
+				out[len(out)-1] = sp
+			}
+			continue
+		}
+		out = append(out, sp)
+	}
+	s.sorted = out
+}
+
+// covers reports whether a live cached span proves the nonexistence of
+// name at the given time.
+func (s *spanStore) covers(name dns.Name, now uint32) bool {
+	for _, sp := range s.tail {
+		if sp.expires >= now && dns.Covered(name, sp.owner, sp.next) {
+			return true
+		}
+	}
+	if len(s.sorted) == 0 {
+		return false
+	}
+	// Binary search for the last owner <= name, then check that span and
+	// the wrap-around span at the end of the chain.
+	i := sort.Search(len(s.sorted), func(i int) bool {
+		return dns.CanonicalCompare(s.sorted[i].owner, name) > 0
+	})
+	candidates := []int{i - 1, len(s.sorted) - 1}
+	for _, j := range candidates {
+		if j < 0 || j >= len(s.sorted) {
+			continue
+		}
+		sp := s.sorted[j]
+		if sp.expires >= now && dns.Covered(name, sp.owner, sp.next) {
+			return true
+		}
+	}
+	return false
+}
+
+// size returns the number of stored spans (for tests).
+func (s *spanStore) size() int { return len(s.sorted) + len(s.tail) }
+
+// cacheCap bounds the positive and negative caches (entries each). When
+// exceeded, an arbitrary quarter of the entries is evicted — crude next to
+// BIND's LRU, but entries are deterministic to rebuild and eviction order
+// does not affect the experiments' leak accounting.
+const cacheCap = 1 << 21
+
+// enforceCap evicts when either cache exceeds its bound.
+func (c *cache) enforceCap() {
+	if len(c.positive) >= cacheCap {
+		evictQuarter(c.positive)
+	}
+	if len(c.negative) >= cacheCap {
+		evictQuarter(c.negative)
+	}
+}
+
+func evictQuarter[V any](m map[dns.Key]V) {
+	target := len(m) / 4
+	for k := range m {
+		delete(m, k)
+		target--
+		if target <= 0 {
+			return
+		}
+	}
+}
+
+// spansFor returns the span store of a zone, creating it on first use.
+func (c *cache) spansFor(zone dns.Name) *spanStore {
+	st, ok := c.spans[zone]
+	if !ok {
+		st = &spanStore{}
+		c.spans[zone] = st
+	}
+	return st
+}

@@ -1,0 +1,49 @@
+package resolver
+
+import (
+	"errors"
+	"net/netip"
+
+	"github.com/dnsprivacy/lookaside/internal/dns"
+	"github.com/dnsprivacy/lookaside/internal/simnet"
+)
+
+// Compile-time check: the resolver can be registered on the simulated
+// network as the recursive server stubs talk to.
+var _ simnet.Handler = (*Resolver)(nil)
+
+// HandleQuery implements simnet.Handler: it serves a stub's recursive query
+// by running the full resolution pipeline and shaping the stub-facing
+// response (RA set, AD reflecting validation, SERVFAIL for bogus).
+func (r *Resolver) HandleQuery(q *dns.Message, _ netip.Addr) (*dns.Message, error) {
+	resp := dns.NewResponse(q)
+	resp.Header.RA = true
+	if len(q.Question) == 0 {
+		resp.Header.RCode = dns.RCodeFormErr
+		return resp, nil
+	}
+	question := q.Question[0]
+	res, err := r.Resolve(question.Name, question.Type)
+	if err != nil {
+		// Resolution errors (unreachable servers, loops) surface to the
+		// stub as SERVFAIL, as a real recursive would do.
+		if errors.Is(err, ErrServfail) || errors.Is(err, ErrNoServers) ||
+			errors.Is(err, ErrDepthLimit) || errors.Is(err, ErrLoopDetected) ||
+			errors.Is(err, simnet.ErrServerDown) || errors.Is(err, simnet.ErrNoRoute) {
+			resp.Header.RCode = dns.RCodeServFail
+			return resp, nil
+		}
+		return nil, err
+	}
+	resp.Header.RCode = res.RCode
+	resp.Answer = res.Answer
+	if q.DNSSECOK() && res.Status == StatusSecure {
+		resp.Header.AD = true
+	}
+	if r.cfg.PaddingBlock > 0 {
+		if err := resp.PadToBlock(r.cfg.PaddingBlock); err != nil {
+			return nil, err
+		}
+	}
+	return resp, nil
+}

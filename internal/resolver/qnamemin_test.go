@@ -1,0 +1,135 @@
+package resolver
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+
+	"github.com/dnsprivacy/lookaside/internal/dns"
+)
+
+func TestMinimizedTarget(t *testing.T) {
+	qname := dns.MustName("a.b.example.com")
+	tests := []struct {
+		zone  string
+		n     int
+		want  string
+		probe bool
+	}{
+		{".", 1, "com.", true},
+		{".", 2, "example.com.", true},
+		{"com", 1, "example.com.", true},
+		{"com", 2, "b.example.com.", true},
+		{"com", 3, "a.b.example.com.", false}, // full name: send the real query
+		{"example.com", 1, "b.example.com.", true},
+		{"b.example.com", 1, "a.b.example.com.", false},
+		{"a.b.example.com", 1, "a.b.example.com.", false},
+	}
+	for _, tt := range tests {
+		got, probe := minimizedTarget(qname, dns.MustName(tt.zone), tt.n)
+		if got != dns.MustName(tt.want) || probe != tt.probe {
+			t.Errorf("minimizedTarget(%s, %s, %d) = (%s, %t), want (%s, %t)",
+				qname, tt.zone, tt.n, got, probe, tt.want, tt.probe)
+		}
+	}
+}
+
+// TestQNameMinimizationWalk asserts the wire behavior: with minimization
+// the root sees only the TLD label of the query name.
+func TestQNameMinimizationWalk(t *testing.T) {
+	f := newFakeNet()
+	www := dns.MustName("www.example.com")
+	com := dns.MustName("com")
+	// Root answers the minimized NS probe for com with a referral.
+	f.referral(rootAddr, com, dns.TypeNS, com, dns.MustName("ns1.com"), tldAddr)
+	// com answers the probe for example.com with a referral.
+	f.referral(tldAddr, dns.MustName("example.com"), dns.TypeNS,
+		dns.MustName("example.com"), dns.MustName("ns1.example.com"), sldAddr)
+	// The authoritative zone gets the full query.
+	f.answer(sldAddr, www, dns.TypeA, aRR("www.example.com", netip.MustParseAddr("203.0.113.80")))
+
+	r, err := New(Config{
+		Addr: resAddr, RootHints: []netip.Addr{rootAddr},
+		Net: f, Clock: f, QNameMinimization: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Resolve(www, dns.TypeA)
+	if err != nil {
+		t.Fatalf("Resolve: %v (log %v)", err, f.log)
+	}
+	if len(res.Answer) != 1 {
+		t.Fatalf("res = %+v", res)
+	}
+	// The root exchange must have carried only "com.".
+	for _, entry := range f.log {
+		if strings.HasPrefix(entry, rootAddr.String()) && strings.Contains(entry, "example") {
+			t.Fatalf("root saw a full name: %s", entry)
+		}
+	}
+}
+
+// TestQNameMinimizationENT: a probed ancestor that exists without being a
+// cut makes the resolver disclose one more label, not fail.
+func TestQNameMinimizationENT(t *testing.T) {
+	f := newFakeNet()
+	deep := dns.MustName("a.b.example.com")
+	f.referral(rootAddr, dns.MustName("com"), dns.TypeNS,
+		dns.MustName("com"), dns.MustName("ns1.com"), tldAddr)
+	f.referral(tldAddr, dns.MustName("example.com"), dns.TypeNS,
+		dns.MustName("example.com"), dns.MustName("ns1.example.com"), sldAddr)
+	// b.example.com exists in the zone (NODATA for NS), no cut.
+	nodata := &dns.Message{Header: dns.Header{QR: true, AA: true, RCode: dns.RCodeNoError}}
+	nodata.Question = []dns.Question{{Name: dns.MustName("b.example.com"), Type: dns.TypeNS, Class: dns.ClassIN}}
+	f.responses[key(sldAddr, dns.MustName("b.example.com"), dns.TypeNS)] = nodata
+	f.answer(sldAddr, deep, dns.TypeA, aRR("a.b.example.com", netip.MustParseAddr("203.0.113.81")))
+
+	r, err := New(Config{
+		Addr: resAddr, RootHints: []netip.Addr{rootAddr},
+		Net: f, Clock: f, QNameMinimization: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Resolve(deep, dns.TypeA)
+	if err != nil {
+		t.Fatalf("Resolve: %v (log %v)", err, f.log)
+	}
+	if len(res.Answer) != 1 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+// TestQNameMinimizationNXDomainAtAncestor: a nonexistent ancestor resolves
+// the whole query to NXDOMAIN without disclosing deeper labels.
+func TestQNameMinimizationNXDomainAtAncestor(t *testing.T) {
+	f := newFakeNet()
+	deep := dns.MustName("www.gone.example.com")
+	f.referral(rootAddr, dns.MustName("com"), dns.TypeNS,
+		dns.MustName("com"), dns.MustName("ns1.com"), tldAddr)
+	f.referral(tldAddr, dns.MustName("example.com"), dns.TypeNS,
+		dns.MustName("example.com"), dns.MustName("ns1.example.com"), sldAddr)
+	f.nxdomain(sldAddr, dns.MustName("gone.example.com"), dns.TypeNS, dns.MustName("example.com"))
+
+	r, err := New(Config{
+		Addr: resAddr, RootHints: []netip.Addr{rootAddr},
+		Net: f, Clock: f, QNameMinimization: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Resolve(deep, dns.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RCode != dns.RCodeNXDomain {
+		t.Fatalf("rcode = %s", res.RCode)
+	}
+	// The full name never appeared on the wire.
+	for _, entry := range f.log {
+		if strings.Contains(entry, "www.gone") {
+			t.Fatalf("full name disclosed: %s", entry)
+		}
+	}
+}

@@ -1,0 +1,268 @@
+// Package resolver implements the recursive DNS resolver under measurement:
+// iterative resolution from the root hints, positive and negative caching
+// (RFC 2308), DNSSEC chain-of-trust validation (RFC 4033–4035), and the
+// RFC 5074 look-aside validator with aggressive negative caching of DLV
+// NSEC spans — the machinery whose privacy behavior the paper measures.
+//
+// One engine models both BIND and Unbound: package resconf maps each
+// distribution/installer environment onto a Config (trust anchors present
+// or missing, look-aside enabled or not), reproducing the semantic
+// differences the paper attributes to configuration rather than code.
+package resolver
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"time"
+
+	"github.com/dnsprivacy/lookaside/internal/dns"
+	"github.com/dnsprivacy/lookaside/internal/simnet"
+)
+
+// Resolution errors.
+var (
+	ErrServfail     = errors.New("resolver: servfail")
+	ErrNoServers    = errors.New("resolver: no servers to query")
+	ErrDepthLimit   = errors.New("resolver: resolution depth limit exceeded")
+	ErrLoopDetected = errors.New("resolver: referral loop detected")
+)
+
+// Clock supplies simulation time for TTL arithmetic; *simnet.Network
+// satisfies it.
+type Clock interface {
+	Now() time.Duration
+}
+
+// LookasidePolicy selects when the validator consults the DLV registry.
+type LookasidePolicy int
+
+// Look-aside policies.
+const (
+	// PolicyOnFailure is the RFC 5074 behavior BIND implements and the
+	// paper calls "lax": the registry is consulted whenever a chain of
+	// trust cannot be established — including for plainly unsigned
+	// domains and when the trust anchor is missing entirely.
+	PolicyOnFailure LookasidePolicy = iota + 1
+	// PolicySignedOnly is the stricter hypothetical rule: consult the
+	// registry only for zones that are themselves signed (publish a
+	// DNSKEY) but cannot chain to an anchor — true islands of security.
+	PolicySignedOnly
+)
+
+// String implements fmt.Stringer.
+func (p LookasidePolicy) String() string {
+	switch p {
+	case PolicyOnFailure:
+		return "on-failure"
+	case PolicySignedOnly:
+		return "signed-only"
+	default:
+		return "unknown"
+	}
+}
+
+// RemedyMode selects the client half of the paper's DLV-aware DNS remedies.
+type RemedyMode int
+
+// Remedy modes.
+const (
+	// RemedyNone queries the registry unconditionally (baseline DLV).
+	RemedyNone RemedyMode = iota + 1
+	// RemedyTXT queries the domain's TXT record and consults the registry
+	// only when it signals dlv=1 (§6.2.1, TXT method).
+	RemedyTXT
+	// RemedyZBit reads the reserved Z bit of the answer and consults the
+	// registry only when it is set (§6.2.1, Z-bit method).
+	RemedyZBit
+)
+
+// String implements fmt.Stringer.
+func (m RemedyMode) String() string {
+	switch m {
+	case RemedyNone:
+		return "none"
+	case RemedyTXT:
+		return "txt"
+	case RemedyZBit:
+		return "zbit"
+	default:
+		return "unknown"
+	}
+}
+
+// LookasideConfig enables the DLV validator.
+type LookasideConfig struct {
+	// Zone is the registry zone, e.g. "dlv.isc.org.".
+	Zone dns.Name
+	// Anchor is the registry trust anchor in DS form (from bind.keys).
+	// When nil the registry's records cannot be validated; BIND would
+	// treat the look-aside chain as bogus, but queries are still sent —
+	// which is precisely the leakage scenario.
+	Anchor *dns.DSData
+	// Policy selects when the registry is consulted.
+	Policy LookasidePolicy
+	// Hashed sends crypto_hash(domain) labels instead of domain labels
+	// (the privacy-preserving DLV remedy, §6.2.2).
+	Hashed bool
+	// Remedy gates registry queries on authoritative signaling.
+	Remedy RemedyMode
+	// DisableAggressiveNegCache turns off NSEC-span reuse (the behavior a
+	// resolver is forced into when the registry uses NSEC3, §7.3).
+	DisableAggressiveNegCache bool
+}
+
+// Config configures a resolver instance.
+type Config struct {
+	// Addr is the resolver's own network address.
+	Addr netip.Addr
+	// RootHints are the root server addresses.
+	RootHints []netip.Addr
+	// Net carries queries; Clock supplies time (a *simnet.Network serves
+	// as both).
+	Net   simnet.Exchanger
+	Clock Clock
+
+	// ValidationEnabled mirrors BIND's dnssec-enable+dnssec-validation:
+	// when false no DNSSEC processing happens at all.
+	ValidationEnabled bool
+	// RootAnchor is the root trust anchor in DS form; nil models the
+	// misconfigurations of §4.3 (trust anchor not included), which turn
+	// every validation indeterminate.
+	RootAnchor *dns.DSData
+	// Lookaside enables the DLV validator; nil disables it.
+	Lookaside *LookasideConfig
+
+	// NSCompletionPercent is the percentage of newly learned delegations
+	// for which the resolver issues an apex NS query (BIND's authoritative
+	// NS completion); PTRSamplePercent likewise samples reverse lookups of
+	// newly contacted server addresses. Both default to 0.
+	NSCompletionPercent int
+	PTRSamplePercent    int
+
+	// MaxDepth bounds nested resolutions (NS-address chasing); default 8.
+	MaxDepth int
+
+	// QNameMinimization walks the hierarchy per RFC 7816: each ancestor
+	// server is asked only for the next label (as an NS query) instead of
+	// the full name. The paper's threat model (§3) notes minimization
+	// narrows what root and TLD servers observe; the MinimizedExposure
+	// experiment quantifies it.
+	QNameMinimization bool
+
+	// PaddingBlock pads stub-facing responses to a multiple of this many
+	// octets (RFC 7830/8467), collapsing the response-size side channel
+	// the paper's related work (§8.2) discusses. 0 disables padding.
+	PaddingBlock int
+}
+
+// Resolver is a caching, validating, DLV-capable recursive resolver.
+type Resolver struct {
+	cfg   Config
+	cache *cache
+
+	nextID uint16
+
+	// counters for introspection and tests
+	stats Stats
+}
+
+// Stats counts resolver-internal activity.
+type Stats struct {
+	// Resolutions is the number of top-level Resolve calls.
+	Resolutions int
+	// DLVQueries is the number of queries sent to the look-aside registry.
+	DLVQueries int
+	// DLVSuppressed counts look-aside queries avoided by aggressive
+	// negative caching.
+	DLVSuppressed int
+	// DLVSkippedByRemedy counts look-aside consultations avoided by TXT or
+	// Z-bit signaling.
+	DLVSkippedByRemedy int
+	// DLVFailures counts look-aside queries that failed to complete
+	// (registry outages); each degrades to an unvalidated answer.
+	DLVFailures int
+	// Failovers counts exchanges retried on an alternate name server
+	// after a transport failure.
+	Failovers int
+	// CacheHits counts answers served from cache.
+	CacheHits int
+}
+
+// New creates a resolver.
+func New(cfg Config) (*Resolver, error) {
+	if cfg.Net == nil || cfg.Clock == nil {
+		return nil, errors.New("resolver: network and clock are required")
+	}
+	if len(cfg.RootHints) == 0 {
+		return nil, errors.New("resolver: root hints are required")
+	}
+	if cfg.MaxDepth == 0 {
+		cfg.MaxDepth = 8
+	}
+	if cfg.Lookaside != nil {
+		if cfg.Lookaside.Zone == "" {
+			return nil, errors.New("resolver: lookaside without zone")
+		}
+		if cfg.Lookaside.Policy == 0 {
+			cfg.Lookaside.Policy = PolicyOnFailure
+		}
+		if cfg.Lookaside.Remedy == 0 {
+			cfg.Lookaside.Remedy = RemedyNone
+		}
+	}
+	return &Resolver{cfg: cfg, cache: newCache()}, nil
+}
+
+// Stats returns a copy of the resolver's counters.
+func (r *Resolver) Stats() Stats { return r.stats }
+
+// nowSeconds returns simulation time in whole seconds for TTL arithmetic.
+func (r *Resolver) nowSeconds() uint32 {
+	return uint32(r.cfg.Clock.Now() / time.Second)
+}
+
+// id returns a fresh query ID.
+func (r *Resolver) id() uint16 {
+	r.nextID++
+	return r.nextID
+}
+
+// Result is the outcome of a recursive resolution as seen by the stub.
+type Result struct {
+	// RCode is the final response code (NOERROR, NXDOMAIN, SERVFAIL).
+	RCode dns.RCode
+	// Answer holds the answer records (without RRSIGs).
+	Answer []dns.RR
+	// Status is the DNSSEC validation status (0 when validation is off).
+	Status ValidationStatus
+	// UsedDLV reports whether the look-aside registry contributed the
+	// trust anchor that validated the answer.
+	UsedDLV bool
+	// Elapsed is the simulated wall time the resolution took.
+	Elapsed time.Duration
+}
+
+// Resolve answers (qname, qtype) recursively, performing validation and
+// look-aside exactly as configured.
+func (r *Resolver) Resolve(qname dns.Name, qtype dns.Type) (*Result, error) {
+	start := r.cfg.Clock.Now()
+	r.stats.Resolutions++
+	out, err := r.resolve(qname, qtype, 0)
+	if err != nil {
+		return nil, err
+	}
+	out.Elapsed = r.cfg.Clock.Now() - start
+	return out, nil
+}
+
+// exchange sends one query and returns the decoded response.
+func (r *Resolver) exchange(dst netip.Addr, qname dns.Name, qtype dns.Type) (*dns.Message, error) {
+	q := dns.NewQuery(r.id(), qname, qtype, r.cfg.ValidationEnabled)
+	q.Header.RD = false // iterative
+	resp, err := r.cfg.Net.Exchange(r.cfg.Addr, dst, q)
+	if err != nil {
+		return nil, fmt.Errorf("resolver: exchanging %s/%s with %s: %w", qname, qtype, dst, err)
+	}
+	return resp, nil
+}

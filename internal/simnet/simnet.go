@@ -1,0 +1,295 @@
+// Package simnet provides the simulated internet the experiments run on:
+// servers registered at IP addresses, a per-link latency model, a logical
+// clock, wire-level byte accounting, and packet-capture taps.
+//
+// Every exchange encodes the query to RFC 1035 wire format, decodes it at
+// the server, and does the same for the response, so captured sizes and
+// parsing behavior match a real network. The clock is logical: it advances
+// by the round-trip time of each exchange, making latency results
+// deterministic and reproducible.
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"sync"
+	"time"
+
+	"github.com/dnsprivacy/lookaside/internal/dns"
+)
+
+// Errors returned by the network.
+var (
+	ErrNoRoute      = errors.New("simnet: no server at address")
+	ErrServerDown   = errors.New("simnet: server down (timeout)")
+	ErrPacketLoss   = errors.New("simnet: packet lost (timeout)")
+	ErrOversized    = errors.New("simnet: response exceeds advertised UDP size")
+	ErrDuplicateReg = errors.New("simnet: address already registered")
+)
+
+// Role labels what part of the DNS ecosystem a server plays; the threat
+// model (involved vs. uninvolved party) is evaluated over roles plus query
+// context.
+type Role int
+
+// Server roles.
+const (
+	RoleRoot Role = iota + 1
+	RoleTLD
+	RoleSLD
+	RoleDLV
+	RoleRecursive
+	RoleStub
+	RoleOther
+)
+
+var roleNames = map[Role]string{
+	RoleRoot:      "root",
+	RoleTLD:       "tld",
+	RoleSLD:       "sld",
+	RoleDLV:       "dlv",
+	RoleRecursive: "recursive",
+	RoleStub:      "stub",
+	RoleOther:     "other",
+}
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	if s, ok := roleNames[r]; ok {
+		return s
+	}
+	return "unknown"
+}
+
+// Handler processes one decoded DNS query and produces a response.
+type Handler interface {
+	HandleQuery(q *dns.Message, from netip.Addr) (*dns.Message, error)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(q *dns.Message, from netip.Addr) (*dns.Message, error)
+
+// HandleQuery implements Handler.
+func (f HandlerFunc) HandleQuery(q *dns.Message, from netip.Addr) (*dns.Message, error) {
+	return f(q, from)
+}
+
+// Exchanger is the client-side transport interface the recursive resolver
+// uses; Network implements it, as does the real-UDP transport.
+type Exchanger interface {
+	Exchange(src, dst netip.Addr, q *dns.Message) (*dns.Message, error)
+}
+
+// Event is one captured query/response exchange.
+type Event struct {
+	// Time is the simulation time when the response arrived.
+	Time time.Duration
+	// Src and Dst address the exchange.
+	Src, Dst netip.Addr
+	// DstName and DstRole describe the responding server.
+	DstName string
+	DstRole Role
+	// Question is the first question of the query.
+	Question dns.Question
+	// QuerySize and RespSize are wire sizes in octets.
+	QuerySize, RespSize int
+	// RCode is the response code.
+	RCode dns.RCode
+	// RTT is the simulated round-trip time of this exchange.
+	RTT time.Duration
+	// ZBit reports the response's reserved Z header bit (the Z-bit remedy).
+	ZBit bool
+}
+
+// Tap observes captured events. Taps must not block.
+type Tap func(ev Event)
+
+type serverEntry struct {
+	name    string
+	role    Role
+	latency time.Duration
+	handler Handler
+	down    bool
+	// lossEveryN drops every Nth exchange deterministically (0 = none).
+	lossEveryN int
+	exchanges  int
+}
+
+// Network is the simulated internet.
+type Network struct {
+	mu      sync.Mutex
+	servers map[netip.Addr]*serverEntry
+	taps    []Tap
+	now     time.Duration
+
+	// Aggregate statistics, maintained inline so large experiments do not
+	// need to retain events.
+	totalQueries int
+	totalBytes   int64
+}
+
+// New creates an empty network.
+func New() *Network {
+	return &Network{servers: make(map[netip.Addr]*serverEntry)}
+}
+
+// Register places a server at addr with a one-way link latency.
+func (n *Network) Register(addr netip.Addr, name string, role Role, latency time.Duration, h Handler) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.servers[addr]; ok {
+		return fmt.Errorf("%w: %s", ErrDuplicateReg, addr)
+	}
+	n.servers[addr] = &serverEntry{name: name, role: role, latency: latency, handler: h}
+	return nil
+}
+
+// Replace installs a server at addr, overwriting any existing registration.
+// Experiment sweeps use it to install a fresh resolver per data point while
+// keeping the (expensive) universe.
+func (n *Network) Replace(addr netip.Addr, name string, role Role, latency time.Duration, h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.servers[addr] = &serverEntry{name: name, role: role, latency: latency, handler: h}
+}
+
+// ResetTaps removes all capture taps (the aggregate counters are kept).
+func (n *Network) ResetTaps() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.taps = nil
+}
+
+// SetDown marks a server unreachable (failure injection); queries to it
+// cost a timeout and fail with ErrServerDown.
+func (n *Network) SetDown(addr netip.Addr, down bool) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	e, ok := n.servers[addr]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoRoute, addr)
+	}
+	e.down = down
+	return nil
+}
+
+// SetLoss makes a link drop every Nth exchange (deterministically, so
+// experiments stay reproducible); 0 disables loss.
+func (n *Network) SetLoss(addr netip.Addr, everyN int) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	e, ok := n.servers[addr]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoRoute, addr)
+	}
+	e.lossEveryN = everyN
+	return nil
+}
+
+// AddTap attaches a capture tap to every subsequent exchange.
+func (n *Network) AddTap(tap Tap) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.taps = append(n.taps, tap)
+}
+
+// Now returns the current simulation time.
+func (n *Network) Now() time.Duration {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.now
+}
+
+// Advance moves the simulation clock forward (used by trace-driven
+// experiments between queries).
+func (n *Network) Advance(d time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.now += d
+}
+
+// Stats returns the total exchanges and bytes carried so far.
+func (n *Network) Stats() (queries int, bytes int64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.totalQueries, n.totalBytes
+}
+
+// timeoutCost is the simulated cost of a query to a dead server.
+const timeoutCost = 2 * time.Second
+
+// Exchange sends a query from src to dst through the wire codec, invokes
+// the destination handler, and returns the decoded response. It advances
+// the clock by the link RTT, feeds capture taps, and maintains aggregate
+// counters. It implements Exchanger.
+func (n *Network) Exchange(src, dst netip.Addr, q *dns.Message) (*dns.Message, error) {
+	n.mu.Lock()
+	entry, ok := n.servers[dst]
+	if !ok {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrNoRoute, dst)
+	}
+	if entry.down {
+		n.now += timeoutCost
+		n.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s (%s)", ErrServerDown, entry.name, dst)
+	}
+	entry.exchanges++
+	if entry.lossEveryN > 0 && entry.exchanges%entry.lossEveryN == 0 {
+		n.now += timeoutCost
+		n.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s (%s)", ErrPacketLoss, entry.name, dst)
+	}
+	n.mu.Unlock()
+
+	qWire, err := q.Encode()
+	if err != nil {
+		return nil, fmt.Errorf("simnet: encoding query: %w", err)
+	}
+	qDecoded, err := dns.DecodeMessage(qWire)
+	if err != nil {
+		return nil, fmt.Errorf("simnet: server-side decode: %w", err)
+	}
+	resp, err := entry.handler.HandleQuery(qDecoded, src)
+	if err != nil {
+		return nil, fmt.Errorf("simnet: server %s: %w", entry.name, err)
+	}
+	rWire, err := resp.Encode()
+	if err != nil {
+		return nil, fmt.Errorf("simnet: encoding response: %w", err)
+	}
+	rDecoded, err := dns.DecodeMessage(rWire)
+	if err != nil {
+		return nil, fmt.Errorf("simnet: client-side decode: %w", err)
+	}
+
+	rtt := 2 * entry.latency
+	n.mu.Lock()
+	n.now += rtt
+	now := n.now
+	n.totalQueries++
+	n.totalBytes += int64(len(qWire) + len(rWire))
+	taps := n.taps
+	n.mu.Unlock()
+
+	ev := Event{
+		Time:      now,
+		Src:       src,
+		Dst:       dst,
+		DstName:   entry.name,
+		DstRole:   entry.role,
+		QuerySize: len(qWire),
+		RespSize:  len(rWire),
+		RCode:     rDecoded.Header.RCode,
+		RTT:       rtt,
+		ZBit:      rDecoded.Header.Z,
+	}
+	if len(qDecoded.Question) > 0 {
+		ev.Question = qDecoded.Question[0]
+	}
+	for _, tap := range taps {
+		tap(ev)
+	}
+	return rDecoded, nil
+}

@@ -1,0 +1,195 @@
+package simnet
+
+import (
+	"errors"
+	"net/netip"
+	"testing"
+	"time"
+
+	"github.com/dnsprivacy/lookaside/internal/dns"
+)
+
+var (
+	clientAddr = netip.MustParseAddr("10.0.0.1")
+	serverAddr = netip.MustParseAddr("192.0.2.53")
+)
+
+// echoHandler answers any query with NOERROR and mirrors the Z bit request.
+func echoHandler(zbit bool) Handler {
+	return HandlerFunc(func(q *dns.Message, _ netip.Addr) (*dns.Message, error) {
+		r := dns.NewResponse(q)
+		r.Header.RCode = dns.RCodeNoError
+		r.Header.Z = zbit
+		return r, nil
+	})
+}
+
+func TestExchangeBasics(t *testing.T) {
+	n := New()
+	if err := n.Register(serverAddr, "ns.test", RoleSLD, 25*time.Millisecond, echoHandler(false)); err != nil {
+		t.Fatal(err)
+	}
+	q := dns.NewQuery(1, dns.MustName("example.com"), dns.TypeA, true)
+	resp, err := n.Exchange(clientAddr, serverAddr, q)
+	if err != nil {
+		t.Fatalf("Exchange: %v", err)
+	}
+	if !resp.Header.QR || resp.Header.RCode != dns.RCodeNoError {
+		t.Fatalf("bad response header: %+v", resp.Header)
+	}
+	if got := n.Now(); got != 50*time.Millisecond {
+		t.Fatalf("clock = %v, want 50ms RTT", got)
+	}
+	queries, bytes := n.Stats()
+	if queries != 1 || bytes == 0 {
+		t.Fatalf("stats = %d queries, %d bytes", queries, bytes)
+	}
+}
+
+func TestExchangeNoRoute(t *testing.T) {
+	n := New()
+	q := dns.NewQuery(1, dns.MustName("example.com"), dns.TypeA, false)
+	if _, err := n.Exchange(clientAddr, serverAddr, q); !errors.Is(err, ErrNoRoute) {
+		t.Fatalf("err = %v, want ErrNoRoute", err)
+	}
+}
+
+func TestDuplicateRegistration(t *testing.T) {
+	n := New()
+	if err := n.Register(serverAddr, "a", RoleSLD, 0, echoHandler(false)); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Register(serverAddr, "b", RoleSLD, 0, echoHandler(false)); !errors.Is(err, ErrDuplicateReg) {
+		t.Fatalf("err = %v, want ErrDuplicateReg", err)
+	}
+}
+
+func TestServerDownCostsTimeout(t *testing.T) {
+	n := New()
+	if err := n.Register(serverAddr, "ns.test", RoleDLV, 25*time.Millisecond, echoHandler(false)); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetDown(serverAddr, true); err != nil {
+		t.Fatal(err)
+	}
+	q := dns.NewQuery(1, dns.MustName("example.com"), dns.TypeA, false)
+	if _, err := n.Exchange(clientAddr, serverAddr, q); !errors.Is(err, ErrServerDown) {
+		t.Fatalf("err = %v, want ErrServerDown", err)
+	}
+	if n.Now() < time.Second {
+		t.Fatalf("timeout did not advance clock: %v", n.Now())
+	}
+	if err := n.SetDown(serverAddr, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Exchange(clientAddr, serverAddr, q); err != nil {
+		t.Fatalf("server did not come back: %v", err)
+	}
+	if err := n.SetDown(netip.MustParseAddr("203.0.113.1"), true); !errors.Is(err, ErrNoRoute) {
+		t.Fatalf("SetDown unknown = %v, want ErrNoRoute", err)
+	}
+}
+
+func TestTapsObserveExchanges(t *testing.T) {
+	n := New()
+	if err := n.Register(serverAddr, "dlv.test", RoleDLV, 10*time.Millisecond, echoHandler(true)); err != nil {
+		t.Fatal(err)
+	}
+	var events []Event
+	n.AddTap(func(ev Event) { events = append(events, ev) })
+
+	q := dns.NewQuery(7, dns.MustName("example.com.dlv.test"), dns.TypeDLV, true)
+	if _, err := n.Exchange(clientAddr, serverAddr, q); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 {
+		t.Fatalf("captured %d events, want 1", len(events))
+	}
+	ev := events[0]
+	if ev.DstRole != RoleDLV || ev.DstName != "dlv.test" {
+		t.Fatalf("event dst = %s/%s", ev.DstName, ev.DstRole)
+	}
+	if ev.Question.Type != dns.TypeDLV || ev.Question.Name != dns.MustName("example.com.dlv.test") {
+		t.Fatalf("event question = %+v", ev.Question)
+	}
+	if ev.QuerySize == 0 || ev.RespSize == 0 {
+		t.Fatalf("event sizes = %d/%d", ev.QuerySize, ev.RespSize)
+	}
+	if !ev.ZBit {
+		t.Fatal("Z bit lost in capture")
+	}
+	if ev.RTT != 20*time.Millisecond {
+		t.Fatalf("RTT = %v", ev.RTT)
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	n := New()
+	n.Advance(3 * time.Minute)
+	if n.Now() != 3*time.Minute {
+		t.Fatalf("Now = %v", n.Now())
+	}
+}
+
+func TestWireRealismDetectsBadMessages(t *testing.T) {
+	// A handler producing an unencodable message must surface an error.
+	bad := HandlerFunc(func(q *dns.Message, _ netip.Addr) (*dns.Message, error) {
+		r := dns.NewResponse(q)
+		r.Answer = append(r.Answer, dns.RR{
+			Name: dns.MustName("x.test"), Type: dns.TypeA, Class: dns.ClassIN,
+			Data: &dns.AData{Addr: netip.MustParseAddr("2001:db8::1")}, // v6 in A
+		})
+		return r, nil
+	})
+	n := New()
+	if err := n.Register(serverAddr, "bad.test", RoleSLD, 0, bad); err != nil {
+		t.Fatal(err)
+	}
+	q := dns.NewQuery(1, dns.MustName("x.test"), dns.TypeA, false)
+	if _, err := n.Exchange(clientAddr, serverAddr, q); err == nil {
+		t.Fatal("expected encode error for malformed response")
+	}
+}
+
+func TestRoleStrings(t *testing.T) {
+	for r, want := range map[Role]string{
+		RoleRoot: "root", RoleTLD: "tld", RoleSLD: "sld", RoleDLV: "dlv",
+		RoleRecursive: "recursive", RoleStub: "stub", RoleOther: "other",
+		Role(99): "unknown",
+	} {
+		if got := r.String(); got != want {
+			t.Errorf("Role(%d).String() = %q, want %q", r, got, want)
+		}
+	}
+}
+
+func TestPacketLossInjection(t *testing.T) {
+	n := New()
+	if err := n.Register(serverAddr, "flaky.test", RoleSLD, time.Millisecond, echoHandler(false)); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetLoss(serverAddr, 3); err != nil {
+		t.Fatal(err)
+	}
+	q := dns.NewQuery(1, dns.MustName("x.test"), dns.TypeA, false)
+	losses := 0
+	for i := 0; i < 9; i++ {
+		if _, err := n.Exchange(clientAddr, serverAddr, q); errors.Is(err, ErrPacketLoss) {
+			losses++
+		} else if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	if losses != 3 {
+		t.Fatalf("losses = %d, want every 3rd of 9", losses)
+	}
+	if err := n.SetLoss(serverAddr, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Exchange(clientAddr, serverAddr, q); err != nil {
+		t.Fatalf("loss not cleared: %v", err)
+	}
+	if err := n.SetLoss(netip.MustParseAddr("203.0.113.1"), 2); !errors.Is(err, ErrNoRoute) {
+		t.Fatalf("SetLoss unknown = %v", err)
+	}
+}

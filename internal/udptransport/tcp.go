@@ -1,0 +1,211 @@
+package udptransport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+
+	"github.com/dnsprivacy/lookaside/internal/dns"
+	"github.com/dnsprivacy/lookaside/internal/simnet"
+)
+
+// maxTCPMessage bounds a length-prefixed TCP message (the framing allows
+// 64 KiB).
+const maxTCPMessage = 1 << 16
+
+// TCPServer serves DNS over TCP with RFC 1035 §4.2.2 two-octet length
+// framing — the fallback clients use when a UDP response is truncated.
+type TCPServer struct {
+	ln      net.Listener
+	handler simnet.Handler
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]bool
+}
+
+// ListenTCP binds a TCP socket and prepares to serve h.
+func ListenTCP(addr string, h simnet.Handler) (*TCPServer, error) {
+	if h == nil {
+		return nil, errors.New("udptransport: nil handler")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("udptransport: listen tcp %s: %w", addr, err)
+	}
+	return &TCPServer{ln: ln, handler: h, conns: make(map[net.Conn]bool)}, nil
+}
+
+// Addr returns the bound address.
+func (s *TCPServer) Addr() net.Addr { return s.ln.Addr() }
+
+// AddrPort returns the bound address as a netip.AddrPort.
+func (s *TCPServer) AddrPort() netip.AddrPort {
+	if ta, ok := s.ln.Addr().(*net.TCPAddr); ok {
+		return ta.AddrPort()
+	}
+	return netip.AddrPort{}
+}
+
+// Serve accepts connections until Close. Each connection may carry multiple
+// queries; connections are served concurrently.
+func (s *TCPServer) Serve() error {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return ErrClosed
+			}
+			return fmt.Errorf("udptransport: accept: %w", err)
+		}
+		s.track(conn, true)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer s.track(conn, false)
+			defer func() { _ = conn.Close() }()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *TCPServer) track(conn net.Conn, add bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if add {
+		s.conns[conn] = true
+	} else {
+		delete(s.conns, conn)
+	}
+}
+
+// serveConn pumps length-framed queries on one connection.
+func (s *TCPServer) serveConn(conn net.Conn) {
+	var src netip.Addr
+	if ta, ok := conn.RemoteAddr().(*net.TCPAddr); ok {
+		src = ta.AddrPort().Addr()
+	}
+	for {
+		if err := conn.SetReadDeadline(time.Now().Add(30 * time.Second)); err != nil {
+			return
+		}
+		pkt, err := readFrame(conn)
+		if err != nil {
+			return // EOF, timeout, or garbage: drop the connection
+		}
+		q, err := dns.DecodeMessage(pkt)
+		if err != nil {
+			return
+		}
+		resp, err := s.handler.HandleQuery(q, src)
+		if err != nil {
+			resp = dns.NewResponse(q)
+			resp.Header.RCode = dns.RCodeServFail
+		}
+		if err := writeFrame(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops the server and tears down live connections.
+func (s *TCPServer) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	for conn := range s.conns {
+		_ = conn.Close()
+	}
+	s.mu.Unlock()
+	return s.ln.Close()
+}
+
+// readFrame reads one length-prefixed message.
+func readFrame(r io.Reader) ([]byte, error) {
+	var lenBuf [2]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := int(binary.BigEndian.Uint16(lenBuf[:]))
+	if n == 0 {
+		return nil, errors.New("udptransport: zero-length tcp frame")
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// writeFrame writes one length-prefixed message.
+func writeFrame(w io.Writer, m *dns.Message) error {
+	wire, err := m.Encode()
+	if err != nil {
+		return err
+	}
+	if len(wire) >= maxTCPMessage {
+		return fmt.Errorf("udptransport: message exceeds tcp frame (%d bytes)", len(wire))
+	}
+	var lenBuf [2]byte
+	binary.BigEndian.PutUint16(lenBuf[:], uint16(len(wire)))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(wire)
+	return err
+}
+
+// QueryTCP sends one query over TCP.
+func (c *Client) QueryTCP(server netip.AddrPort, q *dns.Message) (*dns.Message, error) {
+	timeout := c.Timeout
+	if timeout == 0 {
+		timeout = 3 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", server.String(), timeout)
+	if err != nil {
+		return nil, fmt.Errorf("udptransport: dial tcp %s: %w", server, err)
+	}
+	defer func() { _ = conn.Close() }()
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return nil, err
+	}
+	if err := writeFrame(conn, q); err != nil {
+		return nil, fmt.Errorf("udptransport: tcp send: %w", err)
+	}
+	pkt, err := readFrame(conn)
+	if err != nil {
+		return nil, fmt.Errorf("udptransport: tcp receive: %w", err)
+	}
+	resp, err := dns.DecodeMessage(pkt)
+	if err != nil {
+		return nil, fmt.Errorf("udptransport: tcp decode: %w", err)
+	}
+	if resp.Header.ID != q.Header.ID {
+		return nil, fmt.Errorf("udptransport: tcp response ID %d does not match query %d",
+			resp.Header.ID, q.Header.ID)
+	}
+	return resp, nil
+}
+
+// QueryWithFallback queries over UDP and retries over TCP when the response
+// arrives truncated (RFC 7766 client behavior). The TCP port is assumed to
+// equal the UDP port.
+func (c *Client) QueryWithFallback(server netip.AddrPort, q *dns.Message) (*dns.Message, error) {
+	resp, err := c.Query(server, q)
+	if err != nil {
+		return nil, err
+	}
+	if !resp.Header.TC {
+		return resp, nil
+	}
+	return c.QueryTCP(server, q)
+}

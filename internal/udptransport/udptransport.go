@@ -1,0 +1,161 @@
+// Package udptransport serves the repository's DNS handlers over real UDP
+// sockets and provides a matching client, so the simulated components can
+// be exercised with real resolvers and tools (dig, drill): cmd/resolved
+// fronts the recursive resolver, cmd/dlvd fronts the DLV registry.
+package udptransport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+
+	"github.com/dnsprivacy/lookaside/internal/dns"
+	"github.com/dnsprivacy/lookaside/internal/simnet"
+)
+
+// maxPacket is the largest UDP payload accepted (EDNS0 ceiling).
+const maxPacket = 4096
+
+// ErrClosed is returned by Serve after Close.
+var ErrClosed = errors.New("udptransport: server closed")
+
+// Server pumps UDP packets through a simnet.Handler.
+type Server struct {
+	conn    net.PacketConn
+	handler simnet.Handler
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Listen binds a UDP socket (e.g. "127.0.0.1:5300"; port 0 picks a free
+// one) and prepares to serve h.
+func Listen(addr string, h simnet.Handler) (*Server, error) {
+	if h == nil {
+		return nil, errors.New("udptransport: nil handler")
+	}
+	conn, err := net.ListenPacket("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("udptransport: listen %s: %w", addr, err)
+	}
+	return &Server{conn: conn, handler: h}, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() net.Addr { return s.conn.LocalAddr() }
+
+// AddrPort returns the bound address as a netip.AddrPort.
+func (s *Server) AddrPort() netip.AddrPort {
+	if ua, ok := s.conn.LocalAddr().(*net.UDPAddr); ok {
+		return ua.AddrPort()
+	}
+	return netip.AddrPort{}
+}
+
+// Serve processes packets until Close. Malformed packets are dropped;
+// handler errors produce SERVFAIL responses.
+func (s *Server) Serve() error {
+	buf := make([]byte, maxPacket)
+	for {
+		n, from, err := s.conn.ReadFrom(buf)
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return ErrClosed
+			}
+			return fmt.Errorf("udptransport: read: %w", err)
+		}
+		pkt := make([]byte, n)
+		copy(pkt, buf[:n])
+		s.handle(pkt, from)
+	}
+}
+
+// handle processes one datagram synchronously (the handlers are fast and
+// the daemons are demo-scale; no per-packet goroutine needed).
+func (s *Server) handle(pkt []byte, from net.Addr) {
+	q, err := dns.DecodeMessage(pkt)
+	if err != nil {
+		return // drop garbage
+	}
+	var src netip.Addr
+	if ua, ok := from.(*net.UDPAddr); ok {
+		src = ua.AddrPort().Addr()
+	}
+	resp, err := s.handler.HandleQuery(q, src)
+	if err != nil {
+		resp = dns.NewResponse(q)
+		resp.Header.RCode = dns.RCodeServFail
+	}
+	wire, err := resp.Encode()
+	if err != nil {
+		return
+	}
+	if len(wire) > maxPacket {
+		// Truncate per RFC 1035 §4.2.1: header + question only, TC set.
+		trunc := dns.NewResponse(q)
+		trunc.Header.RCode = resp.Header.RCode
+		trunc.Header.TC = true
+		if wire, err = trunc.Encode(); err != nil {
+			return
+		}
+	}
+	_, _ = s.conn.WriteTo(wire, from)
+}
+
+// Close stops the server.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	return s.conn.Close()
+}
+
+// Client sends queries over UDP.
+type Client struct {
+	// Timeout bounds each exchange (default 3s).
+	Timeout time.Duration
+}
+
+// Query sends one message and decodes the response.
+func (c *Client) Query(server netip.AddrPort, q *dns.Message) (*dns.Message, error) {
+	timeout := c.Timeout
+	if timeout == 0 {
+		timeout = 3 * time.Second
+	}
+	conn, err := net.Dial("udp", server.String())
+	if err != nil {
+		return nil, fmt.Errorf("udptransport: dial %s: %w", server, err)
+	}
+	defer func() { _ = conn.Close() }()
+
+	wire, err := q.Encode()
+	if err != nil {
+		return nil, fmt.Errorf("udptransport: encode: %w", err)
+	}
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return nil, fmt.Errorf("udptransport: deadline: %w", err)
+	}
+	if _, err := conn.Write(wire); err != nil {
+		return nil, fmt.Errorf("udptransport: send: %w", err)
+	}
+	buf := make([]byte, maxPacket)
+	n, err := conn.Read(buf)
+	if err != nil {
+		return nil, fmt.Errorf("udptransport: receive: %w", err)
+	}
+	resp, err := dns.DecodeMessage(buf[:n])
+	if err != nil {
+		return nil, fmt.Errorf("udptransport: decode: %w", err)
+	}
+	if resp.Header.ID != q.Header.ID {
+		return nil, fmt.Errorf("udptransport: response ID %d does not match query %d",
+			resp.Header.ID, q.Header.ID)
+	}
+	return resp, nil
+}

@@ -1,0 +1,152 @@
+package udptransport
+
+import (
+	"errors"
+	"net"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/dnsprivacy/lookaside/internal/dns"
+	"github.com/dnsprivacy/lookaside/internal/simnet"
+)
+
+// startServer runs a server on a loopback port and returns it with a
+// cleanup.
+func startServer(t *testing.T, h simnet.Handler) *Server {
+	t.Helper()
+	srv, err := Listen("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = srv.Serve()
+	}()
+	t.Cleanup(func() {
+		_ = srv.Close()
+		wg.Wait()
+	})
+	return srv
+}
+
+func echoHandler() simnet.Handler {
+	return simnet.HandlerFunc(func(q *dns.Message, _ netip.Addr) (*dns.Message, error) {
+		r := dns.NewResponse(q)
+		r.Header.RCode = dns.RCodeNoError
+		r.Answer = []dns.RR{{
+			Name: q.QName(), Type: dns.TypeTXT, Class: dns.ClassIN, TTL: 1,
+			Data: &dns.TXTData{Strings: []string{"hello"}},
+		}}
+		return r, nil
+	})
+}
+
+func TestQueryRoundTrip(t *testing.T) {
+	srv := startServer(t, echoHandler())
+	c := &Client{Timeout: 2 * time.Second}
+	q := dns.NewQuery(42, dns.MustName("example.com"), dns.TypeTXT, true)
+	resp, err := c.Query(srv.AddrPort(), q)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if resp.Header.ID != 42 || len(resp.Answer) != 1 {
+		t.Fatalf("resp = %+v", resp)
+	}
+	txt := resp.Answer[0].Data.(*dns.TXTData)
+	if txt.Strings[0] != "hello" {
+		t.Fatalf("TXT = %v", txt.Strings)
+	}
+}
+
+func TestHandlerErrorBecomesServfail(t *testing.T) {
+	srv := startServer(t, simnet.HandlerFunc(func(q *dns.Message, _ netip.Addr) (*dns.Message, error) {
+		return nil, errors.New("boom")
+	}))
+	c := &Client{Timeout: 2 * time.Second}
+	q := dns.NewQuery(7, dns.MustName("example.com"), dns.TypeA, false)
+	resp, err := c.Query(srv.AddrPort(), q)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if resp.Header.RCode != dns.RCodeServFail {
+		t.Fatalf("rcode = %s", resp.Header.RCode)
+	}
+}
+
+func TestGarbageDropped(t *testing.T) {
+	srv := startServer(t, echoHandler())
+	// Send garbage, then a valid query; the server must still answer.
+	conn, err := net.Dial("udp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.Close()
+	c := &Client{Timeout: 2 * time.Second}
+	q := dns.NewQuery(9, dns.MustName("still.alive"), dns.TypeTXT, false)
+	if _, err := c.Query(srv.AddrPort(), q); err != nil {
+		t.Fatalf("server dead after garbage: %v", err)
+	}
+}
+
+func TestOversizedResponseTruncates(t *testing.T) {
+	big := simnet.HandlerFunc(func(q *dns.Message, _ netip.Addr) (*dns.Message, error) {
+		r := dns.NewResponse(q)
+		for i := 0; i < 200; i++ {
+			r.Answer = append(r.Answer, dns.RR{
+				Name: q.QName(), Type: dns.TypeTXT, Class: dns.ClassIN, TTL: 1,
+				Data: &dns.TXTData{Strings: []string{string(make([]byte, 200))}},
+			})
+		}
+		return r, nil
+	})
+	srv := startServer(t, big)
+	c := &Client{Timeout: 2 * time.Second}
+	q := dns.NewQuery(11, dns.MustName("big.example"), dns.TypeTXT, false)
+	resp, err := c.Query(srv.AddrPort(), q)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if !resp.Header.TC {
+		t.Fatal("oversized response not truncated")
+	}
+	if len(resp.Answer) != 0 {
+		t.Fatalf("truncated response carries %d answers", len(resp.Answer))
+	}
+}
+
+func TestListenValidation(t *testing.T) {
+	if _, err := Listen("127.0.0.1:0", nil); err == nil {
+		t.Fatal("nil handler accepted")
+	}
+	if _, err := Listen("not-an-addr", echoHandler()); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}
+
+func TestServeAfterCloseReturnsErrClosed(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0", echoHandler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve() }()
+	time.Sleep(10 * time.Millisecond)
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("Serve err = %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Serve did not return after Close")
+	}
+}

@@ -1,0 +1,80 @@
+package universe
+
+import (
+	"testing"
+
+	"github.com/dnsprivacy/lookaside/internal/dataset"
+	"github.com/dnsprivacy/lookaside/internal/dns"
+	"github.com/dnsprivacy/lookaside/internal/resolver"
+)
+
+// TestCorruptDSYieldsBogus exercises the bogus chain end to end: a DS in
+// the parent that matches no key of the child must make validation fail
+// closed — SERVFAIL toward the stub, no answer served.
+func TestCorruptDSYieldsBogus(t *testing.T) {
+	victim := dataset.SecureDomains()[0] // chained: has a DS slot to corrupt
+	u := buildTestUniverse(t, func(o *Options) {
+		o.CorruptDS = []dns.Name{victim.Name}
+	})
+	r := newResolver(t, u, true, true)
+
+	res, err := r.Resolve(victim.Name, dns.TypeA)
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	if res.Status != resolver.StatusBogus {
+		t.Fatalf("status = %s, want bogus", res.Status)
+	}
+	if res.RCode != dns.RCodeServFail || len(res.Answer) != 0 {
+		t.Fatalf("bogus result leaked an answer: %+v", res)
+	}
+
+	// Through the stub path: SERVFAIL, no AD.
+	cfg := u.ResolverConfig(true, true)
+	cfg.NSCompletionPercent, cfg.PTRSamplePercent = 0, 0
+	if _, err := u.StartResolver(cfg); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := u.StubQuery(1, victim.Name, dns.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Header.RCode != dns.RCodeServFail || resp.Header.AD {
+		t.Fatalf("stub sees %s ad=%t, want SERVFAIL without AD",
+			resp.Header.RCode, resp.Header.AD)
+	}
+
+	// An untampered sibling still validates: the corruption is contained.
+	sibling := dataset.SecureDomains()[1]
+	res, err = r.Resolve(sibling.Name, dns.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != resolver.StatusSecure {
+		t.Fatalf("sibling status = %s, want secure", res.Status)
+	}
+}
+
+// TestCorruptDSWithoutValidation: a non-validating resolver serves the
+// answer regardless — integrity protection only exists when validation is
+// on (the paper's Unbound-vs-BIND configuration point in reverse).
+func TestCorruptDSWithoutValidation(t *testing.T) {
+	victim := dataset.SecureDomains()[0]
+	u := buildTestUniverse(t, func(o *Options) {
+		o.CorruptDS = []dns.Name{victim.Name}
+	})
+	cfg := u.ResolverConfig(false, false)
+	cfg.ValidationEnabled = false
+	cfg.NSCompletionPercent, cfg.PTRSamplePercent = 0, 0
+	r, err := resolver.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Resolve(victim.Name, dns.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RCode != dns.RCodeNoError || len(res.Answer) == 0 {
+		t.Fatalf("non-validating resolver failed: %+v", res)
+	}
+}

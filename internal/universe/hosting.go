@@ -1,0 +1,248 @@
+package universe
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"github.com/dnsprivacy/lookaside/internal/authserver"
+	"github.com/dnsprivacy/lookaside/internal/dataset"
+	"github.com/dnsprivacy/lookaside/internal/dns"
+	"github.com/dnsprivacy/lookaside/internal/dnssec"
+	"github.com/dnsprivacy/lookaside/internal/simnet"
+	"github.com/dnsprivacy/lookaside/internal/zone"
+)
+
+// dsFromKey derives the SHA-256 DS of a domain's KSK.
+func dsFromKey(name dns.Name, k *domainKeys) (*dns.DSData, error) {
+	return dnssec.MakeDS(name, k.ksk.Public(), dnssec.DigestSHA256)
+}
+
+// newZoneRand derives a deterministic signing-randomness source per zone.
+func newZoneRand(seed int64, name dns.Name) *rand.Rand {
+	return rand.New(rand.NewSource(seed ^ 0x2A17 ^ int64(hash64(string(name)))))
+}
+
+// pool returns the hosting pool index of a domain.
+func (u *Universe) pool(name dns.Name) int {
+	return int(hash64(string(name)) % uint64(u.hostPools))
+}
+
+// poolNSName returns the in-bailiwick name-server name a TLD uses for a
+// hosting pool, e.g. pool7.nic.com.
+func poolNSName(pool int, tld string) (dns.Name, error) {
+	return dns.MakeName(fmt.Sprintf("pool%d.nic.%s", pool, tld))
+}
+
+// buildHosting delegates every SLD from its TLD zone to a hosting pool and
+// registers the pool servers.
+func (u *Universe) buildHosting() error {
+	// Register pool servers first.
+	for p := 0; p < u.hostPools; p++ {
+		h := &hostingHandler{u: u, pool: p}
+		lat := hostLatency + time.Duration(hash64(fmt.Sprint("pool", p))%25)*time.Millisecond
+		name := fmt.Sprintf("pool%d.hosting.example", p)
+		if err := u.Net.Register(poolAddr(p), name, simnet.RoleSLD, lat, h); err != nil {
+			return err
+		}
+	}
+
+	// Glue per (tld, pool) pair is added once; delegations reference it.
+	glueAdded := make(map[string]bool)
+	for name, d := range u.domains {
+		tz, ok := u.tlds[d.TLD]
+		if !ok {
+			return fmt.Errorf("universe: domain %s references unknown TLD %q", name, d.TLD)
+		}
+		p := u.pool(name)
+		nsName, err := poolNSName(p, d.TLD)
+		if err != nil {
+			return err
+		}
+		glueKey := d.TLD + "/" + fmt.Sprint(p)
+		if !glueAdded[glueKey] {
+			glueAdded[glueKey] = true
+			if err := tz.Add(dns.RR{
+				Name: nsName, Type: dns.TypeA, Class: dns.ClassIN, TTL: 172800,
+				Data: &dns.AData{Addr: poolAddr(p)},
+			}); err != nil {
+				return err
+			}
+		}
+		if err := tz.Delegate(name, []dns.Name{nsName}, nil); err != nil {
+			return err
+		}
+		if d.Signed && d.DSInParent && tz.IsSigned() {
+			k, err := u.genKeys(name)
+			if err != nil {
+				return err
+			}
+			if u.corruptDS[name] {
+				// Failure injection: deposit a DS for a key the zone does
+				// not hold, breaking the chain into a bogus outcome.
+				evil, err := u.genKeys(dns.MustName("evil.invalid"))
+				if err != nil {
+					return err
+				}
+				k = evil
+			}
+			ds, err := u.dsFor(name, k)
+			if err != nil {
+				return err
+			}
+			if err := tz.AttachDS(name, ds); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// dsFor computes the DS of a domain's KSK.
+func (u *Universe) dsFor(name dns.Name, k *domainKeys) (*dns.DSData, error) {
+	ds, err := dsFromKey(name, k)
+	if err != nil {
+		return nil, fmt.Errorf("universe: ds for %s: %w", name, err)
+	}
+	return ds, nil
+}
+
+// sldZone returns (building lazily) the authoritative zone of a domain.
+func (u *Universe) sldZone(d *dataset.Domain) (*zone.Zone, error) {
+	u.zoneMu.Lock()
+	defer u.zoneMu.Unlock()
+	if z, ok := u.sldZones[d.Name]; ok {
+		return z, nil
+	}
+	z, err := u.buildSLDZone(d)
+	if err != nil {
+		return nil, err
+	}
+	if len(u.sldZones) >= u.zoneCap {
+		// Bounded cache: evict an arbitrary entry (zones rebuild cheaply
+		// and deterministically).
+		for k := range u.sldZones {
+			delete(u.sldZones, k)
+			break
+		}
+	}
+	u.sldZones[d.Name] = z
+	return z, nil
+}
+
+// buildSLDZone materializes one SLD zone from its spec.
+func (u *Universe) buildSLDZone(d *dataset.Domain) (*zone.Zone, error) {
+	p := u.pool(d.Name)
+	primary, err := poolNSName(p, d.TLD)
+	if err != nil {
+		return nil, err
+	}
+	z, err := zone.New(zone.Config{Apex: d.Name, PrimaryNS: primary, Serial: 1})
+	if err != nil {
+		return nil, err
+	}
+	// The web-facing records: A at the apex (the name the stub queries)
+	// and at www.
+	apexA := dns.RR{
+		Name: d.Name, Type: dns.TypeA, Class: dns.ClassIN, TTL: 300,
+		Data: &dns.AData{Addr: siteAddr(d.Name)},
+	}
+	www, err := d.Name.Prepend("www")
+	if err != nil {
+		return nil, err
+	}
+	wwwA := dns.RR{
+		Name: www, Type: dns.TypeA, Class: dns.ClassIN, TTL: 300,
+		Data: &dns.AData{Addr: siteAddr(www)},
+	}
+	// About half the population is IPv6-enabled; deterministic per domain.
+	var extra []dns.RR
+	if hash64(string(d.Name))%2 == 0 {
+		extra = append(extra, dns.RR{
+			Name: d.Name, Type: dns.TypeAAAA, Class: dns.ClassIN, TTL: 300,
+			Data: &dns.AAAAData{Addr: siteAddr6(d.Name)},
+		})
+	}
+	if err := z.AddSet(append([]dns.RR{apexA, wwwA}, extra...)...); err != nil {
+		return nil, err
+	}
+	if d.Signed {
+		k, err := u.genKeys(d.Name)
+		if err != nil {
+			return nil, err
+		}
+		if err := z.Sign(zone.SignConfig{
+			KSK: k.ksk, ZSK: k.zsk,
+			Inception: sigInception, Expiration: sigExpiration,
+			Rand: newZoneRand(u.opts.Seed, d.Name),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return z, nil
+}
+
+// siteAddr derives a deterministic IPv4 website address.
+func siteAddr(name dns.Name) netip.Addr {
+	h := hash64(string(name))
+	return netip.AddrFrom4([4]byte{203, byte(h >> 16), byte(h >> 8), byte(h)})
+}
+
+// siteAddr6 derives a deterministic IPv6 website address.
+func siteAddr6(name dns.Name) netip.Addr {
+	h := hash64(string(name))
+	var b [16]byte
+	b[0], b[1] = 0x20, 0x01
+	b[2], b[3] = 0x0d, 0xb8
+	for i := 0; i < 8; i++ {
+		b[8+i] = byte(h >> (8 * i))
+	}
+	return netip.AddrFrom16(b)
+}
+
+// hostingHandler serves all SLD zones of one pool, materializing them on
+// demand. It applies the remedy configuration of the universe.
+type hostingHandler struct {
+	u    *Universe
+	pool int
+}
+
+// HandleQuery implements simnet.Handler.
+func (h *hostingHandler) HandleQuery(q *dns.Message, _ netip.Addr) (*dns.Message, error) {
+	resp := dns.NewResponse(q)
+	if len(q.Question) == 0 {
+		resp.Header.RCode = dns.RCodeFormErr
+		return resp, nil
+	}
+	qname := q.Question[0].Name
+	d, ok := h.u.domainOf(qname)
+	if !ok || h.u.pool(d.Name) != h.pool {
+		resp.Header.RCode = dns.RCodeRefused
+		return resp, nil
+	}
+	z, err := h.u.sldZone(d)
+	if err != nil {
+		return nil, err
+	}
+	return authserver.Respond(z, authserver.Config{
+		Name:       fmt.Sprintf("pool%d", h.pool),
+		TXTRemedy:  h.u.opts.TXTRemedy,
+		ZBitRemedy: h.u.opts.ZBitRemedy,
+		Signaler:   h.u.Registry,
+	}, q)
+}
+
+// domainOf maps a query name to the population SLD owning it (the last two
+// labels).
+func (u *Universe) domainOf(qname dns.Name) (*dataset.Domain, bool) {
+	n := qname
+	for n.LabelCount() > 2 {
+		n = n.Parent()
+	}
+	if n.LabelCount() != 2 {
+		return nil, false
+	}
+	d, ok := u.domains[n]
+	return d, ok
+}

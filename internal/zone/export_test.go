@@ -1,0 +1,154 @@
+package zone
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/dnsprivacy/lookaside/internal/dns"
+	"github.com/dnsprivacy/lookaside/internal/dnssec"
+)
+
+func TestSignedRecordsExport(t *testing.T) {
+	z := buildTestZone(t, true)
+	rrs, err := z.SignedRecords()
+	if err != nil {
+		t.Fatalf("SignedRecords: %v", err)
+	}
+	byType := map[dns.Type]int{}
+	for _, rr := range rrs {
+		byType[rr.Type]++
+	}
+	if byType[dns.TypeSOA] != 1 || byType[dns.TypeDNSKEY] != 2 {
+		t.Fatalf("apex records wrong: %v", byType)
+	}
+	if byType[dns.TypeNSEC] == 0 || byType[dns.TypeRRSIG] == 0 {
+		t.Fatalf("missing DNSSEC records: %v", byType)
+	}
+	// Every signed RRset verifies against a published DNSKEY.
+	var keys []*dns.DNSKEYData
+	for _, rr := range rrs {
+		if k, ok := rr.Data.(*dns.DNSKEYData); ok {
+			keys = append(keys, k)
+		}
+	}
+	sets := dnssec.GroupRRSets(rrs)
+	verified := 0
+	for key, rrset := range sets {
+		if key.Type == dns.TypeRRSIG {
+			continue
+		}
+		var sig dns.RR
+		found := false
+		for _, cand := range sets[dns.Key{Name: key.Name, Type: dns.TypeRRSIG, Class: key.Class}] {
+			if cand.Data.(*dns.RRSIGData).TypeCovered == key.Type {
+				sig = cand
+				found = true
+			}
+		}
+		if !found {
+			continue // unsigned (glue / delegation NS)
+		}
+		ok := false
+		for _, k := range keys {
+			if dnssec.VerifyRRSet(k, sig, rrset, 1500) == nil {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("exported RRSIG for %s does not verify", key)
+		}
+		verified++
+	}
+	if verified < 5 {
+		t.Fatalf("only %d verified RRsets", verified)
+	}
+	// The delegation NS set must not carry a signature; glue must appear
+	// unsigned and outside the NSEC chain.
+	for _, cand := range sets[dns.Key{Name: dns.MustName("sub.example.com"), Type: dns.TypeRRSIG, Class: dns.ClassIN}] {
+		if cand.Data.(*dns.RRSIGData).TypeCovered == dns.TypeNS {
+			t.Error("delegation NS RRset was signed")
+		}
+	}
+	glueKey := dns.Key{Name: dns.MustName("ns1.sub.example.com"), Type: dns.TypeNSEC, Class: dns.ClassIN}
+	if len(sets[glueKey]) != 0 {
+		t.Error("glue name has an NSEC record")
+	}
+}
+
+func TestSignedRecordsNSECChainClosed(t *testing.T) {
+	z := buildTestZone(t, true)
+	rrs, err := z.SignedRecords()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Follow the NSEC chain from the apex; it must visit every visible
+	// name exactly once and return to the apex.
+	next := map[dns.Name]dns.Name{}
+	for _, rr := range rrs {
+		if d, ok := rr.Data.(*dns.NSECData); ok {
+			next[rr.Name] = d.NextName
+		}
+	}
+	want := len(z.NSECChainNames())
+	seen := map[dns.Name]bool{}
+	cur := z.Apex()
+	for i := 0; i < want; i++ {
+		if seen[cur] {
+			t.Fatalf("chain revisits %s after %d hops", cur, i)
+		}
+		seen[cur] = true
+		nxt, ok := next[cur]
+		if !ok {
+			t.Fatalf("no NSEC at %s", cur)
+		}
+		cur = nxt
+	}
+	if cur != z.Apex() {
+		t.Fatalf("chain does not close at the apex: ended at %s", cur)
+	}
+}
+
+func TestSignedRecordsUnsignedZone(t *testing.T) {
+	z := buildTestZone(t, false)
+	if _, err := z.SignedRecords(); !errors.Is(err, ErrNotSigned) {
+		t.Fatalf("err = %v, want ErrNotSigned", err)
+	}
+}
+
+func TestAllRecordsAndTransfer(t *testing.T) {
+	unsigned := buildTestZone(t, false)
+	all := unsigned.AllRecords()
+	if len(all) != unsigned.RecordCount() {
+		t.Fatalf("AllRecords = %d, RecordCount = %d", len(all), unsigned.RecordCount())
+	}
+	rrs, err := unsigned.TransferRecords()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rrs[0].Type != dns.TypeSOA {
+		t.Fatalf("transfer does not start with SOA: %s", rrs[0].Type)
+	}
+	for _, rr := range rrs {
+		if rr.Type == dns.TypeRRSIG {
+			t.Fatal("unsigned transfer contains RRSIG")
+		}
+	}
+
+	signed := buildTestZone(t, true)
+	rrs, err = signed.TransferRecords()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rrs[0].Type != dns.TypeSOA {
+		t.Fatalf("signed transfer does not start with SOA: %s", rrs[0].Type)
+	}
+	hasSig := false
+	for _, rr := range rrs {
+		if rr.Type == dns.TypeRRSIG {
+			hasSig = true
+		}
+	}
+	if !hasSig {
+		t.Fatal("signed transfer lacks signatures")
+	}
+}

@@ -1,0 +1,500 @@
+package zone
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/dnsprivacy/lookaside/internal/dns"
+	"github.com/dnsprivacy/lookaside/internal/dnssec"
+)
+
+// ResultKind classifies the outcome of a zone lookup.
+type ResultKind int
+
+// Lookup outcomes.
+const (
+	// KindAnswer: authoritative data for the query name and type.
+	KindAnswer ResultKind = iota + 1
+	// KindReferral: the name lies below a delegation cut; authority holds
+	// the child NS set plus the DS RRset or its NSEC denial.
+	KindReferral
+	// KindNXDomain: the name does not exist; authority holds SOA and, in a
+	// signed zone, the covering NSEC.
+	KindNXDomain
+	// KindNoData: the name exists but has no records of the requested
+	// type; authority holds SOA and, in a signed zone, the matching NSEC.
+	KindNoData
+	// KindRefused: the name is out of zone.
+	KindRefused
+)
+
+var kindNames = map[ResultKind]string{
+	KindAnswer:   "answer",
+	KindReferral: "referral",
+	KindNXDomain: "nxdomain",
+	KindNoData:   "nodata",
+	KindRefused:  "refused",
+}
+
+// String implements fmt.Stringer.
+func (k ResultKind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return "unknown"
+}
+
+// Result is the outcome of a zone lookup, already shaped into response
+// sections.
+type Result struct {
+	Kind       ResultKind
+	RCode      dns.RCode
+	Answer     []dns.RR
+	Authority  []dns.RR
+	Additional []dns.RR
+}
+
+// AnswerRRSetOfType returns the answer-section records of the given type.
+func (r *Result) AnswerRRSetOfType(t dns.Type) []dns.RR {
+	var out []dns.RR
+	for _, rr := range r.Answer {
+		if rr.Type == t {
+			out = append(out, rr)
+		}
+	}
+	return out
+}
+
+// Lookup resolves (qname, qtype) against the zone's authoritative data.
+// When dnssecOK is set and the zone is signed, RRSIGs and denial proofs are
+// attached exactly as an authoritative DNSSEC server would.
+func (z *Zone) Lookup(qname dns.Name, qtype dns.Type, dnssecOK bool) (*Result, error) {
+	if !qname.IsSubdomainOf(z.apex) {
+		return &Result{Kind: KindRefused, RCode: dns.RCodeRefused}, nil
+	}
+	z.mu.Lock()
+	defer z.mu.Unlock()
+
+	withSigs := dnssecOK && z.signed
+
+	// Delegation handling: find the highest cut at or above qname (strictly
+	// below the apex). The parent answers DS queries at the cut itself;
+	// everything else at or below the cut is a referral.
+	if cut, ok := z.findCutLocked(qname); ok {
+		if qname == cut && qtype == dns.TypeDS {
+			return z.answerLocked(qname, qtype, withSigs)
+		}
+		return z.referralLocked(cut, withSigs)
+	}
+
+	if z.nameSet[qname] {
+		return z.answerLocked(qname, qtype, withSigs)
+	}
+	if z.hasDescendantLocked(qname) {
+		// Empty non-terminal: the name exists structurally (names live
+		// below it) but owns no records — NODATA, not NXDOMAIN (RFC 4592
+		// §2.2.2), and never wildcard-covered. The denial proof is the
+		// covering NSEC, since an ENT has no NSEC of its own.
+		res := &Result{Kind: KindNoData, RCode: dns.RCodeNoError}
+		if err := z.attachSOALocked(res, withSigs); err != nil {
+			return nil, err
+		}
+		if withSigs {
+			if err := z.attachDenialLocked(res, qname, false); err != nil {
+				return nil, err
+			}
+		}
+		return res, nil
+	}
+	if res, ok, err := z.wildcardLocked(qname, qtype, withSigs); err != nil {
+		return nil, err
+	} else if ok {
+		return res, nil
+	}
+	return z.nxdomainLocked(qname, withSigs)
+}
+
+// hasDescendantLocked reports whether any owner name exists strictly below
+// qname. In canonical order descendants sort immediately after their
+// ancestor, so one lower-bound search suffices.
+func (z *Zone) hasDescendantLocked(qname dns.Name) bool {
+	z.ensureSortedLocked()
+	i := sort.Search(len(z.names), func(i int) bool {
+		return !dns.CanonicalLess(z.names[i], qname)
+	})
+	return i < len(z.names) && z.names[i] != qname && z.names[i].IsSubdomainOf(qname)
+}
+
+// findCutLocked returns the shallowest delegation cut at or above qname.
+func (z *Zone) findCutLocked(qname dns.Name) (dns.Name, bool) {
+	if len(z.cuts) == 0 || qname == z.apex {
+		return "", false
+	}
+	// Walk ancestors from just below the apex down toward qname so the
+	// shallowest (closest to apex) cut wins, mirroring real servers.
+	ancestors := []dns.Name{qname}
+	for n := qname.Parent(); n != z.apex && !n.IsRoot(); n = n.Parent() {
+		ancestors = append(ancestors, n)
+	}
+	for i := len(ancestors) - 1; i >= 0; i-- {
+		if z.cuts[ancestors[i]] {
+			return ancestors[i], true
+		}
+	}
+	return "", false
+}
+
+// answerLocked builds an authoritative answer or NODATA for an existing
+// name.
+func (z *Zone) answerLocked(qname dns.Name, qtype dns.Type, withSigs bool) (*Result, error) {
+	key := dns.Key{Name: qname, Type: qtype, Class: dns.ClassIN}
+	if rrset, ok := z.records[key]; ok {
+		res := &Result{Kind: KindAnswer, RCode: dns.RCodeNoError}
+		res.Answer = append(res.Answer, rrset...)
+		if withSigs {
+			sig, err := z.signSetLocked(rrset)
+			if err != nil {
+				return nil, err
+			}
+			res.Answer = append(res.Answer, sig)
+		}
+		return res, nil
+	}
+	// CNAME at the name answers any other type.
+	cnameKey := dns.Key{Name: qname, Type: dns.TypeCNAME, Class: dns.ClassIN}
+	if qtype != dns.TypeCNAME {
+		if rrset, ok := z.records[cnameKey]; ok {
+			res := &Result{Kind: KindAnswer, RCode: dns.RCodeNoError}
+			res.Answer = append(res.Answer, rrset...)
+			if withSigs {
+				sig, err := z.signSetLocked(rrset)
+				if err != nil {
+					return nil, err
+				}
+				res.Answer = append(res.Answer, sig)
+			}
+			return res, nil
+		}
+	}
+	// NODATA.
+	res := &Result{Kind: KindNoData, RCode: dns.RCodeNoError}
+	if err := z.attachSOALocked(res, withSigs); err != nil {
+		return nil, err
+	}
+	if withSigs {
+		if err := z.attachDenialLocked(res, qname, true); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// referralLocked builds a delegation response for a cut.
+func (z *Zone) referralLocked(cut dns.Name, withSigs bool) (*Result, error) {
+	res := &Result{Kind: KindReferral, RCode: dns.RCodeNoError}
+	nsKey := dns.Key{Name: cut, Type: dns.TypeNS, Class: dns.ClassIN}
+	nsSet := z.records[nsKey]
+	res.Authority = append(res.Authority, nsSet...)
+
+	if withSigs {
+		dsKey := dns.Key{Name: cut, Type: dns.TypeDS, Class: dns.ClassIN}
+		if dsSet, ok := z.records[dsKey]; ok {
+			res.Authority = append(res.Authority, dsSet...)
+			sig, err := z.signSetLocked(dsSet)
+			if err != nil {
+				return nil, err
+			}
+			res.Authority = append(res.Authority, sig)
+		} else {
+			// Signed parent, unsigned delegation: prove DS absence. This is
+			// the signal that makes a signed child an island of security.
+			if err := z.attachDenialLocked(res, cut, true); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Glue for in-zone name servers.
+	for _, ns := range nsSet {
+		target := ns.Data.(*dns.NSData).Target
+		for _, t := range []dns.Type{dns.TypeA, dns.TypeAAAA} {
+			gk := dns.Key{Name: target, Type: t, Class: dns.ClassIN}
+			res.Additional = append(res.Additional, z.records[gk]...)
+		}
+	}
+	return res, nil
+}
+
+// wildcardLocked synthesizes an answer from a covering wildcard (RFC 4592):
+// walk to the closest encloser of qname and expand "*.<encloser>" if it
+// exists. The synthesized records carry qname as owner; their RRSIG (signed
+// over the wildcard, Labels < owner labels) lets validators reconstruct the
+// source per RFC 4035 §5.3.2, and a covering NSEC proves the exact name did
+// not exist.
+func (z *Zone) wildcardLocked(qname dns.Name, qtype dns.Type, withSigs bool) (*Result, bool, error) {
+	// Closest encloser: the deepest ancestor that exists (as a name or
+	// structurally).
+	encloser := qname.Parent()
+	for encloser != z.apex && !encloser.IsRoot() {
+		if z.nameSet[encloser] || z.hasDescendantLocked(encloser) {
+			break
+		}
+		encloser = encloser.Parent()
+	}
+	wildcard, err := encloser.Prepend("*")
+	if err != nil {
+		return nil, false, err
+	}
+	if !z.nameSet[wildcard] {
+		return nil, false, nil
+	}
+	key := dns.Key{Name: wildcard, Type: qtype, Class: dns.ClassIN}
+	rrset, ok := z.records[key]
+	if !ok {
+		// Wildcard exists but not for this type: NODATA at the wildcard.
+		res := &Result{Kind: KindNoData, RCode: dns.RCodeNoError}
+		if err := z.attachSOALocked(res, withSigs); err != nil {
+			return nil, false, err
+		}
+		if withSigs {
+			if err := z.attachDenialLocked(res, qname, false); err != nil {
+				return nil, false, err
+			}
+		}
+		return res, true, nil
+	}
+	res := &Result{Kind: KindAnswer, RCode: dns.RCodeNoError}
+	for _, rr := range rrset {
+		synth := rr
+		synth.Name = qname
+		res.Answer = append(res.Answer, synth)
+	}
+	if withSigs {
+		sig, err := z.signSetLocked(rrset) // signed over the wildcard owner
+		if err != nil {
+			return nil, false, err
+		}
+		sig.Name = qname // served at the synthesized name, Labels reveals the source
+		res.Answer = append(res.Answer, sig)
+		// Prove the exact name did not exist (RFC 4035 §3.1.3.3).
+		if err := z.attachDenialLocked(res, qname, false); err != nil {
+			return nil, false, err
+		}
+	}
+	return res, true, nil
+}
+
+// nxdomainLocked builds the non-existence response for qname.
+func (z *Zone) nxdomainLocked(qname dns.Name, withSigs bool) (*Result, error) {
+	res := &Result{Kind: KindNXDomain, RCode: dns.RCodeNXDomain}
+	if err := z.attachSOALocked(res, withSigs); err != nil {
+		return nil, err
+	}
+	if withSigs {
+		if err := z.attachDenialLocked(res, qname, false); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// attachSOALocked appends the apex SOA (and its signature) to the authority
+// section, with the negative-caching TTL.
+func (z *Zone) attachSOALocked(res *Result, withSigs bool) error {
+	soaKey := dns.Key{Name: z.apex, Type: dns.TypeSOA, Class: dns.ClassIN}
+	soaSet := z.records[soaKey]
+	res.Authority = append(res.Authority, soaSet...)
+	if withSigs {
+		sig, err := z.signSetLocked(soaSet)
+		if err != nil {
+			return err
+		}
+		res.Authority = append(res.Authority, sig)
+	}
+	return nil
+}
+
+// attachDenialLocked appends the denial-of-existence proof for qname.
+// exists distinguishes NODATA (NSEC at the name itself) from NXDOMAIN
+// (covering NSEC). In NSEC3 mode a hashed record is attached instead, which
+// resolvers cannot use for aggressive negative caching (RFC 5074 §5).
+func (z *Zone) attachDenialLocked(res *Result, qname dns.Name, exists bool) error {
+	if z.nsec3 {
+		return z.attachNSEC3Locked(res, qname)
+	}
+	var owner dns.Name
+	if exists {
+		owner = qname
+	} else {
+		owner = z.predecessorLocked(qname)
+	}
+	nsec, err := z.nsecAtLocked(owner)
+	if err != nil {
+		return err
+	}
+	sig, err := z.signSetLocked([]dns.RR{nsec})
+	if err != nil {
+		return err
+	}
+	res.Authority = append(res.Authority, nsec, sig)
+	return nil
+}
+
+// nsecAtLocked materializes the NSEC record owned by name from the sorted
+// owner index.
+func (z *Zone) nsecAtLocked(owner dns.Name) (dns.RR, error) {
+	if !z.nameSet[owner] {
+		return dns.RR{}, fmt.Errorf("zone: nsec owner %s does not exist", owner)
+	}
+	next := z.successorLocked(owner)
+	types := z.typesAtLocked(owner)
+	types = append(types, dns.TypeRRSIG, dns.TypeNSEC)
+	dns.SortTypes(types)
+	return dns.RR{
+		Name: owner, Type: dns.TypeNSEC, Class: dns.ClassIN, TTL: negativeTTL,
+		Data: &dns.NSECData{NextName: next, Types: types},
+	}, nil
+}
+
+// attachNSEC3Locked appends a minimal NSEC3 denial (enough for a resolver
+// to accept the negative answer; not aggressively cacheable).
+func (z *Zone) attachNSEC3Locked(res *Result, qname dns.Name) error {
+	hash := dnssec.NSEC3Hash(qname, z.nsec3Salt, z.nsec3Iter)
+	label := dnssec.NSEC3OwnerLabel(hash)
+	owner, err := z.apex.Prepend(label)
+	if err != nil {
+		return fmt.Errorf("zone: nsec3 owner: %w", err)
+	}
+	nsec3 := dns.RR{
+		Name: owner, Type: dns.TypeNSEC3, Class: dns.ClassIN, TTL: negativeTTL,
+		Data: &dns.NSEC3Data{
+			HashAlgorithm: dnssec.NSEC3HashSHA1,
+			Iterations:    z.nsec3Iter,
+			Salt:          z.nsec3Salt,
+			NextHash:      hash,
+			Types:         []dns.Type{dns.TypeRRSIG},
+		},
+	}
+	sig, err := z.signSetLocked([]dns.RR{nsec3})
+	if err != nil {
+		return err
+	}
+	res.Authority = append(res.Authority, nsec3, sig)
+	return nil
+}
+
+// typesAtLocked returns a copy of the record types present at owner.
+func (z *Zone) typesAtLocked(owner dns.Name) []dns.Type {
+	src := z.typesByName[owner]
+	types := make([]dns.Type, len(src))
+	copy(types, src)
+	return types
+}
+
+// ensureSortedLocked restores canonical order of the owner-name index after
+// bulk loading.
+func (z *Zone) ensureSortedLocked() {
+	if !z.namesDirty {
+		return
+	}
+	sort.Slice(z.names, func(i, j int) bool {
+		return dns.CanonicalLess(z.names[i], z.names[j])
+	})
+	z.namesDirty = false
+}
+
+// visibleLocked reports whether a name participates in the NSEC chain:
+// authoritative names and cut points yes, glue below cuts no.
+func (z *Zone) visibleLocked(name dns.Name) bool {
+	for n := name.Parent(); n != z.apex && !n.IsRoot(); n = n.Parent() {
+		if z.cuts[n] {
+			return false
+		}
+	}
+	return true
+}
+
+// successorLocked returns the next visible owner name after owner in
+// canonical order, wrapping to the apex at the end of the chain.
+func (z *Zone) successorLocked(owner dns.Name) dns.Name {
+	z.ensureSortedLocked()
+	i := sort.Search(len(z.names), func(i int) bool {
+		return !dns.CanonicalLess(z.names[i], owner)
+	})
+	for j := i + 1; j < len(z.names); j++ {
+		if z.visibleLocked(z.names[j]) {
+			return z.names[j]
+		}
+	}
+	return z.apex
+}
+
+// predecessorLocked returns the closest visible owner name sorting strictly
+// before the (nonexistent) qname; the apex is the floor of the chain.
+func (z *Zone) predecessorLocked(qname dns.Name) dns.Name {
+	z.ensureSortedLocked()
+	i := sort.Search(len(z.names), func(i int) bool {
+		return !dns.CanonicalLess(z.names[i], qname)
+	})
+	for j := i - 1; j >= 0; j-- {
+		if z.visibleLocked(z.names[j]) {
+			return z.names[j]
+		}
+	}
+	return z.apex
+}
+
+// sigCacheCap bounds the memoized-signature map; a paper-scale TLD zone
+// answers on the order of a million distinct DS denials, and HMAC re-signing
+// is cheaper than holding them all.
+const sigCacheCap = 1 << 19
+
+// signSetLocked returns the (memoized) RRSIG for an RRset. The DNSKEY RRset
+// is signed by the KSK, everything else by the ZSK.
+func (z *Zone) signSetLocked(rrset []dns.RR) (dns.RR, error) {
+	if !z.signed {
+		return dns.RR{}, ErrNotSigned
+	}
+	key := rrset[0].Key()
+	if sig, ok := z.sigCache[key]; ok {
+		return sig, nil
+	}
+	if len(z.sigCache) >= sigCacheCap {
+		z.sigCache = make(map[dns.Key]dns.RR, sigCacheCap/4)
+	}
+	signer := z.zsk
+	if key.Type == dns.TypeDNSKEY {
+		signer = z.ksk
+	}
+	sig, err := dnssec.SignRRSet(signer, z.apex, rrset, z.inception, z.expiration, z.rng)
+	if err != nil {
+		return dns.RR{}, fmt.Errorf("zone %s: signing %s: %w", z.apex, key, err)
+	}
+	z.sigCache[key] = sig
+	return sig, nil
+}
+
+// NSECChainNames returns the visible owner names in canonical order; used
+// by tests to verify chain integrity.
+func (z *Zone) NSECChainNames() []dns.Name {
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	z.ensureSortedLocked()
+	var out []dns.Name
+	for _, n := range z.names {
+		if z.visibleLocked(n) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// RecordCount returns the total number of records in the zone.
+func (z *Zone) RecordCount() int {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	total := 0
+	for _, set := range z.records {
+		total += len(set)
+	}
+	return total
+}

@@ -1,0 +1,500 @@
+// Package zonefile reads and writes RFC 1035 master files for the subset
+// of record types the repository implements. It supports $ORIGIN and $TTL
+// directives, the @ owner shorthand, relative names, comments, and
+// quoted TXT strings — enough to round-trip the zones cmd/zonesign and the
+// examples work with.
+package zonefile
+
+import (
+	"bufio"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"net/netip"
+	"strconv"
+	"strings"
+
+	"github.com/dnsprivacy/lookaside/internal/dns"
+)
+
+// Parse errors.
+var (
+	ErrNoOrigin  = errors.New("zonefile: relative name without $ORIGIN")
+	ErrBadRecord = errors.New("zonefile: malformed record")
+)
+
+// Parser reads master-file records.
+type Parser struct {
+	origin     dns.Name
+	defaultTTL uint32
+	lastOwner  dns.Name
+	lineNo     int
+}
+
+// NewParser creates a parser with an optional initial origin.
+func NewParser(origin dns.Name) *Parser {
+	return &Parser{origin: origin, defaultTTL: 3600}
+}
+
+// Parse reads all records from r.
+func (p *Parser) Parse(r io.Reader) ([]dns.RR, error) {
+	var out []dns.RR
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		p.lineNo++
+		line := stripComment(sc.Text())
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "$") {
+			if err := p.directive(line); err != nil {
+				return nil, fmt.Errorf("line %d: %w", p.lineNo, err)
+			}
+			continue
+		}
+		rr, err := p.record(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", p.lineNo, err)
+		}
+		out = append(out, rr)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("zonefile: reading: %w", err)
+	}
+	return out, nil
+}
+
+// stripComment removes a ; comment, honoring quoted strings.
+func stripComment(line string) string {
+	inQuote := false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '"':
+			inQuote = !inQuote
+		case ';':
+			if !inQuote {
+				return line[:i]
+			}
+		}
+	}
+	return line
+}
+
+// directive handles $ORIGIN and $TTL.
+func (p *Parser) directive(line string) error {
+	fields := strings.Fields(line)
+	switch strings.ToUpper(fields[0]) {
+	case "$ORIGIN":
+		if len(fields) < 2 {
+			return fmt.Errorf("%w: $ORIGIN needs a name", ErrBadRecord)
+		}
+		origin, err := dns.MakeName(fields[1])
+		if err != nil {
+			return err
+		}
+		p.origin = origin
+		return nil
+	case "$TTL":
+		if len(fields) < 2 {
+			return fmt.Errorf("%w: $TTL needs a value", ErrBadRecord)
+		}
+		ttl, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return fmt.Errorf("%w: bad $TTL %q", ErrBadRecord, fields[1])
+		}
+		p.defaultTTL = uint32(ttl)
+		return nil
+	default:
+		return fmt.Errorf("%w: unknown directive %s", ErrBadRecord, fields[0])
+	}
+}
+
+// record parses one "owner [ttl] [class] type rdata..." line.
+func (p *Parser) record(line string) (dns.RR, error) {
+	fields, err := splitFields(line)
+	if err != nil {
+		return dns.RR{}, err
+	}
+	if len(fields) < 3 {
+		return dns.RR{}, fmt.Errorf("%w: too few fields", ErrBadRecord)
+	}
+
+	// Owner: blank (continuation), @, relative, or absolute.
+	owner, err := p.ownerName(line, fields[0])
+	if err != nil {
+		return dns.RR{}, err
+	}
+	i := 1
+	if strings.HasPrefix(line, " ") || strings.HasPrefix(line, "\t") {
+		i = 0 // owner field was not consumed: line continues previous owner
+	}
+
+	ttl := p.defaultTTL
+	if i < len(fields) {
+		if v, err := strconv.ParseUint(fields[i], 10, 32); err == nil {
+			ttl = uint32(v)
+			i++
+		}
+	}
+	if i < len(fields) && strings.EqualFold(fields[i], "IN") {
+		i++
+	}
+	if i >= len(fields) {
+		return dns.RR{}, fmt.Errorf("%w: missing type", ErrBadRecord)
+	}
+	typeStr := strings.ToUpper(fields[i])
+	i++
+	data, rtype, err := p.rdata(typeStr, fields[i:])
+	if err != nil {
+		return dns.RR{}, err
+	}
+	p.lastOwner = owner
+	return dns.RR{Name: owner, Type: rtype, Class: dns.ClassIN, TTL: ttl, Data: data}, nil
+}
+
+// ownerName resolves the owner field.
+func (p *Parser) ownerName(line, field string) (dns.Name, error) {
+	if strings.HasPrefix(line, " ") || strings.HasPrefix(line, "\t") {
+		if p.lastOwner == "" {
+			return "", fmt.Errorf("%w: continuation line without previous owner", ErrBadRecord)
+		}
+		return p.lastOwner, nil
+	}
+	return p.name(field)
+}
+
+// name resolves a possibly relative name against the origin.
+func (p *Parser) name(s string) (dns.Name, error) {
+	if s == "@" {
+		if p.origin == "" {
+			return "", ErrNoOrigin
+		}
+		return p.origin, nil
+	}
+	if strings.HasSuffix(s, ".") {
+		return dns.MakeName(s)
+	}
+	if p.origin == "" {
+		return "", fmt.Errorf("%w: %q", ErrNoOrigin, s)
+	}
+	return dns.Concat(s, p.origin)
+}
+
+// splitFields tokenizes honoring quoted strings.
+func splitFields(line string) ([]string, error) {
+	var out []string
+	var cur strings.Builder
+	inQuote := false
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, cur.String())
+			cur.Reset()
+		}
+	}
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case c == '"':
+			if inQuote {
+				out = append(out, "\x00"+cur.String()) // marker: quoted
+				cur.Reset()
+			}
+			inQuote = !inQuote
+		case inQuote:
+			cur.WriteByte(c)
+		case c == ' ' || c == '\t':
+			flush()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if inQuote {
+		return nil, fmt.Errorf("%w: unterminated quote", ErrBadRecord)
+	}
+	flush()
+	return out, nil
+}
+
+// isQuoted reports whether a field came from a quoted string.
+func isQuoted(f string) (string, bool) {
+	if strings.HasPrefix(f, "\x00") {
+		return f[1:], true
+	}
+	return f, false
+}
+
+// rdata parses the type-specific payload.
+func (p *Parser) rdata(typeStr string, fields []string) (dns.RData, dns.Type, error) {
+	need := func(n int) error {
+		if len(fields) < n {
+			return fmt.Errorf("%w: %s needs %d fields, got %d", ErrBadRecord, typeStr, n, len(fields))
+		}
+		return nil
+	}
+	switch typeStr {
+	case "A":
+		if err := need(1); err != nil {
+			return nil, 0, err
+		}
+		addr, err := netip.ParseAddr(fields[0])
+		if err != nil || !addr.Is4() {
+			return nil, 0, fmt.Errorf("%w: bad A address %q", ErrBadRecord, fields[0])
+		}
+		return &dns.AData{Addr: addr}, dns.TypeA, nil
+	case "AAAA":
+		if err := need(1); err != nil {
+			return nil, 0, err
+		}
+		addr, err := netip.ParseAddr(fields[0])
+		if err != nil || !addr.Is6() || addr.Is4() {
+			return nil, 0, fmt.Errorf("%w: bad AAAA address %q", ErrBadRecord, fields[0])
+		}
+		return &dns.AAAAData{Addr: addr}, dns.TypeAAAA, nil
+	case "NS", "CNAME", "PTR":
+		if err := need(1); err != nil {
+			return nil, 0, err
+		}
+		target, err := p.name(fields[0])
+		if err != nil {
+			return nil, 0, err
+		}
+		switch typeStr {
+		case "NS":
+			return &dns.NSData{Target: target}, dns.TypeNS, nil
+		case "CNAME":
+			return &dns.CNAMEData{Target: target}, dns.TypeCNAME, nil
+		default:
+			return &dns.PTRData{Target: target}, dns.TypePTR, nil
+		}
+	case "MX":
+		if err := need(2); err != nil {
+			return nil, 0, err
+		}
+		pref, err := strconv.ParseUint(fields[0], 10, 16)
+		if err != nil {
+			return nil, 0, fmt.Errorf("%w: bad MX preference %q", ErrBadRecord, fields[0])
+		}
+		target, err := p.name(fields[1])
+		if err != nil {
+			return nil, 0, err
+		}
+		return &dns.MXData{Preference: uint16(pref), Exchange: target}, dns.TypeMX, nil
+	case "TXT":
+		if err := need(1); err != nil {
+			return nil, 0, err
+		}
+		var strs []string
+		for _, f := range fields {
+			s, _ := isQuoted(f)
+			strs = append(strs, s)
+		}
+		return &dns.TXTData{Strings: strs}, dns.TypeTXT, nil
+	case "SOA":
+		if err := need(7); err != nil {
+			return nil, 0, err
+		}
+		mname, err := p.name(fields[0])
+		if err != nil {
+			return nil, 0, err
+		}
+		rname, err := p.name(fields[1])
+		if err != nil {
+			return nil, 0, err
+		}
+		var vals [5]uint32
+		for i := 0; i < 5; i++ {
+			v, err := strconv.ParseUint(fields[2+i], 10, 32)
+			if err != nil {
+				return nil, 0, fmt.Errorf("%w: bad SOA field %q", ErrBadRecord, fields[2+i])
+			}
+			vals[i] = uint32(v)
+		}
+		return &dns.SOAData{
+			MName: mname, RName: rname,
+			Serial: vals[0], Refresh: vals[1], Retry: vals[2], Expire: vals[3], MinTTL: vals[4],
+		}, dns.TypeSOA, nil
+	case "DNSKEY":
+		if err := need(4); err != nil {
+			return nil, 0, err
+		}
+		flags, err := strconv.ParseUint(fields[0], 10, 16)
+		if err != nil {
+			return nil, 0, fmt.Errorf("%w: bad DNSKEY flags", ErrBadRecord)
+		}
+		proto, err := strconv.ParseUint(fields[1], 10, 8)
+		if err != nil {
+			return nil, 0, fmt.Errorf("%w: bad DNSKEY protocol", ErrBadRecord)
+		}
+		alg, err := strconv.ParseUint(fields[2], 10, 8)
+		if err != nil {
+			return nil, 0, fmt.Errorf("%w: bad DNSKEY algorithm", ErrBadRecord)
+		}
+		key, err := hex.DecodeString(strings.Join(fields[3:], ""))
+		if err != nil {
+			return nil, 0, fmt.Errorf("%w: bad DNSKEY key material", ErrBadRecord)
+		}
+		return &dns.DNSKEYData{
+			Flags: uint16(flags), Protocol: uint8(proto), Algorithm: uint8(alg), PublicKey: key,
+		}, dns.TypeDNSKEY, nil
+	case "RRSIG":
+		if err := need(9); err != nil {
+			return nil, 0, err
+		}
+		covered, ok := typeFromMnemonic(fields[0])
+		if !ok {
+			return nil, 0, fmt.Errorf("%w: RRSIG covers unknown type %q", ErrBadRecord, fields[0])
+		}
+		var nums [5]uint64
+		widths := []int{8, 8, 32, 32, 32}
+		for i := 0; i < 5; i++ {
+			v, err := strconv.ParseUint(fields[1+i], 10, widths[i])
+			if err != nil {
+				return nil, 0, fmt.Errorf("%w: bad RRSIG field %q", ErrBadRecord, fields[1+i])
+			}
+			nums[i] = v
+		}
+		tag, err := strconv.ParseUint(fields[6], 10, 16)
+		if err != nil {
+			return nil, 0, fmt.Errorf("%w: bad RRSIG key tag", ErrBadRecord)
+		}
+		signer, err := p.name(fields[7])
+		if err != nil {
+			return nil, 0, err
+		}
+		sig, err := hex.DecodeString(strings.Join(fields[8:], ""))
+		if err != nil {
+			return nil, 0, fmt.Errorf("%w: bad RRSIG signature", ErrBadRecord)
+		}
+		return &dns.RRSIGData{
+			TypeCovered: covered, Algorithm: uint8(nums[0]), Labels: uint8(nums[1]),
+			OriginalTTL: uint32(nums[2]), Expiration: uint32(nums[3]), Inception: uint32(nums[4]),
+			KeyTag: uint16(tag), SignerName: signer, Signature: sig,
+		}, dns.TypeRRSIG, nil
+	case "NSEC":
+		if err := need(1); err != nil {
+			return nil, 0, err
+		}
+		next, err := p.name(fields[0])
+		if err != nil {
+			return nil, 0, err
+		}
+		types, err := typeList(fields[1:])
+		if err != nil {
+			return nil, 0, err
+		}
+		return &dns.NSECData{NextName: next, Types: types}, dns.TypeNSEC, nil
+	case "NSEC3":
+		if err := need(5); err != nil {
+			return nil, 0, err
+		}
+		alg, err := strconv.ParseUint(fields[0], 10, 8)
+		if err != nil {
+			return nil, 0, fmt.Errorf("%w: bad NSEC3 algorithm", ErrBadRecord)
+		}
+		flagsVal, err := strconv.ParseUint(fields[1], 10, 8)
+		if err != nil {
+			return nil, 0, fmt.Errorf("%w: bad NSEC3 flags", ErrBadRecord)
+		}
+		iter, err := strconv.ParseUint(fields[2], 10, 16)
+		if err != nil {
+			return nil, 0, fmt.Errorf("%w: bad NSEC3 iterations", ErrBadRecord)
+		}
+		salt, err := hexOrEmpty(fields[3])
+		if err != nil {
+			return nil, 0, fmt.Errorf("%w: bad NSEC3 salt", ErrBadRecord)
+		}
+		hash, err := hex.DecodeString(fields[4])
+		if err != nil {
+			return nil, 0, fmt.Errorf("%w: bad NSEC3 hash", ErrBadRecord)
+		}
+		types, err := typeList(fields[5:])
+		if err != nil {
+			return nil, 0, err
+		}
+		return &dns.NSEC3Data{
+			HashAlgorithm: uint8(alg), Flags: uint8(flagsVal), Iterations: uint16(iter),
+			Salt: salt, NextHash: hash, Types: types,
+		}, dns.TypeNSEC3, nil
+	case "DS", "DLV":
+		if err := need(4); err != nil {
+			return nil, 0, err
+		}
+		tag, err := strconv.ParseUint(fields[0], 10, 16)
+		if err != nil {
+			return nil, 0, fmt.Errorf("%w: bad %s key tag", ErrBadRecord, typeStr)
+		}
+		alg, err := strconv.ParseUint(fields[1], 10, 8)
+		if err != nil {
+			return nil, 0, fmt.Errorf("%w: bad %s algorithm", ErrBadRecord, typeStr)
+		}
+		dt, err := strconv.ParseUint(fields[2], 10, 8)
+		if err != nil {
+			return nil, 0, fmt.Errorf("%w: bad %s digest type", ErrBadRecord, typeStr)
+		}
+		digest, err := hex.DecodeString(strings.Join(fields[3:], ""))
+		if err != nil {
+			return nil, 0, fmt.Errorf("%w: bad %s digest", ErrBadRecord, typeStr)
+		}
+		if typeStr == "DS" {
+			return &dns.DSData{KeyTag: uint16(tag), Algorithm: uint8(alg), DigestType: uint8(dt), Digest: digest}, dns.TypeDS, nil
+		}
+		return &dns.DLVData{KeyTag: uint16(tag), Algorithm: uint8(alg), DigestType: uint8(dt), Digest: digest}, dns.TypeDLV, nil
+	default:
+		return nil, 0, fmt.Errorf("%w: unsupported type %s", ErrBadRecord, typeStr)
+	}
+}
+
+// typeMnemonics maps presentation names to type codes for RRSIG/NSEC
+// payloads.
+var typeMnemonics = map[string]dns.Type{
+	"A": dns.TypeA, "NS": dns.TypeNS, "CNAME": dns.TypeCNAME, "SOA": dns.TypeSOA,
+	"PTR": dns.TypePTR, "MX": dns.TypeMX, "TXT": dns.TypeTXT, "AAAA": dns.TypeAAAA,
+	"DS": dns.TypeDS, "RRSIG": dns.TypeRRSIG, "NSEC": dns.TypeNSEC,
+	"DNSKEY": dns.TypeDNSKEY, "NSEC3": dns.TypeNSEC3, "DLV": dns.TypeDLV,
+}
+
+// typeFromMnemonic resolves a type name, accepting RFC 3597 TYPEnnn.
+func typeFromMnemonic(s string) (dns.Type, bool) {
+	if t, ok := typeMnemonics[strings.ToUpper(s)]; ok {
+		return t, true
+	}
+	if strings.HasPrefix(strings.ToUpper(s), "TYPE") {
+		if v, err := strconv.ParseUint(s[4:], 10, 16); err == nil {
+			return dns.Type(v), true
+		}
+	}
+	return 0, false
+}
+
+// typeList parses an NSEC/NSEC3 type bitmap in presentation form.
+func typeList(fields []string) ([]dns.Type, error) {
+	var out []dns.Type
+	for _, f := range fields {
+		t, ok := typeFromMnemonic(f)
+		if !ok {
+			return nil, fmt.Errorf("%w: unknown type %q in bitmap", ErrBadRecord, f)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// hexOrEmpty decodes hex, treating "-" as the empty salt.
+func hexOrEmpty(s string) ([]byte, error) {
+	if s == "-" || s == "" {
+		return nil, nil
+	}
+	return hex.DecodeString(s)
+}
+
+// Write renders records in presentation format.
+func Write(w io.Writer, rrs []dns.RR) error {
+	for _, rr := range rrs {
+		if _, err := fmt.Fprintf(w, "%s\n", rr); err != nil {
+			return fmt.Errorf("zonefile: writing: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,261 @@
+package zonefile
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/dnsprivacy/lookaside/internal/dns"
+)
+
+const sampleZone = `
+$ORIGIN example.com.
+$TTL 300
+@       3600 IN SOA ns1 hostmaster 2024010101 7200 900 1209600 300
+@            IN NS  ns1
+ns1          IN A   192.0.2.53
+www     120  IN A   192.0.2.80
+www          IN AAAA 2001:db8::80
+mail         IN MX  10 mx1.example.net.
+alias        IN CNAME www
+@            IN TXT "dlv=1" "v=spf1 -all"   ; remedy signal
+sub          IN NS  ns1.sub
+ns1.sub      IN A   192.0.2.54
+key          IN DNSKEY 257 3 253 aabbccdd
+ds           IN DS  12345 13 2 00ff00ff
+dlv          IN DLV 12345 13 2 00ff00ff
+rev          IN PTR www.example.com.
+`
+
+func parseSample(t *testing.T) []dns.RR {
+	t.Helper()
+	rrs, err := NewParser("").Parse(strings.NewReader(sampleZone))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return rrs
+}
+
+func TestParseSampleZone(t *testing.T) {
+	rrs := parseSample(t)
+	if len(rrs) != 14 {
+		t.Fatalf("parsed %d records, want 14", len(rrs))
+	}
+	byType := map[dns.Type]int{}
+	for _, rr := range rrs {
+		byType[rr.Type]++
+		if !rr.Name.IsSubdomainOf(dns.MustName("example.com")) && rr.Type != dns.TypePTR {
+			t.Errorf("owner %s not under origin", rr.Name)
+		}
+	}
+	want := map[dns.Type]int{
+		dns.TypeSOA: 1, dns.TypeNS: 2, dns.TypeA: 3, dns.TypeAAAA: 1,
+		dns.TypeMX: 1, dns.TypeCNAME: 1, dns.TypeTXT: 1, dns.TypeDNSKEY: 1,
+		dns.TypeDS: 1, dns.TypeDLV: 1, dns.TypePTR: 1,
+	}
+	for typ, n := range want {
+		if byType[typ] != n {
+			t.Errorf("type %s: %d records, want %d", typ, byType[typ], n)
+		}
+	}
+}
+
+func TestParseDetails(t *testing.T) {
+	rrs := parseSample(t)
+	var soa *dns.SOAData
+	var txt *dns.TXTData
+	var www dns.RR
+	for _, rr := range rrs {
+		switch d := rr.Data.(type) {
+		case *dns.SOAData:
+			soa = d
+		case *dns.TXTData:
+			txt = d
+		case *dns.AData:
+			if rr.Name == dns.MustName("www.example.com") {
+				www = rr
+			}
+		}
+	}
+	if soa == nil || soa.MName != dns.MustName("ns1.example.com") || soa.Serial != 2024010101 {
+		t.Fatalf("SOA = %+v", soa)
+	}
+	if txt == nil || len(txt.Strings) != 2 || txt.Strings[0] != "dlv=1" {
+		t.Fatalf("TXT = %+v", txt)
+	}
+	if www.TTL != 120 {
+		t.Fatalf("explicit TTL lost: %d", www.TTL)
+	}
+	// Default TTL applied where no explicit TTL given.
+	for _, rr := range rrs {
+		if rr.Name == dns.MustName("ns1.example.com") && rr.Type == dns.TypeA && rr.TTL != 300 {
+			t.Fatalf("default TTL not applied: %d", rr.TTL)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+		want error
+	}{
+		{"relative without origin", "www IN A 192.0.2.1", ErrNoOrigin},
+		{"at without origin", "@ IN A 192.0.2.1", ErrNoOrigin},
+		{"bad type", "$ORIGIN x.\nwww IN BOGUS data", ErrBadRecord},
+		{"bad A", "$ORIGIN x.\nwww IN A notanip", ErrBadRecord},
+		{"v6 in A", "$ORIGIN x.\nwww IN A 2001:db8::1", ErrBadRecord},
+		{"v4 in AAAA", "$ORIGIN x.\nwww IN AAAA 192.0.2.1", ErrBadRecord},
+		{"short SOA", "$ORIGIN x.\n@ IN SOA ns1 admin 1 2 3", ErrBadRecord},
+		{"unterminated quote", "$ORIGIN x.\n@ IN TXT \"oops", ErrBadRecord},
+		{"unknown directive", "$BOGUS 3", ErrBadRecord},
+		{"bad ttl directive", "$TTL abc", ErrBadRecord},
+		{"bad mx pref", "$ORIGIN x.\n@ IN MX ten mail", ErrBadRecord},
+		{"bad dnskey hex", "$ORIGIN x.\n@ IN DNSKEY 256 3 13 zz", ErrBadRecord},
+		{"too few fields", "$ORIGIN x.\nwww IN", ErrBadRecord},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewParser("").Parse(strings.NewReader(tt.in))
+			if !errors.Is(err, tt.want) {
+				t.Fatalf("err = %v, want %v", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestCommentHandling(t *testing.T) {
+	in := `$ORIGIN example.com.
+www IN A 192.0.2.1 ; trailing comment
+; whole-line comment
+@ IN TXT "semi;inside;quotes"
+`
+	rrs, err := NewParser("").Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rrs) != 2 {
+		t.Fatalf("parsed %d records", len(rrs))
+	}
+	txt := rrs[1].Data.(*dns.TXTData)
+	if txt.Strings[0] != "semi;inside;quotes" {
+		t.Fatalf("TXT = %q", txt.Strings[0])
+	}
+}
+
+func TestContinuationOwner(t *testing.T) {
+	in := "$ORIGIN example.com.\nwww IN A 192.0.2.1\n     IN AAAA 2001:db8::1\n"
+	rrs, err := NewParser("").Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rrs) != 2 || rrs[1].Name != rrs[0].Name {
+		t.Fatalf("continuation owner broken: %v", rrs)
+	}
+	// Continuation with no previous owner.
+	_, err = NewParser("").Parse(strings.NewReader("   IN A 192.0.2.1\n"))
+	if !errors.Is(err, ErrBadRecord) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestInitialOriginAndTTLDirective(t *testing.T) {
+	p := NewParser(dns.MustName("preset.org"))
+	rrs, err := p.Parse(strings.NewReader("www IN A 192.0.2.9\n$TTL 60\nftp IN A 192.0.2.10\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rrs[0].Name != dns.MustName("www.preset.org") {
+		t.Fatalf("preset origin ignored: %s", rrs[0].Name)
+	}
+	if rrs[1].TTL != 60 {
+		t.Fatalf("$TTL not applied: %d", rrs[1].TTL)
+	}
+}
+
+func TestParseDNSSECRecords(t *testing.T) {
+	in := `$ORIGIN example.com.
+@ IN RRSIG A 13 2 300 1700000000 1690000000 12345 example.com. aabbcc
+@ IN NSEC www.example.com. A NS RRSIG NSEC TYPE32769
+h1 IN NSEC3 1 0 12 aabb ccdd A DS
+h2 IN NSEC3 1 0 0 - ccdd A
+`
+	rrs, err := NewParser("").Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	sig := rrs[0].Data.(*dns.RRSIGData)
+	if sig.TypeCovered != dns.TypeA || sig.KeyTag != 12345 ||
+		sig.SignerName != dns.MustName("example.com") || sig.Expiration != 1700000000 {
+		t.Fatalf("RRSIG = %+v", sig)
+	}
+	nsec := rrs[1].Data.(*dns.NSECData)
+	if nsec.NextName != dns.MustName("www.example.com") || len(nsec.Types) != 5 {
+		t.Fatalf("NSEC = %+v", nsec)
+	}
+	if !dns.HasType(nsec.Types, dns.TypeDLV) {
+		t.Fatal("TYPE32769 not parsed as DLV code point")
+	}
+	n3 := rrs[2].Data.(*dns.NSEC3Data)
+	if n3.Iterations != 12 || len(n3.Salt) != 2 || len(n3.Types) != 2 {
+		t.Fatalf("NSEC3 = %+v", n3)
+	}
+	empty := rrs[3].Data.(*dns.NSEC3Data)
+	if empty.Salt != nil {
+		t.Fatalf("empty salt parsed as %v", empty.Salt)
+	}
+}
+
+func TestSignedZoneRoundTrip(t *testing.T) {
+	// Parse → write → parse of a zone containing every DNSSEC type.
+	in := `$ORIGIN s.test.
+@ IN SOA ns1 admin 1 2 3 4 5
+@ IN DNSKEY 257 3 253 aabb
+@ IN RRSIG SOA 253 2 300 100 0 7 s.test. ddee
+@ IN NSEC ns1.s.test. SOA NSEC RRSIG DNSKEY
+`
+	first, err := NewParser("").Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, first); err != nil {
+		t.Fatal(err)
+	}
+	second, err := NewParser("").Parse(&buf)
+	if err != nil {
+		t.Fatalf("reparse of written signed zone: %v", err)
+	}
+	if len(second) != len(first) {
+		t.Fatalf("roundtrip lost records: %d vs %d", len(second), len(first))
+	}
+	for i := range first {
+		if first[i].Data.String() != second[i].Data.String() {
+			t.Errorf("record %d mismatch:\n%s\n%s", i, first[i].Data, second[i].Data)
+		}
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	rrs := parseSample(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, rrs); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	back, err := NewParser("").Parse(&buf)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if len(back) != len(rrs) {
+		t.Fatalf("roundtrip lost records: %d vs %d", len(back), len(rrs))
+	}
+	for i := range rrs {
+		if back[i].Key() != rrs[i].Key() {
+			t.Errorf("record %d key mismatch: %s vs %s", i, back[i].Key(), rrs[i].Key())
+		}
+		if back[i].Data.String() != rrs[i].Data.String() {
+			t.Errorf("record %d rdata mismatch:\n%s\n%s", i, back[i].Data, rrs[i].Data)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package lookaside
+
+import (
+	"strings"
+	"testing"
+)
+
+func newTestSim(t *testing.T, mutate func(*SimulationConfig)) *Simulation {
+	t.Helper()
+	cfg := SimulationConfig{Domains: 300, Seed: 9}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	sim, err := NewSimulation(cfg)
+	if err != nil {
+		t.Fatalf("NewSimulation: %v", err)
+	}
+	return sim
+}
+
+func TestNewSimulationValidation(t *testing.T) {
+	if _, err := NewSimulation(SimulationConfig{}); err == nil {
+		t.Fatal("zero-domain simulation accepted")
+	}
+}
+
+func TestTopDomains(t *testing.T) {
+	sim := newTestSim(t, nil)
+	top := sim.TopDomains(10)
+	if len(top) != 10 {
+		t.Fatalf("TopDomains(10) = %d names", len(top))
+	}
+	for _, d := range top {
+		if !strings.HasSuffix(d, ".") || strings.Count(d, ".") < 2 {
+			t.Errorf("malformed domain %q", d)
+		}
+	}
+	if got := sim.TopDomains(1_000_000); len(got) != 300 {
+		t.Fatalf("oversized TopDomains = %d", len(got))
+	}
+	if got := sim.SecuredDomains(); len(got) != 45 {
+		t.Fatalf("SecuredDomains = %d", len(got))
+	}
+	if sim.DepositCount() == 0 {
+		t.Fatal("registry has no deposits")
+	}
+}
+
+func TestAuditYumDefaultLeaksUnsigned(t *testing.T) {
+	sim := newTestSim(t, nil)
+	rep, err := sim.Audit(Environments().YumDefault, sim.TopDomains(100))
+	if err != nil {
+		t.Fatalf("Audit: %v", err)
+	}
+	if rep.QueriedDomains != 100 {
+		t.Fatalf("QueriedDomains = %d", rep.QueriedDomains)
+	}
+	if rep.LeakedDomains == 0 || rep.LeakProportion <= 0 {
+		t.Fatalf("no leakage under yum defaults: %+v", rep)
+	}
+	if rep.DLVQueries == 0 || rep.DLVNXDomain == 0 {
+		t.Fatalf("registry traffic missing: %+v", rep)
+	}
+	if rep.Elapsed <= 0 || rep.TrafficBytes <= 0 {
+		t.Fatalf("cost metrics missing: %+v", rep)
+	}
+	if rep.QueryTypeCounts["A"] == 0 || rep.QueryTypeCounts["DS"] == 0 {
+		t.Fatalf("query mix missing: %+v", rep.QueryTypeCounts)
+	}
+}
+
+func TestAuditSecuredDomainsPerEnvironment(t *testing.T) {
+	envs := Environments()
+	tests := []struct {
+		env        Environment
+		chainsLeak bool
+	}{
+		{envs.AptGetDefault, false},
+		{envs.YumDefault, false},
+		{envs.UnboundDefault, false},
+		{envs.AptGetARMEdit, true},
+		{envs.ManualInstall, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.env.Name, func(t *testing.T) {
+			sim := newTestSim(t, nil)
+			rep, err := sim.Audit(tt.env, sim.SecuredDomains())
+			if err != nil {
+				t.Fatal(err)
+			}
+			// 40 of the 45 are chain-complete; with a working anchor they
+			// validate and only the 5 islands reach the registry. With a
+			// broken anchor everything is shipped to the registry — though
+			// aggressive negative caching collapses the adjacent secureNN
+			// names into a few observed spans — and at most the 2
+			// deposited islands still validate (via DLV itself).
+			observed := rep.LeakedDomains + rep.Case1Domains
+			if !tt.chainsLeak && observed > 5 {
+				t.Errorf("working anchor leaked %d domains, want ≤5 islands", observed)
+			}
+			if !tt.chainsLeak && rep.SecureAnswers < 40 {
+				t.Errorf("only %d secure answers, want ≥40", rep.SecureAnswers)
+			}
+			if tt.chainsLeak && rep.SecureAnswers > 2 {
+				t.Errorf("broken anchor yielded %d secure answers, want ≤2", rep.SecureAnswers)
+			}
+			if tt.chainsLeak && rep.SuppressedByNegCache == 0 {
+				t.Error("broken anchor run should show negative-cache suppression of chained names")
+			}
+		})
+	}
+}
+
+func TestAuditRemedies(t *testing.T) {
+	for _, remedy := range []string{"txt", "zbit"} {
+		t.Run(remedy, func(t *testing.T) {
+			sim := newTestSim(t, func(c *SimulationConfig) {
+				c.TXTRemedy = remedy == "txt"
+				c.ZBitRemedy = remedy == "zbit"
+			})
+			env := Environments().YumDefault
+			env.Remedy = remedy
+			rep, err := sim.Audit(env, sim.TopDomains(100))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.SkippedByRemedy == 0 {
+				t.Fatalf("remedy %s never gated a look-aside: %+v", remedy, rep)
+			}
+			// Compare with the unremedied baseline on a fresh simulation.
+			base := newTestSim(t, func(c *SimulationConfig) {
+				c.TXTRemedy = remedy == "txt"
+				c.ZBitRemedy = remedy == "zbit"
+			})
+			baseRep, err := base.Audit(Environments().YumDefault, base.TopDomains(100))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.LeakedDomains >= baseRep.LeakedDomains {
+				t.Errorf("remedy %s did not reduce leakage: %d vs %d",
+					remedy, rep.LeakedDomains, baseRep.LeakedDomains)
+			}
+		})
+	}
+}
+
+func TestAuditHashedRegistry(t *testing.T) {
+	sim := newTestSim(t, func(c *SimulationConfig) { c.HashedRegistry = true })
+	rep, err := sim.Audit(Environments().YumDefault, sim.TopDomains(80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DLVQueries == 0 {
+		t.Fatal("hashed registry received no queries")
+	}
+	// The registry cannot attribute observations to domains.
+	if rep.LeakedDomains != 0 || rep.Case1Domains != 0 {
+		t.Fatalf("hashed registry should observe no domains: %+v", rep)
+	}
+}
+
+func TestAuditRejectsBadInput(t *testing.T) {
+	sim := newTestSim(t, nil)
+	if _, err := sim.Audit(Environments().YumDefault, []string{"bad..name"}); err == nil {
+		t.Fatal("bad domain accepted")
+	}
+	env := Environments().YumDefault
+	env.Remedy = "nonsense"
+	if _, err := sim.Audit(env, sim.TopDomains(1)); err == nil {
+		t.Fatal("bad remedy accepted")
+	}
+}
+
+func TestEnvironmentsTable(t *testing.T) {
+	envs := Environments()
+	if !envs.YumDefault.RootAnchor || !envs.YumDefault.Lookaside {
+		t.Errorf("yum default = %+v", envs.YumDefault)
+	}
+	if envs.ManualInstall.RootAnchor {
+		t.Errorf("manual install should lack the root anchor: %+v", envs.ManualInstall)
+	}
+	if !envs.UnboundDefault.RootAnchor || !envs.UnboundDefault.LookasideAnchor {
+		t.Errorf("unbound default = %+v", envs.UnboundDefault)
+	}
+}
