@@ -13,10 +13,12 @@ import (
 	"net/netip"
 	"testing"
 
+	"github.com/dnsprivacy/lookaside/internal/core"
 	"github.com/dnsprivacy/lookaside/internal/dataset"
 	"github.com/dnsprivacy/lookaside/internal/dns"
 	"github.com/dnsprivacy/lookaside/internal/dnssec"
 	"github.com/dnsprivacy/lookaside/internal/experiment"
+	"github.com/dnsprivacy/lookaside/internal/universe"
 )
 
 // benchParams is the shared 1%-scale configuration.
@@ -336,6 +338,86 @@ func maxInt(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// --- parallel audit engine ---
+
+func BenchmarkShardedAuditor1(b *testing.B) { benchShardedAuditor(b, 1) }
+func BenchmarkShardedAuditor4(b *testing.B) { benchShardedAuditor(b, 4) }
+func BenchmarkShardedAuditor8(b *testing.B) { benchShardedAuditor(b, 8) }
+
+// benchShardedAuditor audits the 1%-scale Fig. 8 workload (10k domains)
+// with a fixed shard count and reports throughput. Simulated time is
+// virtual, so domains/sec here is real host throughput of the engine.
+func benchShardedAuditor(b *testing.B, workers int) {
+	pop, err := dataset.AlexaLike(dataset.PopulationConfig{Size: 10_000, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	u, err := universe.Build(universe.Options{Seed: 1, Population: pop, Extra: dataset.SecureDomains()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := u.ResolverConfig(true, true)
+	cfg.NSCompletionPercent, cfg.PTRSamplePercent = 0, 0
+	workload := pop.Top(10_000)
+	queries := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := core.NewShardedAuditor(u, core.ShardedOptions{
+			Options: core.Options{Resolver: cfg}, Workers: workers,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := a.QueryDomains(workload); err != nil {
+			b.Fatal(err)
+		}
+		rep := a.Report()
+		if rep.QueriedDomains != len(workload) {
+			b.Fatalf("audited %d of %d domains", rep.QueriedDomains, len(workload))
+		}
+		queries += rep.Capture.Events
+	}
+	sec := b.Elapsed().Seconds()
+	b.ReportMetric(float64(b.N*len(workload))/sec, "domains/sec")
+	b.ReportMetric(float64(queries)/sec, "queries/sec")
+}
+
+func BenchmarkRRSIGVerifyUncached(b *testing.B) { benchRRSIGVerify(b, nil) }
+
+func BenchmarkRRSIGVerifyCached(b *testing.B) {
+	benchRRSIGVerify(b, dnssec.NewVerifyCache())
+}
+
+// benchRRSIGVerify measures repeated validation of the same signed RRsets
+// — the hot pattern of an audit, where every resolution re-verifies the
+// root and TLD DNSKEY chains. cache == nil is the uncached baseline.
+func benchRRSIGVerify(b *testing.B, cache *dnssec.VerifyCache) {
+	rng := rand.New(rand.NewSource(1))
+	key, err := dnssec.GenerateKey(dnssec.AlgECDSAP256, dns.DNSKEYFlagZone, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rrset := benchMessage().Answer[:1]
+	sig, err := dnssec.SignRRSet(key, dns.MustName("example.com"), rrset, 0, 1<<31, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	verify := dnssec.VerifyRRSet
+	if cache != nil {
+		verify = cache.VerifyRRSet
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := verify(key.Public(), sig, rrset, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if cache != nil {
+		hits, misses := cache.Stats()
+		b.ReportMetric(float64(hits)/float64(maxInt(int(hits+misses), 1)), "hitRate")
+	}
 }
 
 func BenchmarkEnumerationAttack(b *testing.B) {

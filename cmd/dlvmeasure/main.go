@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -44,10 +45,12 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "random seed (experiments are deterministic in it)")
 	scale := fs.Int("scale", 100, "workload divisor: 1 = paper scale, 100 = 1% size")
 	traceMinutes := fs.Int("trace-minutes", 0, "override Fig. 12 trace length (0 = 7h/scale)")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0),
+		"concurrent experiments and sweep points; results are identical at any setting")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	p := experiment.Params{Seed: *seed, Scale: *scale}
+	p := experiment.Params{Seed: *seed, Scale: *scale, Workers: *workers}
 
 	selected := map[string]bool{}
 	if *exp == "all" {
@@ -62,34 +65,29 @@ func run(args []string) error {
 
 	start := time.Now()
 	ran := 0
+	var jobs []experiment.Job
 
 	// fig8 and fig9 share one sweep; when both are selected, run it once.
 	if selected["fig8"] && selected["fig9"] {
 		delete(selected, "fig8")
 		delete(selected, "fig9")
 		ran += 2
-		expStart := time.Now()
-		res, err := experiment.LeakCurve(p)
-		if err != nil {
-			return fmt.Errorf("experiment fig8/fig9: %w", err)
-		}
-		fmt.Println(res)
-		fmt.Printf("[fig8+fig9 finished in %v]\n\n", time.Since(expStart).Round(time.Millisecond))
+		jobs = append(jobs, experiment.Job{
+			Name: "fig8+fig9",
+			Run:  func() (fmt.Stringer, error) { return experiment.LeakCurve(p) },
+		})
 	}
-
 	for _, name := range experimentNames {
 		if !selected[name] {
 			continue
 		}
 		delete(selected, name)
 		ran++
-		expStart := time.Now()
-		out, err := dispatch(name, p, *traceMinutes)
-		if err != nil {
-			return fmt.Errorf("experiment %s: %w", name, err)
-		}
-		fmt.Println(out)
-		fmt.Printf("[%s finished in %v]\n\n", name, time.Since(expStart).Round(time.Millisecond))
+		name := name
+		jobs = append(jobs, experiment.Job{
+			Name: name,
+			Run:  func() (fmt.Stringer, error) { return dispatch(name, p, *traceMinutes) },
+		})
 	}
 	if len(selected) > 0 {
 		names := make([]string, 0, len(selected))
@@ -98,8 +96,18 @@ func run(args []string) error {
 		}
 		return fmt.Errorf("unknown experiment(s): %s", strings.Join(names, ", "))
 	}
-	fmt.Printf("ran %d experiment(s) in %v (seed=%d scale=%d)\n",
-		ran, time.Since(start).Round(time.Millisecond), *seed, *scale)
+
+	// Experiments are independent (each builds its own universe); fan them
+	// out and print the results in selection order.
+	for _, r := range experiment.RunJobs(jobs, *workers) {
+		if r.Err != nil {
+			return fmt.Errorf("experiment %s: %w", r.Name, r.Err)
+		}
+		fmt.Println(r.Output)
+		fmt.Printf("[%s finished in %v]\n\n", r.Name, r.Elapsed.Round(time.Millisecond))
+	}
+	fmt.Printf("ran %d experiment(s) in %v (seed=%d scale=%d workers=%d)\n",
+		ran, time.Since(start).Round(time.Millisecond), *seed, *scale, *workers)
 	return nil
 }
 

@@ -14,11 +14,17 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/netip"
 	"os"
 	"os/signal"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"syscall"
 
 	"github.com/dnsprivacy/lookaside/internal/dataset"
+	"github.com/dnsprivacy/lookaside/internal/dns"
+	"github.com/dnsprivacy/lookaside/internal/dnssec"
 	"github.com/dnsprivacy/lookaside/internal/resolver"
 	"github.com/dnsprivacy/lookaside/internal/simnet"
 	"github.com/dnsprivacy/lookaside/internal/udptransport"
@@ -45,6 +51,8 @@ func run(args []string) error {
 	qnameMin := fs.Bool("qname-min", false, "RFC 7816 q-name minimization")
 	padBlock := fs.Int("pad", 0, "pad responses to this block size (RFC 7830; 0 = off)")
 	printTop := fs.Int("print-top", 10, "print the N most popular domains at startup")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0),
+		"resolver instances serving queries concurrently (1 = single-threaded)")
 	verbose := fs.Bool("v", false, "log every query observed at the DLV registry")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -101,23 +109,24 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown remedy %q", *remedy)
 	}
-	r, err := u.StartResolver(cfg)
+	handler, stats, err := buildHandler(u, cfg, *workers)
 	if err != nil {
 		return err
 	}
 
-	srv, err := udptransport.Listen(*listen, r)
+	srv, err := udptransport.Listen(*listen, handler)
 	if err != nil {
 		return err
 	}
-	tcpSrv, err := udptransport.ListenTCP(srv.AddrPort().String(), r)
+	srv.SetWorkers(*workers)
+	tcpSrv, err := udptransport.ListenTCP(srv.AddrPort().String(), handler)
 	if err != nil {
 		return fmt.Errorf("binding tcp: %w", err)
 	}
 	go func() { _ = tcpSrv.Serve() }()
 	defer func() { _ = tcpSrv.Close() }()
-	fmt.Printf("resolved: serving on %s udp+tcp (population=%d, dlv=%t, root-anchor=%t, remedy=%q)\n",
-		srv.Addr(), len(pop.Domains), *lookaside, *rootAnchor, *remedy)
+	fmt.Printf("resolved: serving on %s udp+tcp (population=%d, dlv=%t, root-anchor=%t, remedy=%q, workers=%d)\n",
+		srv.Addr(), len(pop.Domains), *lookaside, *rootAnchor, *remedy, *workers)
 	fmt.Printf("registry deposits: %d; secured test domains: secure00.edu ... secure44.edu\n",
 		u.Registry.DepositCount())
 	if *printTop > 0 {
@@ -142,13 +151,68 @@ func run(args []string) error {
 		fmt.Println("\nresolved: shutting down")
 		_ = srv.Close()
 		<-done
-		printStats(r)
+		printStats(stats())
 		return nil
 	}
 }
 
-func printStats(r *resolver.Resolver) {
-	st := r.Stats()
+// buildHandler starts the serving resolver(s). With workers <= 1 it is the
+// classic single resolver on the shared network; with more, N independent
+// resolver instances each run on a private simnet shard (own virtual clock
+// and caches) but share one RRSIG verification cache, and incoming queries
+// round-robin across them. The returned stats func merges all instances.
+func buildHandler(u *universe.Universe, cfg resolver.Config, workers int) (simnet.Handler, func() resolver.Stats, error) {
+	if workers <= 1 {
+		r, err := u.StartResolver(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		return r, r.Stats, nil
+	}
+	cfg.VerifyCache = dnssec.NewVerifyCache()
+	pool := &resolverPool{
+		res: make([]*resolver.Resolver, workers),
+		mus: make([]sync.Mutex, workers),
+	}
+	for i := range pool.res {
+		r, err := u.StartShardResolver(u.NewShard(), cfg)
+		if err != nil {
+			return nil, nil, fmt.Errorf("starting shard resolver %d: %w", i, err)
+		}
+		pool.res[i] = r
+	}
+	return pool, pool.stats, nil
+}
+
+// resolverPool fans queries across resolver instances. The resolver's
+// caches are single-threaded by design, so each instance is guarded by its
+// own mutex; round-robin keeps all instances warm.
+type resolverPool struct {
+	next atomic.Uint64
+	res  []*resolver.Resolver
+	mus  []sync.Mutex
+}
+
+// HandleQuery implements simnet.Handler.
+func (p *resolverPool) HandleQuery(q *dns.Message, from netip.Addr) (*dns.Message, error) {
+	i := int(p.next.Add(1) % uint64(len(p.res)))
+	p.mus[i].Lock()
+	defer p.mus[i].Unlock()
+	return p.res[i].HandleQuery(q, from)
+}
+
+// stats merges the per-instance counters.
+func (p *resolverPool) stats() resolver.Stats {
+	var st resolver.Stats
+	for i, r := range p.res {
+		p.mus[i].Lock()
+		st = st.Plus(r.Stats())
+		p.mus[i].Unlock()
+	}
+	return st
+}
+
+func printStats(st resolver.Stats) {
 	fmt.Printf("resolutions=%d dlv-queries=%d suppressed=%d remedy-skipped=%d cache-hits=%d\n",
 		st.Resolutions, st.DLVQueries, st.DLVSuppressed, st.DLVSkippedByRemedy, st.CacheHits)
 }

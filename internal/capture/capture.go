@@ -12,6 +12,7 @@
 package capture
 
 import (
+	"slices"
 	"sync"
 
 	"github.com/dnsprivacy/lookaside/internal/dns"
@@ -228,8 +229,8 @@ func (a *Analyzer) Snapshot() Report {
 	return r
 }
 
-// LeakedDomains returns the distinct Case-2 domains observed (sorted order
-// not guaranteed); nil in hashed mode.
+// LeakedDomains returns the distinct Case-2 domains observed, in sorted
+// order; nil in hashed mode.
 func (a *Analyzer) LeakedDomains() []dns.Name {
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -239,11 +240,12 @@ func (a *Analyzer) LeakedDomains() []dns.Name {
 			out = append(out, d)
 		}
 	}
+	slices.Sort(out)
 	return out
 }
 
 // ObservedDomains returns every distinct domain the registry saw,
-// regardless of case; nil in hashed mode.
+// regardless of case, in sorted order; nil in hashed mode.
 func (a *Analyzer) ObservedDomains() []dns.Name {
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -251,5 +253,69 @@ func (a *Analyzer) ObservedDomains() []dns.Name {
 	for d := range a.dlvDomains {
 		out = append(out, d)
 	}
+	slices.Sort(out)
 	return out
+}
+
+// Merge folds another analyzer's observations into a. Counters add, the
+// per-domain case table unions with Case-1 dominance (matching
+// classifyLookaside), and hashed labels union. Sharded audits use it to
+// combine per-shard analyzers into one report identical to what a single
+// analyzer over the combined traffic would produce.
+func (a *Analyzer) Merge(o *Analyzer) {
+	if o == nil || o == a {
+		return
+	}
+	// Snapshot o under its own lock, then fold under a's lock, so the two
+	// locks are never held together (no ordering deadlock risk).
+	o.mu.Lock()
+	events := o.events
+	bytesTotal := o.bytesTotal
+	byType := make(map[dns.Type]int, len(o.queriesByType))
+	for k, v := range o.queriesByType {
+		byType[k] = v
+	}
+	byRole := make(map[simnet.Role]int, len(o.queriesByRole))
+	for k, v := range o.queriesByRole {
+		byRole[k] = v
+	}
+	bytesByRole := make(map[simnet.Role]int64, len(o.bytesByRole))
+	for k, v := range o.bytesByRole {
+		bytesByRole[k] = v
+	}
+	domains := make(map[dns.Name]Case, len(o.dlvDomains))
+	for k, v := range o.dlvDomains {
+		domains[k] = v
+	}
+	labels := make([]string, 0, len(o.hashedLabels))
+	for l := range o.hashedLabels {
+		labels = append(labels, l)
+	}
+	dlvQueries, dlvNoError, dlvNXDomain := o.dlvQueries, o.dlvNoError, o.dlvNXDomain
+	o.mu.Unlock()
+
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.events += events
+	a.bytesTotal += bytesTotal
+	for k, v := range byType {
+		a.queriesByType[k] += v
+	}
+	for k, v := range byRole {
+		a.queriesByRole[k] += v
+	}
+	for k, v := range bytesByRole {
+		a.bytesByRole[k] += v
+	}
+	a.dlvQueries += dlvQueries
+	a.dlvNoError += dlvNoError
+	a.dlvNXDomain += dlvNXDomain
+	for d, c := range domains {
+		if prev, seen := a.dlvDomains[d]; !seen || prev == Case2 {
+			a.dlvDomains[d] = c
+		}
+	}
+	for _, l := range labels {
+		a.hashedLabels[l] = true
+	}
 }

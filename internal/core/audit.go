@@ -8,20 +8,49 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"math"
+	"slices"
 	"time"
 
 	"github.com/dnsprivacy/lookaside/internal/capture"
 	"github.com/dnsprivacy/lookaside/internal/dataset"
 	"github.com/dnsprivacy/lookaside/internal/dns"
 	"github.com/dnsprivacy/lookaside/internal/resolver"
+	"github.com/dnsprivacy/lookaside/internal/simnet"
 	"github.com/dnsprivacy/lookaside/internal/universe"
 )
+
+// auditPort is the auditor's view of the simulated internet: a clock and a
+// stub-query path. The sequential auditor talks to the universe's global
+// network; a shard auditor talks to its own clock domain.
+type auditPort interface {
+	Now() time.Duration
+	StubQuery(id uint16, name dns.Name, qtype dns.Type) (*dns.Message, error)
+}
+
+// netPort drives the global network (the sequential path).
+type netPort struct{ u *universe.Universe }
+
+func (p netPort) Now() time.Duration { return p.u.Net.Now() }
+func (p netPort) StubQuery(id uint16, name dns.Name, qtype dns.Type) (*dns.Message, error) {
+	return p.u.StubQuery(id, name, qtype)
+}
+
+// shardPort drives one shard of the network (the parallel path).
+type shardPort struct {
+	u  *universe.Universe
+	sh *simnet.Shard
+}
+
+func (p shardPort) Now() time.Duration { return p.sh.Now() }
+func (p shardPort) StubQuery(id uint16, name dns.Name, qtype dns.Type) (*dns.Message, error) {
+	return p.u.ShardStubQuery(p.sh, id, name, qtype)
+}
 
 // Auditor wires a universe, a resolver configuration, and a capture
 // analyzer into one measurement instrument.
 type Auditor struct {
-	u        *universe.Universe
+	port     auditPort
 	r        *resolver.Resolver
 	analyzer *capture.Analyzer
 
@@ -29,6 +58,7 @@ type Auditor struct {
 	queried       int
 	secureAnswers int
 	latencies     []time.Duration
+	scratch       []time.Duration
 	nextID        uint16
 	// aaaaShare controls how many domains also get an AAAA stub query
 	// (percent; the paper's captures show roughly half).
@@ -45,14 +75,20 @@ type Options struct {
 	AAAASharePercent int
 }
 
-// NewAuditor attaches a fresh auditor to a universe: registers the capture
-// tap, starts the resolver at universe.ResolverAddr.
-func NewAuditor(u *universe.Universe, opts Options) (*Auditor, error) {
-	an := capture.NewAnalyzer(capture.Config{
+// analyzerConfig is the capture configuration shared by the sequential and
+// sharded constructors.
+func analyzerConfig(u *universe.Universe) capture.Config {
+	return capture.Config{
 		RegistryZone: u.RegistryZone,
 		Deposits:     u.Registry,
 		Hashed:       u.Registry.Hashed(),
-	})
+	}
+}
+
+// NewAuditor attaches a fresh auditor to a universe: registers the capture
+// tap, starts the resolver at universe.ResolverAddr.
+func NewAuditor(u *universe.Universe, opts Options) (*Auditor, error) {
+	an := capture.NewAnalyzer(analyzerConfig(u))
 	u.Net.AddTap(an.Tap)
 	r, err := u.StartResolver(opts.Resolver)
 	if err != nil {
@@ -63,8 +99,32 @@ func NewAuditor(u *universe.Universe, opts Options) (*Auditor, error) {
 		share = 50
 	}
 	return &Auditor{
-		u: u, r: r, analyzer: an,
+		port: netPort{u: u}, r: r, analyzer: an,
 		started:   u.Net.Now(),
+		aaaaShare: share,
+	}, nil
+}
+
+// NewShardAuditor attaches an auditor to a fresh shard of the universe's
+// network: the capture tap and resolver live on the shard, so the audit's
+// clock, taps, and caches are isolated from the global network and from any
+// other shard. Experiments use it to keep audits on a shared universe from
+// interfering; ShardedAuditor runs several concurrently.
+func NewShardAuditor(u *universe.Universe, opts Options) (*Auditor, error) {
+	sh := u.NewShard()
+	an := capture.NewAnalyzer(analyzerConfig(u))
+	sh.AddTap(an.Tap)
+	r, err := u.StartShardResolver(sh, opts.Resolver)
+	if err != nil {
+		return nil, fmt.Errorf("core: starting shard resolver: %w", err)
+	}
+	share := opts.AAAASharePercent
+	if share == 0 {
+		share = 50
+	}
+	return &Auditor{
+		port: shardPort{u: u, sh: sh}, r: r, analyzer: an,
+		started:   sh.Now(),
 		aaaaShare: share,
 	}, nil
 }
@@ -80,18 +140,18 @@ func (a *Auditor) Analyzer() *capture.Analyzer { return a.analyzer }
 func (a *Auditor) QueryDomain(name dns.Name) error {
 	a.queried++
 	a.nextID++
-	start := a.u.Net.Now()
-	resp, err := a.u.StubQuery(a.nextID, name, dns.TypeA)
+	start := a.port.Now()
+	resp, err := a.port.StubQuery(a.nextID, name, dns.TypeA)
 	if err != nil {
 		return fmt.Errorf("core: stub query %s/A: %w", name, err)
 	}
-	a.latencies = append(a.latencies, a.u.Net.Now()-start)
+	a.latencies = append(a.latencies, a.port.Now()-start)
 	if resp.Header.AD {
 		a.secureAnswers++
 	}
 	if int(hash64(string(name))%100) < a.aaaaShare {
 		a.nextID++
-		if _, err := a.u.StubQuery(a.nextID, name, dns.TypeAAAA); err != nil {
+		if _, err := a.port.StubQuery(a.nextID, name, dns.TypeAAAA); err != nil {
 			return fmt.Errorf("core: stub query %s/AAAA: %w", name, err)
 		}
 	}
@@ -156,32 +216,43 @@ func (r *Report) UtilityProportion() float64 {
 
 // Report snapshots the audit so far.
 func (a *Auditor) Report() Report {
-	p50, p95 := percentiles(a.latencies)
+	var p50, p95 time.Duration
+	p50, p95, a.scratch = percentiles(a.latencies, a.scratch)
 	return Report{
 		QueriedDomains: a.queried,
 		SecureAnswers:  a.secureAnswers,
 		Capture:        a.analyzer.Snapshot(),
 		ResolverStats:  a.r.Stats(),
-		Elapsed:        a.u.Net.Now() - a.started,
+		Elapsed:        a.port.Now() - a.started,
 		LatencyP50:     p50,
 		LatencyP95:     p95,
 		observed:       a.analyzer.ObservedDomains(),
 	}
 }
 
-// percentiles computes the 50th and 95th percentile of a latency sample.
-func percentiles(samples []time.Duration) (p50, p95 time.Duration) {
-	if len(samples) == 0 {
-		return 0, 0
+// percentiles computes the nearest-rank (RFC-free, Hyndman-Fan type 1) 50th
+// and 95th percentile of a latency sample: the value at 1-based rank
+// ceil(p·n). The sample is copied into scratch (grown as needed) and sorted
+// there, so per-report allocation is amortized away; the possibly regrown
+// scratch is returned for reuse.
+func percentiles(samples, scratch []time.Duration) (p50, p95 time.Duration, _ []time.Duration) {
+	n := len(samples)
+	if n == 0 {
+		return 0, 0, scratch
 	}
-	sorted := make([]time.Duration, len(samples))
-	copy(sorted, samples)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	idx := func(p float64) int {
-		i := int(p * float64(len(sorted)-1))
+	scratch = append(scratch[:0], samples...)
+	slices.Sort(scratch)
+	rank := func(p float64) int {
+		i := int(math.Ceil(p*float64(n))) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= n {
+			i = n - 1
+		}
 		return i
 	}
-	return sorted[idx(0.50)], sorted[idx(0.95)]
+	return scratch[rank(0.50)], scratch[rank(0.95)], scratch
 }
 
 // hash64 is FNV-1a, kept local to avoid a dependency for one helper.

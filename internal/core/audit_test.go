@@ -105,7 +105,7 @@ func TestLatencyPercentiles(t *testing.T) {
 		t.Fatalf("percentiles p50=%v p95=%v", rep.LatencyP50, rep.LatencyP95)
 	}
 	// Empty sample is safe.
-	if p50, p95 := percentiles(nil); p50 != 0 || p95 != 0 {
+	if p50, p95, _ := percentiles(nil, nil); p50 != 0 || p95 != 0 {
 		t.Fatal("empty percentiles nonzero")
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/netip"
+	"sync"
 )
 
 // Wire codec errors.
@@ -37,8 +38,27 @@ type builder struct {
 	noCompress bool
 }
 
+// builderPool recycles builders across Encode calls; every simulated
+// exchange encodes (and re-encodes) messages, so the buffer and compression
+// map are hot allocations.
+var builderPool = sync.Pool{
+	New: func() any {
+		return &builder{buf: make([]byte, 0, 512), compress: make(map[Name]int)}
+	},
+}
+
 func newBuilder() *builder {
-	return &builder{buf: make([]byte, 0, 512), compress: make(map[Name]int)}
+	b := builderPool.Get().(*builder)
+	b.buf = b.buf[:0]
+	b.noCompress = false
+	clear(b.compress)
+	return b
+}
+
+// release returns the builder to the pool. The caller must not touch b.buf
+// afterwards; Encode copies the bytes out before releasing.
+func (b *builder) release() {
+	builderPool.Put(b)
 }
 
 func (b *builder) putUint8(v uint8)   { b.buf = append(b.buf, v) }
@@ -75,6 +95,7 @@ func (b *builder) putName(n Name, allowCompress bool) {
 // appended to the additional section when m.EDNS is non-nil.
 func (m *Message) Encode() ([]byte, error) {
 	b := newBuilder()
+	defer b.release()
 
 	var flags uint16
 	h := m.Header
@@ -139,7 +160,9 @@ func (m *Message) Encode() ([]byte, error) {
 	if m.EDNS != nil {
 		encodeOPT(b, m.EDNS)
 	}
-	return b.buf, nil
+	out := make([]byte, len(b.buf))
+	copy(out, b.buf)
+	return out, nil
 }
 
 // WireSize returns the encoded size of the message in octets. It encodes the

@@ -1,0 +1,101 @@
+package dnssec
+
+import (
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+
+	"github.com/dnsprivacy/lookaside/internal/dns"
+)
+
+// VerifyCache memoizes the public-key cryptography of RRSIG verification —
+// the dominant CPU cost of a validating resolver at scale. Distinct signed
+// RRsets are verified once; every revalidation of the same (key, signature,
+// canonical data) triple is a map lookup.
+//
+// Only the crypto outcome is cached: the structural checks and the temporal
+// validity window still run on every call (they depend on the validation
+// time), so cached and uncached verification accept and reject exactly the
+// same inputs. Because the cached fact — "this signature over these bytes
+// verifies under this key" — is pure, a single cache is safe to share
+// across resolvers and shards, and sharing it is what makes the cache pay
+// off for parallel audits.
+//
+// A nil *VerifyCache is valid and means "no caching".
+type VerifyCache struct {
+	mu sync.RWMutex
+	m  map[verifyKey]bool
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// verifyKey identifies one (key, signature, signed data) crypto check.
+// Hashing the variable-length parts keeps keys comparable and small; FNV-64
+// collisions are negligible at simulation scale.
+type verifyKey struct {
+	keyTag  uint16
+	alg     uint8
+	pubSum  uint64
+	sigSum  uint64
+	dataSum uint64
+}
+
+// NewVerifyCache creates an empty cache.
+func NewVerifyCache() *VerifyCache {
+	return &VerifyCache{m: make(map[verifyKey]bool)}
+}
+
+// VerifyRRSet is VerifyRRSet with the crypto memoized through the cache.
+func (c *VerifyCache) VerifyRRSet(key *dns.DNSKEYData, sigRR dns.RR, rrset []dns.RR, now uint32) error {
+	return verifyRRSet(c, key, sigRR, rrset, now)
+}
+
+// Stats returns the cache hit and miss counts so far.
+func (c *VerifyCache) Stats() (hits, misses int64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.hits.Load(), c.misses.Load()
+}
+
+// verify runs (or replays) the public-key check of sig over data. On a nil
+// receiver it degrades to the direct crypto call.
+func (c *VerifyCache) verify(key *dns.DNSKEYData, sig *dns.RRSIGData, data []byte) error {
+	if c == nil {
+		return verifyWithKey(key, data, sig.Signature)
+	}
+	k := verifyKey{
+		keyTag:  sig.KeyTag,
+		alg:     sig.Algorithm,
+		pubSum:  fnvSum(key.PublicKey),
+		sigSum:  fnvSum(sig.Signature),
+		dataSum: fnvSum(data),
+	}
+	c.mu.RLock()
+	ok, cached := c.m[k]
+	c.mu.RUnlock()
+	if cached {
+		c.hits.Add(1)
+		if !ok {
+			return ErrBadSignature
+		}
+		return nil
+	}
+	c.misses.Add(1)
+	err := verifyWithKey(key, data, sig.Signature)
+	// Cache only the crypto verdict; structural errors (bad public key)
+	// would be misattributed as signature outcomes.
+	if err == nil || err == ErrBadSignature {
+		c.mu.Lock()
+		c.m[k] = err == nil
+		c.mu.Unlock()
+	}
+	return err
+}
+
+func fnvSum(p []byte) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write(p)
+	return h.Sum64()
+}

@@ -1,0 +1,126 @@
+package dnssec
+
+import (
+	"errors"
+	"net/netip"
+	"sync"
+	"testing"
+
+	"github.com/dnsprivacy/lookaside/internal/dns"
+)
+
+func TestVerifyCacheHitsAndMisses(t *testing.T) {
+	for _, alg := range algorithms {
+		t.Run(algName(alg), func(t *testing.T) {
+			key, err := GenerateKey(alg, dns.DNSKEYFlagZone, testRNG(10))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rrset := testRRSet("www.example.com")
+			sig, err := SignRRSet(key, dns.MustName("example.com"), rrset, 1000, 2000, testRNG(11))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			c := NewVerifyCache()
+			for i := 0; i < 5; i++ {
+				if err := c.VerifyRRSet(key.Public(), sig, rrset, 1500); err != nil {
+					t.Fatalf("verify %d: %v", i, err)
+				}
+			}
+			if hits, misses := c.Stats(); hits != 4 || misses != 1 {
+				t.Fatalf("stats = %d hits / %d misses, want 4/1", hits, misses)
+			}
+		})
+	}
+}
+
+func TestVerifyCacheRejectsLikeUncached(t *testing.T) {
+	key, err := GenerateKey(AlgECDSAP256, dns.DNSKEYFlagZone, testRNG(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rrset := testRRSet("www.example.com")
+	sig, err := SignRRSet(key, dns.MustName("example.com"), rrset, 1000, 2000, testRNG(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := testRRSet("www.example.com")
+	tampered[0].Data = &dns.AData{Addr: netip.MustParseAddr("203.0.113.99")}
+
+	c := NewVerifyCache()
+	// Cached failures must keep failing (and keep the error identity).
+	for i := 0; i < 3; i++ {
+		if err := c.VerifyRRSet(key.Public(), sig, tampered, 1500); !errors.Is(err, ErrBadSignature) {
+			t.Fatalf("verify %d: err = %v, want ErrBadSignature", i, err)
+		}
+	}
+	// The temporal window is checked on every call, cached or not.
+	if err := c.VerifyRRSet(key.Public(), sig, rrset, 1500); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.VerifyRRSet(key.Public(), sig, rrset, 5000); !errors.Is(err, ErrExpired) {
+		t.Fatalf("expired verify through cache: err = %v, want ErrExpired", err)
+	}
+}
+
+func TestVerifyCacheNilReceiver(t *testing.T) {
+	key, err := GenerateKey(AlgFastHMAC, dns.DNSKEYFlagZone, testRNG(14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rrset := testRRSet("www.example.com")
+	sig, err := SignRRSet(key, dns.MustName("example.com"), rrset, 1000, 2000, testRNG(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c *VerifyCache
+	if err := c.VerifyRRSet(key.Public(), sig, rrset, 1500); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := c.Stats(); hits != 0 || misses != 0 {
+		t.Fatalf("nil cache stats = %d/%d", hits, misses)
+	}
+}
+
+// TestVerifyCacheConcurrent exercises the cache from many goroutines; run
+// under -race it guards the read/write locking.
+func TestVerifyCacheConcurrent(t *testing.T) {
+	key, err := GenerateKey(AlgFastHMAC, dns.DNSKEYFlagZone, testRNG(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets := make([][]dns.RR, 4)
+	sigs := make([]dns.RR, 4)
+	owners := []string{"a.example.com", "b.example.com", "c.example.com", "d.example.com"}
+	for i, owner := range owners {
+		sets[i] = testRRSet(owner)
+		sigs[i], err = SignRRSet(key, dns.MustName("example.com"), sets[i], 1000, 2000, testRNG(int64(20+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := NewVerifyCache()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				k := (w + i) % len(sets)
+				if err := c.VerifyRRSet(key.Public(), sigs[k], sets[k], 1500); err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	hits, misses := c.Stats()
+	if hits+misses != 800 {
+		t.Fatalf("hits+misses = %d, want 800", hits+misses)
+	}
+	if misses < int64(len(sets)) || misses > 100 {
+		t.Fatalf("misses = %d, want small (one per distinct rrset modulo races)", misses)
+	}
+}

@@ -61,6 +61,13 @@ func SignRRSet(key *KeyPair, signer dns.Name, rrset []dns.RR, inception, expirat
 // the validation time in seconds-since-epoch; pass the signature's own
 // inception to skip temporal checking in logical-clock simulations.
 func VerifyRRSet(key *dns.DNSKEYData, sigRR dns.RR, rrset []dns.RR, now uint32) error {
+	return verifyRRSet(nil, key, sigRR, rrset, now)
+}
+
+// verifyRRSet is the shared verification path. The structural and temporal
+// checks always run (they are cheap and depend on now); the public-key
+// crypto is memoized through c when a cache is supplied.
+func verifyRRSet(c *VerifyCache, key *dns.DNSKEYData, sigRR dns.RR, rrset []dns.RR, now uint32) error {
 	sig, ok := sigRR.Data.(*dns.RRSIGData)
 	if !ok {
 		return fmt.Errorf("dnssec: record %s is not an RRSIG", sigRR.Key())
@@ -82,7 +89,7 @@ func VerifyRRSet(key *dns.DNSKEYData, sigRR dns.RR, rrset []dns.RR, now uint32) 
 	if err != nil {
 		return err
 	}
-	if err := verifyWithKey(key, data, sig.Signature); err != nil {
+	if err := c.verify(key, sig, data); err != nil {
 		return fmt.Errorf("verifying %s: %w", rrset[0].Key(), err)
 	}
 	return nil

@@ -5,7 +5,10 @@
 package experiment
 
 import (
+	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"github.com/dnsprivacy/lookaside/internal/core"
 	"github.com/dnsprivacy/lookaside/internal/dataset"
@@ -21,6 +24,11 @@ type Params struct {
 	// 1 reproduces the paper's magnitudes, 100 runs the same sweeps at 1%
 	// size. Zero means 100 (the test-friendly default).
 	Scale int
+	// Workers bounds how many independent measurement points (sweep sizes,
+	// shuffle trials, configuration scenarios) run concurrently. Every
+	// audit runs on its own network shard with its own resolver and
+	// capture, so results are identical at any setting; <= 1 is sequential.
+	Workers int
 }
 
 // scale returns the effective scale divisor.
@@ -29,6 +37,48 @@ func (p Params) scale() int {
 		return 100
 	}
 	return p.Scale
+}
+
+// workers returns the effective fan-out width.
+func (p Params) workers() int {
+	if p.Workers <= 1 {
+		return 1
+	}
+	return p.Workers
+}
+
+// forEach runs fn(0..n-1) on a bounded worker pool, collecting all errors.
+// With workers <= 1 it degrades to a plain sequential loop.
+func forEach(n, workers int, fn func(i int) error) error {
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return errors.Join(errs...)
 }
 
 // scaled divides a paper-scale workload size, keeping at least min.
@@ -70,10 +120,11 @@ type auditSetup struct {
 	dlvAnchor      *bool // override DLV anchor presence (nil: present)
 }
 
-// runAudit resets the network taps, installs a fresh resolver per the
-// setup, runs the workload, and reports.
+// runAudit runs the workload through a fresh resolver per the setup and
+// reports. The audit lives on its own network shard — private clock, taps,
+// and resolver — so concurrent runAudit calls on a shared universe do not
+// interfere, and nothing accumulates on the global network between calls.
 func runAudit(u *universe.Universe, setup auditSetup, workload []dataset.Domain) (core.Report, error) {
-	u.Net.ResetTaps()
 	cfg := u.ResolverConfig(setup.withRootAnchor, setup.withLookaside)
 	if setup.remedy != 0 && cfg.Lookaside != nil {
 		cfg.Lookaside.Remedy = setup.remedy
@@ -90,7 +141,7 @@ func runAudit(u *universe.Universe, setup auditSetup, workload []dataset.Domain)
 	if setup.dlvAnchor != nil && !*setup.dlvAnchor && cfg.Lookaside != nil {
 		cfg.Lookaside.Anchor = nil
 	}
-	auditor, err := core.NewAuditor(u, core.Options{Resolver: cfg})
+	auditor, err := core.NewShardAuditor(u, core.Options{Resolver: cfg})
 	if err != nil {
 		return core.Report{}, fmt.Errorf("experiment: %w", err)
 	}

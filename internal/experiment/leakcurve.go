@@ -53,20 +53,27 @@ func LeakCurve(p Params) (*LeakCurveResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &LeakCurveResult{}
-	for _, n := range sizes {
+	// Each sample size is an independent audit on its own shard, so the
+	// points run concurrently on the shared universe.
+	res := &LeakCurveResult{Points: make([]LeakPoint, len(sizes))}
+	err = forEach(len(sizes), p.workers(), func(i int) error {
+		n := sizes[i]
 		rep, err := runAudit(u, auditSetup{withRootAnchor: true, withLookaside: true}, pop.Top(n))
 		if err != nil {
-			return nil, fmt.Errorf("leak curve at n=%d: %w", n, err)
+			return fmt.Errorf("leak curve at n=%d: %w", n, err)
 		}
-		res.Points = append(res.Points, LeakPoint{
+		res.Points[i] = LeakPoint{
 			N:             n,
 			DLVQueries:    rep.Capture.DLVQueries,
 			LeakedDomains: rep.Capture.Case2Domains,
 			Case1Domains:  rep.Capture.Case1Domains,
 			Proportion:    rep.LeakProportion(),
 			Suppressed:    rep.ResolverStats.DLVSuppressed,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -146,18 +153,23 @@ func OrderMatters(p Params, trials int) (*OrderMattersResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &OrderMattersResult{N: n}
-	for trial := 0; trial < trials; trial++ {
+	// Trials are independent shuffles; fan them out across shards.
+	res := &OrderMattersResult{N: n, Trials: make([]OrderTrial, trials)}
+	err = forEach(trials, p.workers(), func(trial int) error {
 		workload := pop.Shuffled(n, p.Seed+int64(trial)*7919)
 		rep, err := runAudit(u, auditSetup{withRootAnchor: true, withLookaside: true}, workload)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Trials = append(res.Trials, OrderTrial{
+		res.Trials[trial] = OrderTrial{
 			Shuffle:    trial + 1,
 			Leaked:     rep.Capture.Case2Domains,
 			Proportion: rep.LeakProportion(),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -195,27 +207,35 @@ type RegistrySizeResult struct {
 // per span. This quantifies the sensitivity discussed in EXPERIMENTS.md.
 func RegistrySize(p Params) (*RegistrySizeResult, error) {
 	n := p.scaled(10_000, 200)
-	res := &RegistrySizeResult{N: n}
-	for _, rate := range []float64{0.001, 0.005, 0.02, 0.08} {
+	depositRates := []float64{0.001, 0.005, 0.02, 0.08}
+	// Each rate builds its own universe, so the points are fully
+	// independent and run concurrently.
+	res := &RegistrySizeResult{N: n, Points: make([]RegistrySizePoint, len(depositRates))}
+	err := forEach(len(depositRates), p.workers(), func(i int) error {
+		rate := depositRates[i]
 		rates := dataset.DefaultRatesWithDeposit(rate)
 		pop, err := dataset.AlexaLike(dataset.PopulationConfig{Size: n, Seed: p.Seed, Rates: rates})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		u, err := buildUniverse(pop, p.Seed, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		rep, err := runAudit(u, auditSetup{withRootAnchor: true, withLookaside: true}, pop.Top(n))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Points = append(res.Points, RegistrySizePoint{
+		res.Points[i] = RegistrySizePoint{
 			DepositRate: rate,
 			Deposits:    u.Registry.DepositCount(),
 			Leaked:      rep.Capture.Case2Domains,
 			Proportion:  rep.LeakProportion(),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

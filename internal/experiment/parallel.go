@@ -1,0 +1,44 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+)
+
+// Job is one named unit of experiment work for RunJobs; Run returns the
+// rendered result (what cmd/dlvmeasure prints).
+type Job struct {
+	Name string
+	Run  func() (fmt.Stringer, error)
+}
+
+// JobResult is the outcome of one Job.
+type JobResult struct {
+	Name string
+	// Output is the job's result (nil on error).
+	Output fmt.Stringer
+	Err    error
+	// Elapsed is real wall-clock time the job took (not simulated time).
+	Elapsed time.Duration
+}
+
+// RunJobs executes independent experiment jobs on a bounded worker pool and
+// returns their results in input order. Each table/figure experiment builds
+// its own universe, so jobs share nothing; workers <= 1 runs sequentially.
+// Errors are carried per job, not joined — a failed experiment must not
+// discard the others' results.
+func RunJobs(jobs []Job, workers int) []JobResult {
+	results := make([]JobResult, len(jobs))
+	_ = forEach(len(jobs), workers, func(i int) error {
+		start := time.Now()
+		out, err := jobs[i].Run()
+		results[i] = JobResult{
+			Name:    jobs[i].Name,
+			Output:  out,
+			Err:     err,
+			Elapsed: time.Since(start),
+		}
+		return nil
+	})
+	return results
+}

@@ -1,0 +1,97 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestWorkersInvariance pins the fan-out contract: experiment results are
+// identical at any Workers setting, because every measurement point audits
+// on its own shard.
+func TestWorkersInvariance(t *testing.T) {
+	seq := Params{Seed: 7, Scale: 2000}
+	par := Params{Seed: 7, Scale: 2000, Workers: 4}
+
+	lc1, err := LeakCurve(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc4, err := LeakCurve(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(lc1, lc4) {
+		t.Errorf("LeakCurve differs across Workers:\nw=1: %+v\nw=4: %+v", lc1.Points, lc4.Points)
+	}
+
+	om1, err := OrderMatters(seq, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	om4, err := OrderMatters(par, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(om1, om4) {
+		t.Errorf("OrderMatters differs across Workers:\nw=1: %+v\nw=4: %+v", om1.Trials, om4.Trials)
+	}
+}
+
+type stringerFunc string
+
+func (s stringerFunc) String() string { return string(s) }
+
+func TestRunJobs(t *testing.T) {
+	boom := errors.New("boom")
+	jobs := []Job{
+		{Name: "a", Run: func() (fmt.Stringer, error) { return stringerFunc("ra"), nil }},
+		{Name: "b", Run: func() (fmt.Stringer, error) { return nil, boom }},
+		{Name: "c", Run: func() (fmt.Stringer, error) { return stringerFunc("rc"), nil }},
+	}
+	for _, workers := range []int{1, 2, 8} {
+		results := RunJobs(jobs, workers)
+		if len(results) != 3 {
+			t.Fatalf("workers=%d: %d results", workers, len(results))
+		}
+		// Input order is preserved; errors stay attached to their job.
+		if results[0].Name != "a" || results[0].Output.String() != "ra" || results[0].Err != nil {
+			t.Errorf("workers=%d: result a = %+v", workers, results[0])
+		}
+		if results[1].Name != "b" || results[1].Output != nil || !errors.Is(results[1].Err, boom) {
+			t.Errorf("workers=%d: result b = %+v", workers, results[1])
+		}
+		if results[2].Name != "c" || results[2].Output.String() != "rc" || results[2].Err != nil {
+			t.Errorf("workers=%d: result c = %+v", workers, results[2])
+		}
+	}
+}
+
+func TestForEachErrors(t *testing.T) {
+	errOdd := errors.New("odd")
+	err := forEach(5, 3, func(i int) error {
+		if i%2 == 1 {
+			return fmt.Errorf("%w: %d", errOdd, i)
+		}
+		return nil
+	})
+	if !errors.Is(err, errOdd) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := forEach(4, 2, func(int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	// Sequential path stops at the first error.
+	calls := 0
+	err = forEach(5, 1, func(i int) error {
+		calls++
+		if i == 2 {
+			return errOdd
+		}
+		return nil
+	})
+	if !errors.Is(err, errOdd) || calls != 3 {
+		t.Fatalf("sequential: err=%v calls=%d", err, calls)
+	}
+}

@@ -120,12 +120,14 @@ func Table3(p Params) (*Table3Result, error) {
 		return nil, err
 	}
 
-	res := &Table3Result{}
-	for _, sc := range scenarios {
-		// A fresh universe per scenario keeps captures independent.
+	// A fresh universe per scenario keeps captures independent, which also
+	// makes the scenarios safe to measure concurrently.
+	res := &Table3Result{Rows: make([]Table3Row, len(scenarios))}
+	err = forEach(len(scenarios), p.workers(), func(i int) error {
+		sc := scenarios[i]
 		u, err := buildUniverse(pop, p.Seed, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		setup := auditSetup{
 			withRootAnchor: sc.Config.RootAnchorPresent,
@@ -136,10 +138,9 @@ func Table3(p Params) (*Table3Result, error) {
 		anchored := sc.Config.DLVAnchorPresent
 		setup.dlvAnchor = &anchored
 
-		u.Net.ResetTaps()
 		rep, err := runAudit(u, setup, secure)
 		if err != nil {
-			return nil, fmt.Errorf("table3 scenario %s: %w", sc.Name, err)
+			return fmt.Errorf("table3 scenario %s: %w", sc.Name, err)
 		}
 		row := Table3Row{Scenario: sc, PredictedLeak: sc.Config.SecuredDomainsLeak()}
 		for _, name := range rep.CapturedDomains() {
@@ -150,7 +151,11 @@ func Table3(p Params) (*Table3Result, error) {
 			}
 		}
 		row.SecureCount = rep.SecureAnswers
-		res.Rows = append(res.Rows, row)
+		res.Rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -218,17 +223,24 @@ func Table4(p Params) (*Table4Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &Table4Result{}
-	for _, n := range sizes {
+	// Sizes share the universe but audit on private shards: run them
+	// concurrently.
+	res := &Table4Result{Rows: make([]Table4Row, len(sizes))}
+	err = forEach(len(sizes), p.workers(), func(i int) error {
+		n := sizes[i]
 		rep, err := runAudit(u, auditSetup{withRootAnchor: true, withLookaside: true}, pop.Top(n))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := Table4Row{Domains: n, Counts: make(map[dns.Type]int), DLV: rep.Capture.DLVQueries}
 		for _, t := range table4Types {
 			row.Counts[t] = rep.Capture.QueriesByType[t]
 		}
-		res.Rows = append(res.Rows, row)
+		res.Rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

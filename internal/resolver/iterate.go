@@ -391,7 +391,7 @@ func (r *Resolver) harvestSpans(resp *dns.Message) {
 		if !ok {
 			continue
 		}
-		if !verifyWithKeys(reg.keys, sig, []dns.RR{rr}, now) {
+		if !r.verifyWithKeys(reg.keys, sig, []dns.RR{rr}, now) {
 			continue
 		}
 		r.cache.spansFor(lc.Zone).add(span{

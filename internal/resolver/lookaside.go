@@ -135,7 +135,7 @@ func (r *Resolver) lookasideQuery(lookName dns.Name, depth int) (*dns.DLVData, b
 	}
 	if reg != nil && reg.status == StatusSecure {
 		sig, ok := findSig(core.answer, lookName, dns.TypeDLV)
-		if !ok || !verifyWithKeys(reg.keys, sig, rrset, now) {
+		if !ok || !r.verifyWithKeys(reg.keys, sig, rrset, now) {
 			// Unverifiable deposit: treated as absent (bogus look-aside).
 			return nil, false, nil
 		}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"github.com/dnsprivacy/lookaside/internal/dns"
+	"github.com/dnsprivacy/lookaside/internal/dnssec"
 	"github.com/dnsprivacy/lookaside/internal/simnet"
 )
 
@@ -154,12 +155,18 @@ type Config struct {
 	// octets (RFC 7830/8467), collapsing the response-size side channel
 	// the paper's related work (§8.2) discusses. 0 disables padding.
 	PaddingBlock int
+
+	// VerifyCache memoizes RRSIG public-key verification. Nil gives the
+	// resolver a private cache; sharded audits pass one shared cache so
+	// every worker benefits from every other worker's verifications.
+	VerifyCache *dnssec.VerifyCache
 }
 
 // Resolver is a caching, validating, DLV-capable recursive resolver.
 type Resolver struct {
-	cfg   Config
-	cache *cache
+	cfg    Config
+	cache  *cache
+	vcache *dnssec.VerifyCache
 
 	nextID uint16
 
@@ -189,6 +196,20 @@ type Stats struct {
 	CacheHits int
 }
 
+// Plus returns the field-wise sum of two Stats; sharded audits use it to
+// merge per-worker resolver counters.
+func (s Stats) Plus(o Stats) Stats {
+	return Stats{
+		Resolutions:        s.Resolutions + o.Resolutions,
+		DLVQueries:         s.DLVQueries + o.DLVQueries,
+		DLVSuppressed:      s.DLVSuppressed + o.DLVSuppressed,
+		DLVSkippedByRemedy: s.DLVSkippedByRemedy + o.DLVSkippedByRemedy,
+		DLVFailures:        s.DLVFailures + o.DLVFailures,
+		Failovers:          s.Failovers + o.Failovers,
+		CacheHits:          s.CacheHits + o.CacheHits,
+	}
+}
+
 // New creates a resolver.
 func New(cfg Config) (*Resolver, error) {
 	if cfg.Net == nil || cfg.Clock == nil {
@@ -211,7 +232,11 @@ func New(cfg Config) (*Resolver, error) {
 			cfg.Lookaside.Remedy = RemedyNone
 		}
 	}
-	return &Resolver{cfg: cfg, cache: newCache()}, nil
+	vcache := cfg.VerifyCache
+	if vcache == nil {
+		vcache = dnssec.NewVerifyCache()
+	}
+	return &Resolver{cfg: cfg, cache: newCache(), vcache: vcache}, nil
 }
 
 // Stats returns a copy of the resolver's counters.

@@ -103,7 +103,7 @@ func (r *Resolver) verifyAnswer(core *coreResult, outcome *zoneOutcome) Validati
 		if !ok {
 			return StatusBogus
 		}
-		if !verifyWithKeys(outcome.keys, sig, rrset, now) {
+		if !r.verifyWithKeys(outcome.keys, sig, rrset, now) {
 			return StatusBogus
 		}
 	}
@@ -227,7 +227,7 @@ func (r *Resolver) keysMatchDS(owner dns.Name, keys []*dns.DNSKEYData, sigRR dns
 		if sigRR.Data == nil {
 			return false
 		}
-		if dnssec.VerifyRRSet(k, sigRR, rrset, now) == nil {
+		if r.vcache.VerifyRRSet(k, sigRR, rrset, now) == nil {
 			return true
 		}
 	}
@@ -323,10 +323,10 @@ func (r *Resolver) parentZone(zoneName dns.Name) dns.Name {
 }
 
 // verifyWithKeys tries to verify an RRset signature against any of a set of
-// keys.
-func verifyWithKeys(keys []*dns.DNSKEYData, sig dns.RR, rrset []dns.RR, now uint32) bool {
+// keys, routing the crypto through the resolver's verification cache.
+func (r *Resolver) verifyWithKeys(keys []*dns.DNSKEYData, sig dns.RR, rrset []dns.RR, now uint32) bool {
 	for _, k := range keys {
-		if dnssec.VerifyRRSet(k, sig, rrset, now) == nil {
+		if r.vcache.VerifyRRSet(k, sig, rrset, now) == nil {
 			return true
 		}
 	}

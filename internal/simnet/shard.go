@@ -1,0 +1,142 @@
+package simnet
+
+import (
+	"net/netip"
+	"sync"
+	"time"
+
+	"github.com/dnsprivacy/lookaside/internal/dns"
+)
+
+// Shard is an isolated clock domain layered over a shared Network. Each
+// shard owns its own logical clock, its own capture taps, and a private
+// address overlay (typically just the shard's recursive resolver), while
+// exchanges to everything else reach the servers registered on the shared
+// network. Because every exchange advances only the shard's clock, the
+// latencies and event timeline a shard observes are independent of how the
+// Go scheduler interleaves goroutines — each shard's results depend only on
+// its own query sequence, which keeps parallel audits deterministic.
+//
+// Shard implements Exchanger, so a resolver can be pointed at a shard
+// exactly as it would be pointed at the Network, and it satisfies the
+// resolver's Clock interface through Now.
+type Shard struct {
+	net *Network
+
+	mu    sync.Mutex
+	now   time.Duration
+	taps  []Tap
+	local map[netip.Addr]*serverEntry
+}
+
+// NewShard creates a shard whose clock starts at the network's current
+// time. The shard sees every server registered on the network plus any
+// servers registered on the shard itself (which shadow same-address global
+// registrations for exchanges originating in this shard).
+func (n *Network) NewShard() *Shard {
+	return &Shard{
+		net:   n,
+		now:   n.Now(),
+		local: make(map[netip.Addr]*serverEntry),
+	}
+}
+
+// Register places a shard-private server at addr, shadowing any global
+// registration at the same address for this shard's exchanges. Sharded
+// audits use it to give each worker its own recursive resolver at the
+// canonical resolver address.
+func (s *Shard) Register(addr netip.Addr, name string, role Role, latency time.Duration, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.local[addr] = &serverEntry{name: name, role: role, latency: latency, handler: h}
+}
+
+// AddTap attaches a capture tap to this shard's subsequent exchanges. Shard
+// taps run before any global taps and only see this shard's traffic.
+func (s *Shard) AddTap(tap Tap) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.taps = append(s.taps, tap)
+}
+
+// Now returns the shard's current simulation time.
+func (s *Shard) Now() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// Advance moves the shard's clock forward.
+func (s *Shard) Advance(d time.Duration) {
+	s.mu.Lock()
+	s.now += d
+	s.mu.Unlock()
+}
+
+// Exchange routes a query like Network.Exchange but advances only the
+// shard's clock and feeds the shard's taps (then the network's global
+// taps). Failure injection on shared servers — down flags and every-Nth
+// loss — still applies and remains globally ordered, so loss-injection
+// experiments should run sequentially. It implements Exchanger.
+func (s *Shard) Exchange(src, dst netip.Addr, q *dns.Message) (*dns.Message, error) {
+	entry, err := s.admit(dst)
+	if err != nil {
+		if entry != nil {
+			s.Advance(timeoutCost)
+		}
+		return nil, err
+	}
+
+	resp, question, qLen, rLen, err := roundTrip(entry, src, q)
+	if err != nil {
+		return nil, err
+	}
+
+	rtt := 2 * entry.latency
+	s.mu.Lock()
+	s.now += rtt
+	now := s.now
+	taps := s.taps
+	s.mu.Unlock()
+	s.net.account(qLen, rLen)
+
+	ev := Event{
+		Time:      now,
+		Src:       src,
+		Dst:       dst,
+		DstName:   entry.name,
+		DstRole:   entry.role,
+		Question:  question,
+		QuerySize: qLen,
+		RespSize:  rLen,
+		RCode:     resp.Header.RCode,
+		RTT:       rtt,
+		ZBit:      resp.Header.Z,
+	}
+	for _, tap := range taps {
+		tap(ev)
+	}
+	for _, tap := range s.net.tapsSnapshot() {
+		tap(ev)
+	}
+	return resp, nil
+}
+
+// admit resolves dst against the shard overlay first, then the shared
+// network. Overlay servers skip failure injection (they are private to the
+// shard); shared servers go through Network.admit so down/loss bookkeeping
+// stays consistent.
+func (s *Shard) admit(dst netip.Addr) (*serverEntry, error) {
+	s.mu.Lock()
+	entry, ok := s.local[dst]
+	s.mu.Unlock()
+	if ok {
+		return entry, nil
+	}
+	return s.net.admit(dst)
+}
+
+// Network returns the shared network underneath the shard.
+func (s *Shard) Network() *Network { return s.net }
+
+var _ Exchanger = (*Shard)(nil)

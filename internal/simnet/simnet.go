@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"net/netip"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/dnsprivacy/lookaside/internal/dns"
@@ -123,10 +124,10 @@ type Network struct {
 	taps    []Tap
 	now     time.Duration
 
-	// Aggregate statistics, maintained inline so large experiments do not
-	// need to retain events.
-	totalQueries int
-	totalBytes   int64
+	// Aggregate statistics, maintained as atomics so concurrent shards do
+	// not contend on the network lock.
+	totalQueries atomic.Int64
+	totalBytes   atomic.Int64
 }
 
 // New creates an empty network.
@@ -211,67 +212,103 @@ func (n *Network) Advance(d time.Duration) {
 
 // Stats returns the total exchanges and bytes carried so far.
 func (n *Network) Stats() (queries int, bytes int64) {
+	return int(n.totalQueries.Load()), n.totalBytes.Load()
+}
+
+// account adds one exchange to the aggregate counters.
+func (n *Network) account(qLen, rLen int) {
+	n.totalQueries.Add(1)
+	n.totalBytes.Add(int64(qLen + rLen))
+}
+
+// tapsSnapshot returns the current global tap list.
+func (n *Network) tapsSnapshot() []Tap {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.totalQueries, n.totalBytes
+	return n.taps
 }
 
 // timeoutCost is the simulated cost of a query to a dead server.
 const timeoutCost = 2 * time.Second
+
+// admit looks up the server at dst and applies the failure-injection
+// bookkeeping (down flags, deterministic every-Nth loss). On a down or lost
+// exchange it returns the entry together with the error so the caller can
+// charge the timeout to its own clock; on an unknown address the entry is
+// nil.
+func (n *Network) admit(dst netip.Addr) (*serverEntry, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	entry, ok := n.servers[dst]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoRoute, dst)
+	}
+	if entry.down {
+		return entry, fmt.Errorf("%w: %s (%s)", ErrServerDown, entry.name, dst)
+	}
+	entry.exchanges++
+	if entry.lossEveryN > 0 && entry.exchanges%entry.lossEveryN == 0 {
+		return entry, fmt.Errorf("%w: %s (%s)", ErrPacketLoss, entry.name, dst)
+	}
+	return entry, nil
+}
+
+// roundTrip pushes one query through the wire codec to a server handler and
+// decodes the response, returning the first question and the wire sizes for
+// capture accounting. It touches no clock and no shared counters, so shards
+// and the global network share it.
+func roundTrip(entry *serverEntry, src netip.Addr, q *dns.Message) (resp *dns.Message, question dns.Question, qLen, rLen int, err error) {
+	qWire, err := q.Encode()
+	if err != nil {
+		return nil, question, 0, 0, fmt.Errorf("simnet: encoding query: %w", err)
+	}
+	qDecoded, err := dns.DecodeMessage(qWire)
+	if err != nil {
+		return nil, question, 0, 0, fmt.Errorf("simnet: server-side decode: %w", err)
+	}
+	if len(qDecoded.Question) > 0 {
+		question = qDecoded.Question[0]
+	}
+	handled, err := entry.handler.HandleQuery(qDecoded, src)
+	if err != nil {
+		return nil, question, 0, 0, fmt.Errorf("simnet: server %s: %w", entry.name, err)
+	}
+	rWire, err := handled.Encode()
+	if err != nil {
+		return nil, question, 0, 0, fmt.Errorf("simnet: encoding response: %w", err)
+	}
+	rDecoded, err := dns.DecodeMessage(rWire)
+	if err != nil {
+		return nil, question, 0, 0, fmt.Errorf("simnet: client-side decode: %w", err)
+	}
+	return rDecoded, question, len(qWire), len(rWire), nil
+}
 
 // Exchange sends a query from src to dst through the wire codec, invokes
 // the destination handler, and returns the decoded response. It advances
 // the clock by the link RTT, feeds capture taps, and maintains aggregate
 // counters. It implements Exchanger.
 func (n *Network) Exchange(src, dst netip.Addr, q *dns.Message) (*dns.Message, error) {
-	n.mu.Lock()
-	entry, ok := n.servers[dst]
-	if !ok {
-		n.mu.Unlock()
-		return nil, fmt.Errorf("%w: %s", ErrNoRoute, dst)
+	entry, err := n.admit(dst)
+	if err != nil {
+		if entry != nil {
+			n.Advance(timeoutCost)
+		}
+		return nil, err
 	}
-	if entry.down {
-		n.now += timeoutCost
-		n.mu.Unlock()
-		return nil, fmt.Errorf("%w: %s (%s)", ErrServerDown, entry.name, dst)
-	}
-	entry.exchanges++
-	if entry.lossEveryN > 0 && entry.exchanges%entry.lossEveryN == 0 {
-		n.now += timeoutCost
-		n.mu.Unlock()
-		return nil, fmt.Errorf("%w: %s (%s)", ErrPacketLoss, entry.name, dst)
-	}
-	n.mu.Unlock()
 
-	qWire, err := q.Encode()
+	resp, question, qLen, rLen, err := roundTrip(entry, src, q)
 	if err != nil {
-		return nil, fmt.Errorf("simnet: encoding query: %w", err)
-	}
-	qDecoded, err := dns.DecodeMessage(qWire)
-	if err != nil {
-		return nil, fmt.Errorf("simnet: server-side decode: %w", err)
-	}
-	resp, err := entry.handler.HandleQuery(qDecoded, src)
-	if err != nil {
-		return nil, fmt.Errorf("simnet: server %s: %w", entry.name, err)
-	}
-	rWire, err := resp.Encode()
-	if err != nil {
-		return nil, fmt.Errorf("simnet: encoding response: %w", err)
-	}
-	rDecoded, err := dns.DecodeMessage(rWire)
-	if err != nil {
-		return nil, fmt.Errorf("simnet: client-side decode: %w", err)
+		return nil, err
 	}
 
 	rtt := 2 * entry.latency
 	n.mu.Lock()
 	n.now += rtt
 	now := n.now
-	n.totalQueries++
-	n.totalBytes += int64(len(qWire) + len(rWire))
 	taps := n.taps
 	n.mu.Unlock()
+	n.account(qLen, rLen)
 
 	ev := Event{
 		Time:      now,
@@ -279,17 +316,15 @@ func (n *Network) Exchange(src, dst netip.Addr, q *dns.Message) (*dns.Message, e
 		Dst:       dst,
 		DstName:   entry.name,
 		DstRole:   entry.role,
-		QuerySize: len(qWire),
-		RespSize:  len(rWire),
-		RCode:     rDecoded.Header.RCode,
+		Question:  question,
+		QuerySize: qLen,
+		RespSize:  rLen,
+		RCode:     resp.Header.RCode,
 		RTT:       rtt,
-		ZBit:      rDecoded.Header.Z,
-	}
-	if len(qDecoded.Question) > 0 {
-		ev.Question = qDecoded.Question[0]
+		ZBit:      resp.Header.Z,
 	}
 	for _, tap := range taps {
 		tap(ev)
 	}
-	return rDecoded, nil
+	return resp, nil
 }

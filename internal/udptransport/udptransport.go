@@ -26,6 +26,8 @@ var ErrClosed = errors.New("udptransport: server closed")
 type Server struct {
 	conn    net.PacketConn
 	handler simnet.Handler
+	// sem bounds in-flight packet handlers; nil means synchronous.
+	sem chan struct{}
 
 	mu     sync.Mutex
 	closed bool
@@ -55,6 +57,17 @@ func (s *Server) AddrPort() netip.AddrPort {
 	return netip.AddrPort{}
 }
 
+// SetWorkers lets up to n datagrams be handled concurrently; the handler
+// must then be safe for concurrent use (e.g. a resolver pool). n <= 1
+// keeps the default synchronous loop. Must be called before Serve.
+func (s *Server) SetWorkers(n int) {
+	if n > 1 {
+		s.sem = make(chan struct{}, n)
+	} else {
+		s.sem = nil
+	}
+}
+
 // Serve processes packets until Close. Malformed packets are dropped;
 // handler errors produce SERVFAIL responses.
 func (s *Server) Serve() error {
@@ -72,12 +85,20 @@ func (s *Server) Serve() error {
 		}
 		pkt := make([]byte, n)
 		copy(pkt, buf[:n])
-		s.handle(pkt, from)
+		if s.sem == nil {
+			s.handle(pkt, from)
+			continue
+		}
+		s.sem <- struct{}{}
+		go func() {
+			defer func() { <-s.sem }()
+			s.handle(pkt, from)
+		}()
 	}
 }
 
-// handle processes one datagram synchronously (the handlers are fast and
-// the daemons are demo-scale; no per-packet goroutine needed).
+// handle processes one datagram. Responses go out via conn.WriteTo, which
+// is safe for concurrent use when SetWorkers enabled parallel handling.
 func (s *Server) handle(pkt []byte, from net.Addr) {
 	q, err := dns.DecodeMessage(pkt)
 	if err != nil {

@@ -166,6 +166,34 @@ func (u *Universe) StubQuery(id uint16, name dns.Name, qtype dns.Type) (*dns.Mes
 	return u.Net.Exchange(StubAddr, ResolverAddr, q)
 }
 
+// NewShard creates an isolated clock domain over the universe's network;
+// sharded audits give each worker one, with its own resolver.
+func (u *Universe) NewShard() *simnet.Shard {
+	return u.Net.NewShard()
+}
+
+// StartShardResolver constructs a resolver wired to the shard — it
+// exchanges through the shard and reads the shard's clock — and registers
+// it at ResolverAddr in the shard's private overlay, leaving the global
+// network untouched.
+func (u *Universe) StartShardResolver(sh *simnet.Shard, cfg resolver.Config) (*resolver.Resolver, error) {
+	cfg.Net = sh
+	cfg.Clock = sh
+	r, err := resolver.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sh.Register(ResolverAddr, "recursive", simnet.RoleRecursive, stubLatency, r)
+	return r, nil
+}
+
+// ShardStubQuery issues one stub query through a shard to the shard's
+// recursive resolver.
+func (u *Universe) ShardStubQuery(sh *simnet.Shard, id uint16, name dns.Name, qtype dns.Type) (*dns.Message, error) {
+	q := dns.NewQuery(id, name, qtype, true)
+	return sh.Exchange(StubAddr, ResolverAddr, q)
+}
+
 // Domain returns the spec of a domain in the universe.
 func (u *Universe) Domain(name dns.Name) (*dataset.Domain, bool) {
 	d, ok := u.domains[name]

@@ -227,7 +227,6 @@ func (s *Simulation) Audit(env Environment, domains []string) (*AuditReport, err
 		workload = append(workload, dataset.Domain{Name: name})
 	}
 
-	s.u.Net.ResetTaps()
 	cfg := s.u.ResolverConfig(env.RootAnchor, env.Lookaside)
 	cfg.ValidationEnabled = env.Validation
 	cfg.QNameMinimization = env.QNameMinimization
@@ -251,7 +250,10 @@ func (s *Simulation) Audit(env Environment, domains []string) (*AuditReport, err
 		cfg.Lookaside.DisableAggressiveNegCache = env.NoAggressiveNegCache
 	}
 
-	auditor, err := core.NewAuditor(s.u, core.Options{Resolver: cfg})
+	// Each audit runs on its own simnet shard (private clock and capture),
+	// so repeated Audits on one Simulation stay independent without
+	// resetting shared taps.
+	auditor, err := core.NewShardAuditor(s.u, core.Options{Resolver: cfg})
 	if err != nil {
 		return nil, err
 	}
