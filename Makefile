@@ -24,9 +24,16 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Short fuzzing pass over the wire decoder.
+# Short fuzzing pass over every Fuzz* target (wire decoder, zone parser).
+# -fuzz accepts a single target per run, so discover and loop.
+FUZZ_PKGS = ./internal/dns ./internal/zonefile
+
 fuzz:
-	$(GO) test -fuzz=FuzzDecodeMessage -fuzztime=30s ./internal/dns
+	@set -e; for pkg in $(FUZZ_PKGS); do \
+		for target in $$($(GO) test -list '^Fuzz' $$pkg | grep '^Fuzz'); do \
+			$(GO) test -fuzz="^$$target\$$" -fuzztime=30s $$pkg; \
+		done; \
+	done
 
 # Regenerate every table and figure at 10% scale (about two minutes).
 experiments:

@@ -36,7 +36,7 @@ var experimentNames = []string{
 	"table1", "table2", "fig8", "fig9", "order", "table3", "utility",
 	"table4", "table5", "fig10", "fig11", "fig12", "deployment",
 	"dictionary", "nsec3", "fleet", "registry-size", "qname-min",
-	"phaseout", "policy", "padding", "enumeration",
+	"phaseout", "policy", "padding", "enumeration", "adversary",
 }
 
 func run(args []string) error {
@@ -94,7 +94,8 @@ func run(args []string) error {
 		for name := range selected {
 			names = append(names, name)
 		}
-		return fmt.Errorf("unknown experiment(s): %s", strings.Join(names, ", "))
+		return fmt.Errorf("unknown experiment(s): %s (valid: all, %s)",
+			strings.Join(names, ", "), strings.Join(experimentNames, ", "))
 	}
 
 	// Experiments are independent (each builds its own universe); fan them
@@ -178,6 +179,8 @@ func dispatch(name string, p experiment.Params, traceMinutes int) (fmt.Stringer,
 		return experiment.Padding(p)
 	case "enumeration":
 		return experiment.Enumeration(p)
+	case "adversary":
+		return experiment.Adversary(p)
 	default:
 		return nil, fmt.Errorf("no such experiment")
 	}

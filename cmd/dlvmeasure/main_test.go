@@ -18,6 +18,12 @@ func TestRunUnknownExperiment(t *testing.T) {
 	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
 		t.Fatalf("err = %v", err)
 	}
+	// The message must list the valid names so the user can recover.
+	for _, name := range experimentNames {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error does not list %q: %v", name, err)
+		}
+	}
 }
 
 func TestDispatchCoversAllNames(t *testing.T) {
@@ -26,7 +32,8 @@ func TestDispatchCoversAllNames(t *testing.T) {
 	for _, name := range experimentNames {
 		switch name {
 		case "fig8", "fig9", "table4", "table5", "fig10", "fig11", "fig12",
-			"order", "utility", "nsec3", "registry-size", "table3", "deployment", "dictionary":
+			"order", "utility", "nsec3", "registry-size", "table3", "deployment",
+			"dictionary", "adversary":
 			// Covered by the experiment package's own tests; skipping the
 			// slow ones here keeps this a smoke test of the wiring only.
 			continue

@@ -1,0 +1,51 @@
+// Adversary inference: reconstruct per-client browsing profiles from the
+// DLV registry's vantage point and measure what hashing the deposits does
+// — and does not — protect. This drives the inference engine directly on a
+// tiny population: two observation windows, cross-epoch re-identification,
+// and the dictionary attack on hashed labels.
+//
+//	go run ./examples/adversary
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/dnsprivacy/lookaside/internal/adversary"
+	"github.com/dnsprivacy/lookaside/internal/dlv"
+	"github.com/dnsprivacy/lookaside/internal/experiment"
+)
+
+func main() {
+	// Scale 100 keeps this to a couple of seconds: 200 domains, 16 stub
+	// clients, two windows of 20 queries each, four remedy scenarios.
+	res, err := experiment.Adversary(experiment.Params{Seed: 1, Scale: 100})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res)
+
+	fmt.Println("What the registry operator learns per remedy:")
+	for _, sc := range res.Scenarios {
+		fmt.Printf("  %-14s %2d/%d clients profiled, %5.1f%% re-identified across windows\n",
+			sc.Name, sc.Profile.Clients, res.Clients, 100*sc.Link.Fraction)
+	}
+
+	// The hashed remedy renames domains but keeps profile shapes, so the
+	// engine links windows as before — and popular names fall to a
+	// precomputed dictionary. HashLabel is public and deterministic:
+	fmt.Printf("\nhash of example.com: %s...\n", dlv.HashLabel("example.com.")[:16])
+	for i, inv := range res.Inversions {
+		fmt.Printf("  dictionary covering %3.0f%% of the universe inverts %5.1f%% of labels (top band: %.1f%%)\n",
+			100*res.Coverages[i], 100*inv.Rate, 100*inv.TopRate)
+	}
+
+	// The engine composes from parts if you want to go lower level:
+	profiles := []adversary.Profile{
+		{Items: map[string]int{"a.example.": 3, "b.example.": 1}},
+		{Items: map[string]int{"a.example.": 2}},
+	}
+	rep := adversary.Analyze(profiles, 1)
+	fmt.Printf("\nhand-built population: %d clients, %.0f%% unique, %.2f bits mean entropy\n",
+		rep.Clients, 100*rep.Uniqueness, rep.MeanEntropyBits)
+}

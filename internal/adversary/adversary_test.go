@@ -1,0 +1,190 @@
+package adversary
+
+import (
+	"fmt"
+	"math"
+	"net/netip"
+	"reflect"
+	"testing"
+
+	"github.com/dnsprivacy/lookaside/internal/capture"
+	"github.com/dnsprivacy/lookaside/internal/dlv"
+	"github.com/dnsprivacy/lookaside/internal/dns"
+)
+
+func addr(i int) netip.Addr {
+	return netip.AddrFrom4([4]byte{10, 9, byte(i / 250), byte(1 + i%250)})
+}
+
+func profile(i int, items map[string]int) Profile {
+	return Profile{Client: addr(i), Items: items, Queries: len(items)}
+}
+
+func TestFromCapture(t *testing.T) {
+	cps := []capture.ClientProfile{
+		{
+			Client:  addr(2),
+			Queries: 3,
+			Domains: map[dns.Name]int{dns.MustName("a.com"): 2, dns.MustName("b.net"): 1},
+			Cases: map[dns.Name]capture.Case{
+				dns.MustName("a.com"): capture.Case2,
+				dns.MustName("b.net"): capture.Case1,
+			},
+		},
+		{
+			Client:  addr(1),
+			Queries: 1,
+			Hashed:  map[string]int{"deadbeef": 1},
+		},
+	}
+	ps := FromCapture(cps)
+	if len(ps) != 2 {
+		t.Fatalf("got %d profiles", len(ps))
+	}
+	// Sorted by client: addr(1) first.
+	if ps[0].Client != addr(1) || ps[0].Items["deadbeef"] != 1 {
+		t.Errorf("hashed profile = %+v", ps[0])
+	}
+	if ps[1].Items["a.com."] != 2 || ps[1].Case1 != 1 || ps[1].Case2 != 1 {
+		t.Errorf("plain profile = %+v", ps[1])
+	}
+}
+
+func TestEntropyBits(t *testing.T) {
+	p := profile(1, map[string]int{"a": 1, "b": 1, "c": 1, "d": 1})
+	if h := p.EntropyBits(); math.Abs(h-2) > 1e-12 {
+		t.Errorf("uniform 4-item entropy = %v, want 2", h)
+	}
+	p = profile(1, map[string]int{"a": 10})
+	if h := p.EntropyBits(); h != 0 {
+		t.Errorf("single-item entropy = %v, want 0", h)
+	}
+	p = profile(1, nil)
+	if h := p.EntropyBits(); h != 0 {
+		t.Errorf("empty entropy = %v, want 0", h)
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	// Two clients share a profile; one is unique.
+	shared := map[string]int{"x.com.": 1, "y.net.": 2}
+	ps := []Profile{
+		profile(1, map[string]int{"x.com.": 3, "y.net.": 1}), // same distinct set as 2
+		profile(2, shared),
+		profile(3, map[string]int{"z.org.": 1}),
+	}
+	rep := Analyze(ps, 1)
+	if rep.Clients != 3 || rep.UniqueClients != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if math.Abs(rep.Uniqueness-1.0/3) > 1e-12 {
+		t.Errorf("uniqueness = %v", rep.Uniqueness)
+	}
+	if math.Abs(rep.MeanAnonymitySet-(2+2+1)/3.0) > 1e-12 {
+		t.Errorf("mean anonymity set = %v", rep.MeanAnonymitySet)
+	}
+	if rep.MinAnonymitySet != 1 {
+		t.Errorf("min anonymity set = %d", rep.MinAnonymitySet)
+	}
+}
+
+func TestAnalyzeWorkersInvariance(t *testing.T) {
+	var ps []Profile
+	for i := 0; i < 200; i++ {
+		items := map[string]int{}
+		for j := 0; j <= i%7; j++ {
+			items[fmt.Sprintf("dom%d.com.", (i*13+j*7)%50)] = 1 + (i+j)%3
+		}
+		ps = append(ps, profile(i, items))
+	}
+	seq := Analyze(ps, 1)
+	for _, w := range []int{2, 4, 16} {
+		if par := Analyze(ps, w); !reflect.DeepEqual(seq, par) {
+			t.Fatalf("Analyze differs at workers=%d:\nseq: %+v\npar: %+v", w, seq, par)
+		}
+	}
+}
+
+func TestLinkability(t *testing.T) {
+	// Client 1 and 2 keep most of their profile across epochs; client 3
+	// changes completely and collides with client 4's epoch-A profile.
+	epochA := []Profile{
+		profile(1, map[string]int{"a": 1, "b": 1, "c": 1}),
+		profile(2, map[string]int{"d": 1, "e": 1}),
+		profile(3, map[string]int{"f": 1}),
+		profile(4, map[string]int{"g": 1, "h": 1}),
+	}
+	epochB := []Profile{
+		profile(1, map[string]int{"a": 2, "b": 1, "x": 1}),
+		profile(2, map[string]int{"d": 1, "e": 3}),
+		profile(3, map[string]int{"g": 1, "h": 1}),
+	}
+	rep := Linkability(epochA, epochB, 1)
+	if rep.Clients != 3 {
+		t.Fatalf("linkable clients = %d", rep.Clients)
+	}
+	// 1 and 2 are re-identified; 3 is matched to the wrong client (4).
+	if rep.Reidentified != 2 {
+		t.Errorf("reidentified = %d, want 2: %+v", rep.Reidentified, rep)
+	}
+	if math.Abs(rep.Fraction-2.0/3) > 1e-12 {
+		t.Errorf("fraction = %v", rep.Fraction)
+	}
+}
+
+func TestLinkabilityWorkersInvariance(t *testing.T) {
+	var epochA, epochB []Profile
+	for i := 0; i < 120; i++ {
+		a, b := map[string]int{}, map[string]int{}
+		for j := 0; j < 5+i%5; j++ {
+			k := fmt.Sprintf("d%d", (i*11+j)%60)
+			a[k] = 1
+			if j%3 != 0 {
+				b[k] = 2
+			}
+		}
+		epochA = append(epochA, profile(i, a))
+		epochB = append(epochB, profile(i, b))
+	}
+	seq := Linkability(epochA, epochB, 1)
+	for _, w := range []int{3, 8} {
+		if par := Linkability(epochA, epochB, w); !reflect.DeepEqual(seq, par) {
+			t.Fatalf("Linkability differs at workers=%d:\nseq: %+v\npar: %+v", w, seq, par)
+		}
+	}
+}
+
+func TestInvertDictionary(t *testing.T) {
+	universe := []dns.Name{
+		dns.MustName("top1.com"), dns.MustName("top2.net"),
+		dns.MustName("tail3.org"), dns.MustName("tail4.de"),
+	}
+	// The attacker's dictionary covers only the top half.
+	dict := []DictEntry{{universe[0], 1}, {universe[1], 2}}
+	truth := make(map[string]int)
+	items := map[string]int{}
+	for i, d := range universe {
+		label := dlv.HashLabel(d)
+		truth[label] = i + 1
+		items[label] = 1
+	}
+	ps := []Profile{profile(1, items)}
+	rep := InvertDictionary(ps, dict, truth, 2, 1)
+	if rep.Observed != 4 || rep.Recovered != 2 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.TopRate != 1 || rep.TailRate != 0 {
+		t.Errorf("band rates = %v / %v, want 1 / 0", rep.TopRate, rep.TailRate)
+	}
+	if rep.Rate != 0.5 {
+		t.Errorf("rate = %v", rep.Rate)
+	}
+
+	// Workers invariance.
+	seq := InvertDictionary(ps, dict, truth, 2, 1)
+	for _, w := range []int{2, 8} {
+		if par := InvertDictionary(ps, dict, truth, 2, w); !reflect.DeepEqual(seq, par) {
+			t.Fatalf("InvertDictionary differs at workers=%d", w)
+		}
+	}
+}

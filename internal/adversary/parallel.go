@@ -1,0 +1,38 @@
+package adversary
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// forEach runs fn(0..n-1) on a bounded worker pool; workers <= 1 degrades
+// to a plain loop. Callers write results into index slots and reduce them
+// in a fixed order afterwards, which keeps every aggregate invariant in the
+// worker count.
+func forEach(n, workers int, fn func(i int)) {
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

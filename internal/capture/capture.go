@@ -12,6 +12,7 @@
 package capture
 
 import (
+	"net/netip"
 	"slices"
 	"sync"
 
@@ -84,6 +85,30 @@ type Analyzer struct {
 	dlvNXDomain int
 	// hashedLabels counts distinct hash labels seen in hashed mode.
 	hashedLabels map[string]bool
+	// byClient groups the registry's observations by the client they are
+	// attributed to (Event.Client) — the raw material of the adversary's
+	// per-client profile reconstruction.
+	byClient map[netip.Addr]*clientObs
+}
+
+// clientObs is the registry's accumulating view of one client.
+type clientObs struct {
+	// queries counts raw registry exchanges attributed to the client.
+	queries int
+	// domains counts observations per original domain; cases carries the
+	// Case-1/Case-2 classification (Case-1 dominant, as in dlvDomains).
+	domains map[dns.Name]int
+	cases   map[dns.Name]Case
+	// hashed counts observations per hash label (hashed mode).
+	hashed map[string]int
+}
+
+func newClientObs() *clientObs {
+	return &clientObs{
+		domains: make(map[dns.Name]int),
+		cases:   make(map[dns.Name]Case),
+		hashed:  make(map[string]int),
+	}
 }
 
 // NewAnalyzer creates an analyzer.
@@ -95,6 +120,7 @@ func NewAnalyzer(cfg Config) *Analyzer {
 		bytesByRole:   make(map[simnet.Role]int64),
 		dlvDomains:    make(map[dns.Name]Case),
 		hashedLabels:  make(map[string]bool),
+		byClient:      make(map[netip.Addr]*clientObs),
 	}
 }
 
@@ -129,19 +155,43 @@ func (a *Analyzer) Tap(ev simnet.Event) {
 	// …but the registry operator observes every query that reaches the
 	// server (including NS probes from q-name-minimizing resolvers), so
 	// domain-level leak classification covers them all.
-	a.classifyLookaside(ev.Question.Name)
+	a.classifyLookaside(clientOf(ev), ev.Question.Name)
+}
+
+// clientOf resolves the attribution endpoint of an event: the plumbed-in
+// Event.Client, or the packet source for events captured before client
+// plumbing (zero-value compatible).
+func clientOf(ev simnet.Event) netip.Addr {
+	if ev.Client.IsValid() {
+		return ev.Client
+	}
+	return ev.Src
+}
+
+// clientObsFor returns (creating if needed) the per-client record. Callers
+// hold a.mu.
+func (a *Analyzer) clientObsFor(client netip.Addr) *clientObs {
+	obs, ok := a.byClient[client]
+	if !ok {
+		obs = newClientObs()
+		a.byClient[client] = obs
+	}
+	return obs
 }
 
 // classifyLookaside maps a look-aside query name back to the original
-// domain and records its case.
-func (a *Analyzer) classifyLookaside(qname dns.Name) {
+// domain and records its case, globally and against the observed client.
+func (a *Analyzer) classifyLookaside(client netip.Addr, qname dns.Name) {
 	rel, ok := qname.StripSuffix(a.cfg.RegistryZone)
 	if !ok || rel == "" {
 		return
 	}
+	obs := a.clientObsFor(client)
+	obs.queries++
 	if a.cfg.Hashed {
 		// The hash is all the registry (and we, as its observer) can see.
 		a.hashedLabels[rel] = true
+		obs.hashed[rel]++
 		return
 	}
 	domain, err := dns.MakeName(rel)
@@ -160,6 +210,10 @@ func (a *Analyzer) classifyLookaside(qname dns.Name) {
 	// Case-1 dominates if ever observed (a hit is a hit).
 	if prev, seen := a.dlvDomains[domain]; !seen || prev == Case2 {
 		a.dlvDomains[domain] = c
+	}
+	obs.domains[domain]++
+	if prev, seen := obs.cases[domain]; !seen || prev == Case2 {
+		obs.cases[domain] = c
 	}
 }
 
@@ -244,6 +298,52 @@ func (a *Analyzer) LeakedDomains() []dns.Name {
 	return out
 }
 
+// ClientProfile is the registry's reconstructed view of one client: every
+// look-aside observation attributed to that client, as a domain multiset
+// with its Case-1/Case-2 split (or a hash-label multiset in hashed mode).
+// This is exactly what the adversary engine consumes.
+type ClientProfile struct {
+	// Client is the attributed stub endpoint.
+	Client netip.Addr
+	// Queries is the number of registry exchanges attributed to the client.
+	Queries int
+	// Domains counts observations per original domain; Cases classifies
+	// each observed domain (Case-1 dominant). Empty in hashed mode.
+	Domains map[dns.Name]int
+	Cases   map[dns.Name]Case
+	// Hashed counts observations per hash label (hashed mode only).
+	Hashed map[string]int
+}
+
+// ClientProfiles returns a deep copy of the per-client registry view,
+// sorted by client address so output is deterministic.
+func (a *Analyzer) ClientProfiles() []ClientProfile {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]ClientProfile, 0, len(a.byClient))
+	for client, obs := range a.byClient {
+		p := ClientProfile{
+			Client:  client,
+			Queries: obs.queries,
+			Domains: make(map[dns.Name]int, len(obs.domains)),
+			Cases:   make(map[dns.Name]Case, len(obs.cases)),
+			Hashed:  make(map[string]int, len(obs.hashed)),
+		}
+		for d, n := range obs.domains {
+			p.Domains[d] = n
+		}
+		for d, c := range obs.cases {
+			p.Cases[d] = c
+		}
+		for l, n := range obs.hashed {
+			p.Hashed[l] = n
+		}
+		out = append(out, p)
+	}
+	slices.SortFunc(out, func(x, y ClientProfile) int { return x.Client.Compare(y.Client) })
+	return out
+}
+
 // ObservedDomains returns every distinct domain the registry saw,
 // regardless of case, in sorted order; nil in hashed mode.
 func (a *Analyzer) ObservedDomains() []dns.Name {
@@ -291,6 +391,21 @@ func (a *Analyzer) Merge(o *Analyzer) {
 	for l := range o.hashedLabels {
 		labels = append(labels, l)
 	}
+	byClient := make(map[netip.Addr]*clientObs, len(o.byClient))
+	for client, obs := range o.byClient {
+		cp := newClientObs()
+		cp.queries = obs.queries
+		for d, n := range obs.domains {
+			cp.domains[d] = n
+		}
+		for d, c := range obs.cases {
+			cp.cases[d] = c
+		}
+		for l, n := range obs.hashed {
+			cp.hashed[l] = n
+		}
+		byClient[client] = cp
+	}
 	dlvQueries, dlvNoError, dlvNXDomain := o.dlvQueries, o.dlvNoError, o.dlvNXDomain
 	o.mu.Unlock()
 
@@ -317,5 +432,24 @@ func (a *Analyzer) Merge(o *Analyzer) {
 	}
 	for _, l := range labels {
 		a.hashedLabels[l] = true
+	}
+	for client, obs := range byClient {
+		dst, ok := a.byClient[client]
+		if !ok {
+			a.byClient[client] = obs
+			continue
+		}
+		dst.queries += obs.queries
+		for d, n := range obs.domains {
+			dst.domains[d] += n
+		}
+		for d, c := range obs.cases {
+			if prev, seen := dst.cases[d]; !seen || prev == Case2 {
+				dst.cases[d] = c
+			}
+		}
+		for l, n := range obs.hashed {
+			dst.hashed[l] += n
+		}
 	}
 }

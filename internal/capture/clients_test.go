@@ -1,0 +1,115 @@
+package capture
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+	"testing"
+
+	"github.com/dnsprivacy/lookaside/internal/dns"
+	"github.com/dnsprivacy/lookaside/internal/simnet"
+)
+
+// clientEvent is a registry observation attributed to a specific client.
+func clientEvent(client, qname string, rcode dns.RCode) simnet.Event {
+	ev := dlvEvent(qname, rcode)
+	ev.Client = netip.MustParseAddr(client)
+	return ev
+}
+
+func TestClientProfiles(t *testing.T) {
+	a := newTestAnalyzer(false)
+	a.Tap(clientEvent("10.1.0.1", "deposited.com.dlv.isc.org", dns.RCodeNoError))
+	a.Tap(clientEvent("10.1.0.1", "leaked1.net.dlv.isc.org", dns.RCodeNXDomain))
+	a.Tap(clientEvent("10.1.0.1", "leaked1.net.dlv.isc.org", dns.RCodeNXDomain))
+	a.Tap(clientEvent("10.1.0.2", "leaked2.org.dlv.isc.org", dns.RCodeNXDomain))
+	a.Tap(clientEvent("10.1.0.2", "org.dlv.isc.org", dns.RCodeNXDomain)) // walk step: queries only
+	// No Client set: attribution falls back to Src (the resolver address).
+	a.Tap(dlvEvent("legacy.net.dlv.isc.org", dns.RCodeNXDomain))
+
+	profiles := a.ClientProfiles()
+	if len(profiles) != 3 {
+		t.Fatalf("got %d profiles, want 3", len(profiles))
+	}
+	// Sorted by address: 10.0.0.53 (fallback Src), 10.1.0.1, 10.1.0.2.
+	if profiles[0].Client != netip.MustParseAddr("10.0.0.53") {
+		t.Errorf("profile 0 client = %v", profiles[0].Client)
+	}
+	p1 := profiles[1]
+	if p1.Client != netip.MustParseAddr("10.1.0.1") || p1.Queries != 3 {
+		t.Fatalf("profile 1 = %+v", p1)
+	}
+	if p1.Domains[dns.MustName("leaked1.net")] != 2 {
+		t.Errorf("leaked1.net count = %d, want 2", p1.Domains[dns.MustName("leaked1.net")])
+	}
+	if p1.Cases[dns.MustName("deposited.com")] != Case1 || p1.Cases[dns.MustName("leaked1.net")] != Case2 {
+		t.Errorf("cases = %v", p1.Cases)
+	}
+	p2 := profiles[2]
+	if p2.Queries != 2 || len(p2.Domains) != 1 {
+		t.Fatalf("profile 2 = %+v", p2)
+	}
+}
+
+func TestClientProfilesHashed(t *testing.T) {
+	a := newTestAnalyzer(true)
+	a.Tap(clientEvent("10.1.0.1", "abcdef123.dlv.isc.org", dns.RCodeNXDomain))
+	a.Tap(clientEvent("10.1.0.1", "abcdef123.dlv.isc.org", dns.RCodeNXDomain))
+	profiles := a.ClientProfiles()
+	if len(profiles) != 1 {
+		t.Fatalf("got %d profiles", len(profiles))
+	}
+	if profiles[0].Hashed["abcdef123"] != 2 || len(profiles[0].Domains) != 0 {
+		t.Fatalf("hashed profile = %+v", profiles[0])
+	}
+}
+
+// TestClientMergeConcurrent exercises the per-client merge path under
+// concurrent taps, merges, and reads; run with -race (CI does).
+func TestClientMergeConcurrent(t *testing.T) {
+	combined := newTestAnalyzer(false)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			a := newTestAnalyzer(false)
+			client := fmt.Sprintf("10.2.0.%d", w%4+1)
+			for i := 0; i < 50; i++ {
+				a.Tap(clientEvent(client, fmt.Sprintf("dom%d.net.dlv.isc.org", i%10), dns.RCodeNXDomain))
+				a.Tap(clientEvent(client, "deposited.com.dlv.isc.org", dns.RCodeNoError))
+			}
+			combined.Merge(a)
+		}(w)
+	}
+	// Concurrent readers while merges land.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				_ = combined.ClientProfiles()
+				_ = combined.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+
+	profiles := combined.ClientProfiles()
+	if len(profiles) != 4 {
+		t.Fatalf("got %d client profiles, want 4", len(profiles))
+	}
+	totalQueries := 0
+	for _, p := range profiles {
+		totalQueries += p.Queries
+		if p.Cases[dns.MustName("deposited.com")] != Case1 {
+			t.Errorf("client %v: deposited.com case = %v", p.Client, p.Cases[dns.MustName("deposited.com")])
+		}
+		if len(p.Domains) != 11 { // 10 leaked + 1 deposited
+			t.Errorf("client %v: %d domains, want 11", p.Client, len(p.Domains))
+		}
+	}
+	if totalQueries != 8*100 {
+		t.Errorf("total per-client queries = %d, want 800", totalQueries)
+	}
+}

@@ -9,6 +9,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"net/netip"
 	"slices"
 	"time"
 
@@ -26,6 +27,7 @@ import (
 type auditPort interface {
 	Now() time.Duration
 	StubQuery(id uint16, name dns.Name, qtype dns.Type) (*dns.Message, error)
+	StubQueryFrom(src netip.Addr, id uint16, name dns.Name, qtype dns.Type) (*dns.Message, error)
 }
 
 // netPort drives the global network (the sequential path).
@@ -34,6 +36,9 @@ type netPort struct{ u *universe.Universe }
 func (p netPort) Now() time.Duration { return p.u.Net.Now() }
 func (p netPort) StubQuery(id uint16, name dns.Name, qtype dns.Type) (*dns.Message, error) {
 	return p.u.StubQuery(id, name, qtype)
+}
+func (p netPort) StubQueryFrom(src netip.Addr, id uint16, name dns.Name, qtype dns.Type) (*dns.Message, error) {
+	return p.u.StubQueryFrom(src, id, name, qtype)
 }
 
 // shardPort drives one shard of the network (the parallel path).
@@ -45,6 +50,9 @@ type shardPort struct {
 func (p shardPort) Now() time.Duration { return p.sh.Now() }
 func (p shardPort) StubQuery(id uint16, name dns.Name, qtype dns.Type) (*dns.Message, error) {
 	return p.u.ShardStubQuery(p.sh, id, name, qtype)
+}
+func (p shardPort) StubQueryFrom(src netip.Addr, id uint16, name dns.Name, qtype dns.Type) (*dns.Message, error) {
+	return p.u.ShardStubQueryFrom(p.sh, src, id, name, qtype)
 }
 
 // Auditor wires a universe, a resolver configuration, and a capture
@@ -138,10 +146,18 @@ func (a *Auditor) Analyzer() *capture.Analyzer { return a.analyzer }
 // QueryDomain sends the stub queries for one domain (A always, AAAA for the
 // configured share) through the network.
 func (a *Auditor) QueryDomain(name dns.Name) error {
+	return a.QueryDomainAs(universe.StubAddr, name)
+}
+
+// QueryDomainAs sends the stub queries for one domain from an explicit
+// client endpoint, so the capture attributes every resulting exchange
+// (including the resolver's look-aside queries) to that client. Multi-client
+// adversary workloads use it; QueryDomain is the single-stub special case.
+func (a *Auditor) QueryDomainAs(client netip.Addr, name dns.Name) error {
 	a.queried++
 	a.nextID++
 	start := a.port.Now()
-	resp, err := a.port.StubQuery(a.nextID, name, dns.TypeA)
+	resp, err := a.port.StubQueryFrom(client, a.nextID, name, dns.TypeA)
 	if err != nil {
 		return fmt.Errorf("core: stub query %s/A: %w", name, err)
 	}
@@ -151,7 +167,7 @@ func (a *Auditor) QueryDomain(name dns.Name) error {
 	}
 	if int(hash64(string(name))%100) < a.aaaaShare {
 		a.nextID++
-		if _, err := a.port.StubQuery(a.nextID, name, dns.TypeAAAA); err != nil {
+		if _, err := a.port.StubQueryFrom(client, a.nextID, name, dns.TypeAAAA); err != nil {
 			return fmt.Errorf("core: stub query %s/AAAA: %w", name, err)
 		}
 	}

@@ -1,0 +1,88 @@
+package dataset
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestGenerateTraceBand(t *testing.T) {
+	cfg := DefaultTraceConfig()
+	tr, err := GenerateTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.PerMinute) != cfg.Minutes {
+		t.Fatalf("minutes = %d, want %d", len(tr.PerMinute), cfg.Minutes)
+	}
+	for i, v := range tr.PerMinute {
+		if v < cfg.MinRate || v > cfg.MaxRate {
+			t.Fatalf("minute %d rate %d outside [%d, %d]", i, v, cfg.MinRate, cfg.MaxRate)
+		}
+	}
+	if tr.Total() < int64(cfg.Minutes)*int64(cfg.MinRate) {
+		t.Errorf("total %d below band floor", tr.Total())
+	}
+}
+
+func TestGenerateTraceDeterminism(t *testing.T) {
+	cfg := DefaultTraceConfig()
+	a, err := GenerateTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.PerMinute, b.PerMinute) {
+		t.Error("same seed produced different traces")
+	}
+	cfg.Seed++
+	c, err := GenerateTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.PerMinute, c.PerMinute) {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestGenerateTraceScale(t *testing.T) {
+	cfg := DefaultTraceConfig()
+	full, err := GenerateTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Scale = 100
+	scaled, err := GenerateTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range full.PerMinute {
+		if want := full.PerMinute[i] / 100; scaled.PerMinute[i] != want {
+			t.Fatalf("minute %d: scaled rate %d, want %d", i, scaled.PerMinute[i], want)
+		}
+	}
+	// Scale <= 0 falls back to full scale rather than erroring.
+	cfg.Scale = 0
+	unscaled, err := GenerateTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(unscaled.PerMinute, full.PerMinute) {
+		t.Error("Scale=0 did not fall back to full scale")
+	}
+}
+
+func TestGenerateTraceErrors(t *testing.T) {
+	for _, cfg := range []TraceConfig{
+		{Minutes: 0, MinRate: 1, MaxRate: 2},
+		{Minutes: -5, MinRate: 1, MaxRate: 2},
+		{Minutes: 10, MinRate: 0, MaxRate: 2},
+		{Minutes: 10, MinRate: 5, MaxRate: 4},
+	} {
+		if _, err := GenerateTrace(cfg); err == nil {
+			t.Errorf("GenerateTrace(%+v) accepted invalid config", cfg)
+		}
+	}
+}

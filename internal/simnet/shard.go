@@ -27,6 +27,31 @@ type Shard struct {
 	now   time.Duration
 	taps  []Tap
 	local map[netip.Addr]*serverEntry
+	// client is the stub address of the in-flight stub→recursive exchange
+	// on this shard, used to attribute the resolver's nested exchanges
+	// (Event.Client). Shards are driven sequentially by their audit, so
+	// one slot per shard suffices.
+	client netip.Addr
+}
+
+// swapClient installs addr as the shard's attribution client and returns
+// the previous one.
+func (s *Shard) swapClient(addr netip.Addr) netip.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	prev := s.client
+	s.client = addr
+	return prev
+}
+
+// attributedClient resolves Event.Client for an exchange from src.
+func (s *Shard) attributedClient(src netip.Addr) netip.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.client.IsValid() {
+		return s.client
+	}
+	return src
 }
 
 // NewShard creates a shard whose clock starts at the network's current
@@ -87,6 +112,13 @@ func (s *Shard) Exchange(src, dst netip.Addr, q *dns.Message) (*dns.Message, err
 		return nil, err
 	}
 
+	// Same attribution rule as Network.Exchange: exchanges nested inside a
+	// stub→recursive hop belong to that stub.
+	if entry.role == RoleRecursive {
+		prev := s.swapClient(src)
+		defer s.swapClient(prev)
+	}
+
 	resp, question, qLen, rLen, err := roundTrip(entry, src, q)
 	if err != nil {
 		return nil, err
@@ -104,6 +136,7 @@ func (s *Shard) Exchange(src, dst netip.Addr, q *dns.Message) (*dns.Message, err
 		Time:      now,
 		Src:       src,
 		Dst:       dst,
+		Client:    s.attributedClient(src),
 		DstName:   entry.name,
 		DstRole:   entry.role,
 		Question:  question,

@@ -88,6 +88,13 @@ type Event struct {
 	Time time.Duration
 	// Src and Dst address the exchange.
 	Src, Dst netip.Addr
+	// Client is the stub endpoint on whose behalf the exchange happened:
+	// while a stub→recursive exchange is in flight, every nested exchange
+	// the resolver issues carries the stub's address here; outside one it
+	// equals Src. Taps use it to attribute registry observations to the
+	// querying client. The zero value (an invalid Addr) only appears in
+	// hand-constructed events and means "unattributed".
+	Client netip.Addr
 	// DstName and DstRole describe the responding server.
 	DstName string
 	DstRole Role
@@ -123,6 +130,11 @@ type Network struct {
 	servers map[netip.Addr]*serverEntry
 	taps    []Tap
 	now     time.Duration
+	// client is the stub address of the in-flight stub→recursive exchange,
+	// used to attribute the resolver's nested exchanges (Event.Client).
+	// Like the clock, it is meaningful only on the sequential path;
+	// concurrent audits use shards, which carry their own.
+	client netip.Addr
 
 	// Aggregate statistics, maintained as atomics so concurrent shards do
 	// not contend on the network lock.
@@ -231,6 +243,28 @@ func (n *Network) tapsSnapshot() []Tap {
 // timeoutCost is the simulated cost of a query to a dead server.
 const timeoutCost = 2 * time.Second
 
+// swapClient installs addr as the current attribution client and returns
+// the previous one, so callers can restore it when the enclosing exchange
+// finishes.
+func (n *Network) swapClient(addr netip.Addr) netip.Addr {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	prev := n.client
+	n.client = addr
+	return prev
+}
+
+// attributedClient resolves the Event.Client for an exchange originating
+// at src: the in-flight stub client if one is set, else src itself.
+func (n *Network) attributedClient(src netip.Addr) netip.Addr {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.client.IsValid() {
+		return n.client
+	}
+	return src
+}
+
 // admit looks up the server at dst and applies the failure-injection
 // bookkeeping (down flags, deterministic every-Nth loss). On a down or lost
 // exchange it returns the entry together with the error so the caller can
@@ -297,6 +331,16 @@ func (n *Network) Exchange(src, dst netip.Addr, q *dns.Message) (*dns.Message, e
 		return nil, err
 	}
 
+	// A query entering the recursive resolver is resolved synchronously
+	// inside roundTrip, so every exchange the resolver issues before
+	// returning belongs to this stub: mark it as the attribution client
+	// for the duration (restored on return, so direct exchanges outside a
+	// stub query stay self-attributed).
+	if entry.role == RoleRecursive {
+		prev := n.swapClient(src)
+		defer n.swapClient(prev)
+	}
+
 	resp, question, qLen, rLen, err := roundTrip(entry, src, q)
 	if err != nil {
 		return nil, err
@@ -314,6 +358,7 @@ func (n *Network) Exchange(src, dst netip.Addr, q *dns.Message) (*dns.Message, e
 		Time:      now,
 		Src:       src,
 		Dst:       dst,
+		Client:    n.attributedClient(src),
 		DstName:   entry.name,
 		DstRole:   entry.role,
 		Question:  question,

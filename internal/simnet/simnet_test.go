@@ -193,3 +193,86 @@ func TestPacketLossInjection(t *testing.T) {
 		t.Fatalf("SetLoss unknown = %v", err)
 	}
 }
+
+// TestClientAttribution pins the Event.Client contract: exchanges nested
+// inside a stub→recursive hop are attributed to the stub; exchanges outside
+// one are attributed to their own source; the attribution is restored when
+// the stub exchange finishes.
+func TestClientAttribution(t *testing.T) {
+	n := New()
+	if err := n.Register(serverAddr, "ns.test", RoleSLD, time.Millisecond, echoHandler(false)); err != nil {
+		t.Fatal(err)
+	}
+	recursiveAddr := netip.MustParseAddr("10.0.0.53")
+	// A "resolver" that forwards every stub query upstream before answering.
+	recursive := HandlerFunc(func(q *dns.Message, _ netip.Addr) (*dns.Message, error) {
+		if _, err := n.Exchange(recursiveAddr, serverAddr, q); err != nil {
+			return nil, err
+		}
+		return dns.NewResponse(q), nil
+	})
+	if err := n.Register(recursiveAddr, "recursive", RoleRecursive, time.Millisecond, recursive); err != nil {
+		t.Fatal(err)
+	}
+
+	var events []Event
+	n.AddTap(func(ev Event) { events = append(events, ev) })
+
+	stub := netip.MustParseAddr("10.0.9.7")
+	q := dns.NewQuery(1, dns.MustName("example.com"), dns.TypeA, true)
+	if _, err := n.Exchange(stub, recursiveAddr, q); err != nil {
+		t.Fatalf("stub exchange: %v", err)
+	}
+	// Direct exchange afterwards: attribution must have been restored.
+	if _, err := n.Exchange(clientAddr, serverAddr, q); err != nil {
+		t.Fatalf("direct exchange: %v", err)
+	}
+
+	if len(events) != 3 {
+		t.Fatalf("captured %d events, want 3", len(events))
+	}
+	// Nested upstream exchange: Src is the resolver, Client is the stub.
+	if events[0].Src != recursiveAddr || events[0].Client != stub {
+		t.Errorf("nested event: src=%v client=%v, want client=%v", events[0].Src, events[0].Client, stub)
+	}
+	// The stub hop itself is attributed to the stub.
+	if events[1].Client != stub {
+		t.Errorf("stub hop client = %v, want %v", events[1].Client, stub)
+	}
+	// Outside a stub exchange, Client falls back to Src.
+	if events[2].Client != clientAddr {
+		t.Errorf("direct event client = %v, want %v", events[2].Client, clientAddr)
+	}
+}
+
+// TestShardClientAttribution is the shard analogue of TestClientAttribution.
+func TestShardClientAttribution(t *testing.T) {
+	n := New()
+	if err := n.Register(serverAddr, "ns.test", RoleSLD, time.Millisecond, echoHandler(false)); err != nil {
+		t.Fatal(err)
+	}
+	sh := n.NewShard()
+	recursiveAddr := netip.MustParseAddr("10.0.0.53")
+	recursive := HandlerFunc(func(q *dns.Message, _ netip.Addr) (*dns.Message, error) {
+		if _, err := sh.Exchange(recursiveAddr, serverAddr, q); err != nil {
+			return nil, err
+		}
+		return dns.NewResponse(q), nil
+	})
+	sh.Register(recursiveAddr, "recursive", RoleRecursive, time.Millisecond, recursive)
+
+	var events []Event
+	sh.AddTap(func(ev Event) { events = append(events, ev) })
+
+	stub := netip.MustParseAddr("10.0.9.8")
+	q := dns.NewQuery(1, dns.MustName("example.com"), dns.TypeA, true)
+	if _, err := sh.Exchange(stub, recursiveAddr, q); err != nil {
+		t.Fatalf("stub exchange: %v", err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("captured %d events, want 2", len(events))
+	}
+	if events[0].Client != stub || events[1].Client != stub {
+		t.Errorf("clients = %v, %v, want both %v", events[0].Client, events[1].Client, stub)
+	}
+}

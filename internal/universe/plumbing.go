@@ -162,8 +162,15 @@ func (u *Universe) StartResolver(cfg resolver.Config) (*resolver.Resolver, error
 // StubQuery issues one stub query through the network to the recursive
 // resolver, as the measurement host does.
 func (u *Universe) StubQuery(id uint16, name dns.Name, qtype dns.Type) (*dns.Message, error) {
+	return u.StubQueryFrom(StubAddr, id, name, qtype)
+}
+
+// StubQueryFrom issues one stub query from an explicit client endpoint, so
+// multi-client workloads produce client-attributable captures (Event.Client
+// on every nested exchange the resolver performs).
+func (u *Universe) StubQueryFrom(src netip.Addr, id uint16, name dns.Name, qtype dns.Type) (*dns.Message, error) {
 	q := dns.NewQuery(id, name, qtype, true)
-	return u.Net.Exchange(StubAddr, ResolverAddr, q)
+	return u.Net.Exchange(src, ResolverAddr, q)
 }
 
 // NewShard creates an isolated clock domain over the universe's network;
@@ -190,8 +197,14 @@ func (u *Universe) StartShardResolver(sh *simnet.Shard, cfg resolver.Config) (*r
 // ShardStubQuery issues one stub query through a shard to the shard's
 // recursive resolver.
 func (u *Universe) ShardStubQuery(sh *simnet.Shard, id uint16, name dns.Name, qtype dns.Type) (*dns.Message, error) {
+	return u.ShardStubQueryFrom(sh, StubAddr, id, name, qtype)
+}
+
+// ShardStubQueryFrom issues one stub query through a shard from an explicit
+// client endpoint (the shard analogue of StubQueryFrom).
+func (u *Universe) ShardStubQueryFrom(sh *simnet.Shard, src netip.Addr, id uint16, name dns.Name, qtype dns.Type) (*dns.Message, error) {
 	q := dns.NewQuery(id, name, qtype, true)
-	return sh.Exchange(StubAddr, ResolverAddr, q)
+	return sh.Exchange(src, ResolverAddr, q)
 }
 
 // Domain returns the spec of a domain in the universe.
