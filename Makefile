@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet cover bench fuzz experiments experiments-full clean
+.PHONY: all build test vet cover bench bench-hotpath fuzz experiments experiments-full clean
 
 all: build vet test
 
@@ -23,6 +23,24 @@ cover:
 # microbenchmarks. Metrics in the output are the reproduced rows.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Hot-path benchmarks (one simnet exchange plus the leak-curve sweeps) with
+# allocation reporting. Emits the raw output to BENCH_hotpath.txt and a
+# flat {benchmark: {metric: value}} summary to BENCH_hotpath.json.
+BENCHTIME ?= 2s
+
+bench-hotpath:
+	$(GO) test -run XXX -bench 'BenchmarkExchange|BenchmarkFig8DLVQueries|BenchmarkFig9LeakProportion' \
+		-benchmem -benchtime $(BENCHTIME) . | tee BENCH_hotpath.txt
+	@awk 'BEGIN { printf "{"; n = 0 } \
+		/^Benchmark/ { \
+			if (n++) printf ","; \
+			printf "\n  \"%s\": {\"ns_per_op\": %s", $$1, $$3; \
+			for (i = 5; i < NF; i += 2) printf ", \"%s\": %s", $$(i+1), $$i; \
+			printf "}" \
+		} \
+		END { print "\n}" }' BENCH_hotpath.txt > BENCH_hotpath.json
+	@cat BENCH_hotpath.json
 
 # Short fuzzing pass over every Fuzz* target (wire decoder, zone parser).
 # -fuzz accepts a single target per run, so discover and loop.
@@ -45,4 +63,4 @@ experiments-full:
 
 clean:
 	$(GO) clean ./...
-	rm -f test_output.txt bench_output.txt
+	rm -f test_output.txt bench_output.txt BENCH_hotpath.txt BENCH_hotpath.json

@@ -13,6 +13,7 @@ import (
 	"net/netip"
 	"testing"
 
+	"github.com/dnsprivacy/lookaside/internal/authserver"
 	"github.com/dnsprivacy/lookaside/internal/core"
 	"github.com/dnsprivacy/lookaside/internal/dataset"
 	"github.com/dnsprivacy/lookaside/internal/dns"
@@ -42,6 +43,7 @@ func BenchmarkTable2ConfigVariations(b *testing.B) {
 }
 
 func BenchmarkFig8DLVQueries(b *testing.B) {
+	authserver.ResetCacheTotals()
 	var last *experiment.LeakCurveResult
 	for i := 0; i < b.N; i++ {
 		res, err := experiment.LeakCurve(benchParams)
@@ -53,6 +55,9 @@ func BenchmarkFig8DLVQueries(b *testing.B) {
 	top := last.Points[len(last.Points)-1]
 	b.ReportMetric(float64(top.LeakedDomains), "leaked@max")
 	b.ReportMetric(float64(top.DLVQueries), "dlvQueries@max")
+	if hits, misses := authserver.CacheTotals(); hits+misses > 0 {
+		b.ReportMetric(float64(hits)/float64(hits+misses), "pktCacheHitRate")
+	}
 }
 
 func BenchmarkFig9LeakProportion(b *testing.B) {

@@ -81,6 +81,10 @@ type Config struct {
 	ZBitRemedy bool
 	// Signaler backs the two remedies; required when either is enabled.
 	Signaler Signaler
+	// DisablePacketCache turns off the wire-response cache, forcing every
+	// query through response assembly and encoding (the seed behavior;
+	// equivalence tests and baseline benchmarks use it).
+	DisablePacketCache bool
 }
 
 // Server is an authoritative DNS server over one or more zone sources.
@@ -89,6 +93,9 @@ type Server struct {
 	name    string
 	sources []Source // sorted by decreasing apex label count
 	cfg     Config
+	// cache is the wire-response packet cache; nil when disabled. Set once
+	// at construction (the PacketCache has its own lock).
+	cache *PacketCache
 }
 
 // Compile-time check: Server plugs into the simulated network.
@@ -100,23 +107,31 @@ func New(cfg Config, sources ...Source) (*Server, error) {
 		return nil, errors.New("authserver: remedy enabled without signaler")
 	}
 	s := &Server{name: cfg.Name, cfg: cfg}
+	if !cfg.DisablePacketCache {
+		s.cache = NewPacketCache()
+	}
 	for _, src := range sources {
 		s.AddSource(src)
 	}
 	return s, nil
 }
 
+// Cache exposes the server's packet cache (nil when disabled), for stats.
+func (s *Server) Cache() *PacketCache { return s.cache }
+
 // Name returns the server's capture label.
 func (s *Server) Name() string { return s.name }
 
-// AddSource registers an additional zone source.
+// AddSource registers an additional zone source and invalidates the packet
+// cache (source routing may have changed).
 func (s *Server) AddSource(src Source) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.sources = append(s.sources, src)
 	sort.SliceStable(s.sources, func(i, j int) bool {
 		return s.sources[i].Apex().LabelCount() > s.sources[j].Apex().LabelCount()
 	})
+	s.mu.Unlock()
+	s.cache.Invalidate()
 }
 
 // findSource returns the most specific source authoritative for qname.
@@ -133,17 +148,39 @@ func (s *Server) findSource(qname dns.Name) (Source, bool) {
 
 // HandleQuery implements simnet.Handler.
 func (s *Server) HandleQuery(q *dns.Message, _ netip.Addr) (*dns.Message, error) {
-	resp := dns.NewResponse(q)
+	resp, _, err := s.respond(q, nil, false)
+	return resp, err
+}
+
+// HandleQueryWire implements simnet.WireResponder: it returns the response
+// together with its wire encoding appended to dst, serving repeated
+// questions from the packet cache without re-assembling or re-encoding.
+func (s *Server) HandleQueryWire(q *dns.Message, _ netip.Addr, dst []byte) (*dns.Message, []byte, error) {
+	return s.respond(q, dst, true)
+}
+
+func (s *Server) respond(q *dns.Message, dst []byte, wantWire bool) (*dns.Message, []byte, error) {
 	if len(q.Question) == 0 {
-		resp.Header.RCode = dns.RCodeFormErr
-		return resp, nil
+		return finishError(q, dns.RCodeFormErr, dst, wantWire)
 	}
 	src, ok := s.findSource(q.Question[0].Name)
 	if !ok {
-		resp.Header.RCode = dns.RCodeRefused
-		return resp, nil
+		return finishError(q, dns.RCodeRefused, dst, wantWire)
 	}
-	return Respond(src, s.cfg, q)
+	return s.cache.Respond(src, s.cfg, q, dst, wantWire)
+}
+
+// finishError builds (and, when asked, encodes) an error-rcode response.
+func finishError(q *dns.Message, rcode dns.RCode, dst []byte, wantWire bool) (*dns.Message, []byte, error) {
+	resp := dns.NewResponse(q)
+	resp.Header.RCode = rcode
+	if wantWire {
+		var err error
+		if dst, err = resp.AppendEncode(dst); err != nil {
+			return nil, nil, err
+		}
+	}
+	return resp, dst, nil
 }
 
 // Transferable is implemented by sources that can export their complete

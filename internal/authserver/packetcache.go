@@ -1,0 +1,192 @@
+package authserver
+
+import (
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+
+	"github.com/dnsprivacy/lookaside/internal/dns"
+)
+
+// packetKey identifies a cacheable query shape. Everything a response can
+// depend on is in the key: the question tuple, the presence of EDNS (an OPT
+// record changes the wire size), the DO bit (changes DNSSEC sections), the
+// RD flag (mirrored into the response header), and — when a remedy is
+// active — the Signaler's answer for the question name, so TXT/Z-bit
+// synthesis changes the key instead of invalidating entries.
+type packetKey struct {
+	qname dns.Name
+	qtype dns.Type
+	class dns.Class
+	flags uint8
+}
+
+const (
+	pkEDNS uint8 = 1 << iota
+	pkDO
+	pkRD
+	pkDLVKnown // a remedy is active and the Signaler was consulted
+	pkDLVSet   // the Signaler reported a deposited DLV record
+)
+
+// packetEntry stores one fully shaped response: its wire encoding (served
+// on hits by patching the 2-byte message ID, like Unbound's packet cache)
+// and the canonical decoded message (cloned per hit so callers own their
+// copy), pinned to the source generation that produced it.
+type packetEntry struct {
+	wire   []byte
+	msg    *dns.Message
+	srcGen uint64
+}
+
+// packetCacheCap bounds each cache; when full it resets rather than
+// evicting (entries rebuild cheaply and deterministically).
+const packetCacheCap = 1 << 16
+
+// PacketCache is an authoritative wire-response cache. A nil *PacketCache
+// is valid and disables caching.
+type PacketCache struct {
+	mu      sync.RWMutex
+	entries map[packetKey]*packetEntry
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// NewPacketCache creates an empty cache.
+func NewPacketCache() *PacketCache {
+	return &PacketCache{entries: make(map[packetKey]*packetEntry)}
+}
+
+// Invalidate drops every entry; AddSource calls it because source routing
+// (which source answers which name) may have changed.
+func (c *PacketCache) Invalidate() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	clear(c.entries)
+	c.mu.Unlock()
+}
+
+// Stats returns the hit and miss counts.
+func (c *PacketCache) Stats() (hits, misses uint64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Aggregate counters across every cache in the process, for experiment-wide
+// hit-rate reporting (mirrors dnssec.VerifyCache's Stats pattern).
+var totalHits, totalMisses atomic.Uint64
+
+// CacheTotals returns process-wide packet-cache hits and misses.
+func CacheTotals() (hits, misses uint64) {
+	return totalHits.Load(), totalMisses.Load()
+}
+
+// ResetCacheTotals zeroes the process-wide counters (benchmark setup).
+func ResetCacheTotals() {
+	totalHits.Store(0)
+	totalMisses.Store(0)
+}
+
+// cacheableQuery reports whether q's response is a pure function of the
+// packet key: a plain QUERY with exactly one question and empty record
+// sections. Anything else goes to the uncached path.
+func cacheableQuery(q *dns.Message) bool {
+	h := q.Header
+	return !h.QR && h.Opcode == dns.OpcodeQuery && h.RCode == 0 &&
+		len(q.Question) == 1 && len(q.Answer) == 0 &&
+		len(q.Authority) == 0 && len(q.Additional) == 0
+}
+
+// keyFor builds the cache key for a cacheable query under cfg.
+func keyFor(q *dns.Message, cfg *Config) packetKey {
+	question := q.Question[0]
+	k := packetKey{qname: question.Name, qtype: question.Type, class: question.Class}
+	if q.EDNS != nil {
+		k.flags |= pkEDNS
+		if q.EDNS.DO {
+			k.flags |= pkDO
+		}
+	}
+	if q.Header.RD {
+		k.flags |= pkRD
+	}
+	if (cfg.TXTRemedy || cfg.ZBitRemedy) && cfg.Signaler != nil {
+		k.flags |= pkDLVKnown
+		if cfg.Signaler.HasDLV(question.Name) {
+			k.flags |= pkDLVSet
+		}
+	}
+	return k
+}
+
+// sourceGeneration returns a source's mutation counter; sources without one
+// (generative synthetics) are treated as immutable.
+func sourceGeneration(src Source) uint64 {
+	if g, ok := src.(interface{ Generation() uint64 }); ok {
+		return g.Generation()
+	}
+	return 0
+}
+
+// Respond answers q for src under cfg through the cache. The returned
+// message is always caller-owned. When wantWire is set, the encoded
+// response (ID already matching q) is appended to dst and returned; on a
+// cache hit that is a copy-and-patch, not an encode.
+func (c *PacketCache) Respond(src Source, cfg Config, q *dns.Message, dst []byte, wantWire bool) (*dns.Message, []byte, error) {
+	if c == nil || !cacheableQuery(q) {
+		resp, err := Respond(src, cfg, q)
+		if err != nil {
+			return nil, nil, err
+		}
+		if wantWire {
+			if dst, err = resp.AppendEncode(dst); err != nil {
+				return nil, nil, err
+			}
+		}
+		return resp, dst, nil
+	}
+
+	key := keyFor(q, &cfg)
+	gen := sourceGeneration(src)
+	c.mu.RLock()
+	e, ok := c.entries[key]
+	c.mu.RUnlock()
+	if ok && e.srcGen == gen {
+		c.hits.Add(1)
+		totalHits.Add(1)
+		resp := e.msg.Clone()
+		resp.Header.ID = q.Header.ID
+		if wantWire {
+			at := len(dst)
+			dst = append(dst, e.wire...)
+			binary.BigEndian.PutUint16(dst[at:], q.Header.ID)
+		}
+		return resp, dst, nil
+	}
+
+	c.misses.Add(1)
+	totalMisses.Add(1)
+	resp, err := Respond(src, cfg, q)
+	if err != nil {
+		return nil, nil, err
+	}
+	wire, err := resp.Encode()
+	if err != nil {
+		return nil, nil, err
+	}
+	c.mu.Lock()
+	if len(c.entries) >= packetCacheCap {
+		clear(c.entries)
+	}
+	c.entries[key] = &packetEntry{wire: wire, msg: resp, srcGen: gen}
+	c.mu.Unlock()
+	if wantWire {
+		dst = append(dst, wire...)
+	}
+	return resp.Clone(), dst, nil
+}

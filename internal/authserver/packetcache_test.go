@@ -1,0 +1,219 @@
+package authserver
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+
+	"github.com/dnsprivacy/lookaside/internal/dns"
+)
+
+// queryWire runs one query through the wire path and returns both forms.
+func queryWire(t *testing.T, srv *Server, id uint16, name string, qtype dns.Type) (*dns.Message, []byte) {
+	t.Helper()
+	q := dns.NewQuery(id, dns.MustName(name), qtype, true)
+	resp, wire, err := srv.HandleQueryWire(q, stub, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, wire
+}
+
+func TestPacketCacheHitsAndIDPatch(t *testing.T) {
+	srv, err := New(Config{Name: "ns"}, testZone(t, "example.com", true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.Cache() == nil {
+		t.Fatal("cache disabled by default")
+	}
+
+	r1, w1 := queryWire(t, srv, 0x1111, "www.example.com", dns.TypeA)
+	r2, w2 := queryWire(t, srv, 0x2222, "www.example.com", dns.TypeA)
+
+	if hits, misses := srv.Cache().Stats(); hits != 1 || misses != 1 {
+		t.Fatalf("stats = (%d hits, %d misses), want (1, 1)", hits, misses)
+	}
+	if r1.Header.ID != 0x1111 || r2.Header.ID != 0x2222 {
+		t.Fatalf("response IDs = %#x, %#x", r1.Header.ID, r2.Header.ID)
+	}
+	// The cached wire must be the miss wire with only the ID patched.
+	if len(w1) != len(w2) || !bytes.Equal(w1[2:], w2[2:]) {
+		t.Fatal("hit wire differs from miss wire beyond the message ID")
+	}
+	// And each wire must equal a fresh encode of its own response.
+	for i, pair := range []struct {
+		r *dns.Message
+		w []byte
+	}{{r1, w1}, {r2, w2}} {
+		enc, err := pair.r.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, pair.w) {
+			t.Fatalf("query %d: wire does not match response encoding", i)
+		}
+	}
+}
+
+func TestPacketCacheHitIsCallerOwned(t *testing.T) {
+	srv, err := New(Config{Name: "ns"}, testZone(t, "example.com", false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, _ := queryWire(t, srv, 1, "www.example.com", dns.TypeA)
+	// Simulate a resolver mutating the served response (CNAME chases append
+	// to sections); the cached copy must be unaffected.
+	r1.Answer = append(r1.Answer, r1.Answer[0])
+	r1.Answer[0].TTL = 9999
+
+	r2, _ := queryWire(t, srv, 2, "www.example.com", dns.TypeA)
+	if len(r2.Answer) != 1 || r2.Answer[0].TTL == 9999 {
+		t.Fatalf("cache entry corrupted by caller mutation: %+v", r2.Answer)
+	}
+}
+
+func TestPacketCacheKeySeparation(t *testing.T) {
+	srv, err := New(Config{Name: "ns"}, testZone(t, "example.com", true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same name, different DO bit / qtype / RD: all distinct entries.
+	qs := []*dns.Message{
+		dns.NewQuery(1, dns.MustName("www.example.com"), dns.TypeA, true),
+		dns.NewQuery(2, dns.MustName("www.example.com"), dns.TypeA, false),
+		dns.NewQuery(3, dns.MustName("www.example.com"), dns.TypeAAAA, true),
+	}
+	qs[0].EDNS.DO = true
+	// NewQuery sets RD; clearing it must key a fourth, distinct entry.
+	noRD := dns.NewQuery(4, dns.MustName("www.example.com"), dns.TypeA, true)
+	noRD.Header.RD = false
+	qs = append(qs, noRD)
+	for _, q := range qs {
+		if _, _, err := srv.HandleQueryWire(q, stub, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hits, misses := srv.Cache().Stats(); hits != 0 || misses != uint64(len(qs)) {
+		t.Fatalf("stats = (%d hits, %d misses), want (0, %d)", hits, misses, len(qs))
+	}
+}
+
+func TestPacketCacheGenerationInvalidation(t *testing.T) {
+	z := testZone(t, "example.com", false)
+	srv, err := New(Config{Name: "ns"}, z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queryWire(t, srv, 1, "www.example.com", dns.TypeA) // fill
+	queryWire(t, srv, 2, "www.example.com", dns.TypeA) // hit
+
+	// Mutate the zone: the generation bumps, the stale entry must refill.
+	if err := z.Add(dns.RR{
+		Name: dns.MustName("www.example.com"), Type: dns.TypeA, Class: dns.ClassIN, TTL: 300,
+		Data: &dns.AData{Addr: netip.MustParseAddr("192.0.2.81")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	r3, _ := queryWire(t, srv, 3, "www.example.com", dns.TypeA)
+	if len(r3.Answer) != 2 {
+		t.Fatalf("stale cached response served after zone mutation: %d answers", len(r3.Answer))
+	}
+	if hits, misses := srv.Cache().Stats(); hits != 1 || misses != 2 {
+		t.Fatalf("stats = (%d hits, %d misses), want (1, 2)", hits, misses)
+	}
+}
+
+func TestPacketCacheAddSourceInvalidates(t *testing.T) {
+	srv, err := New(Config{Name: "ns"}, testZone(t, "example.com", false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queryWire(t, srv, 1, "www.example.com", dns.TypeA)
+	srv.AddSource(testZone(t, "other.net", false))
+	queryWire(t, srv, 2, "www.example.com", dns.TypeA)
+	if hits, misses := srv.Cache().Stats(); hits != 0 || misses != 2 {
+		t.Fatalf("stats = (%d hits, %d misses), want (0, 2) after AddSource", hits, misses)
+	}
+}
+
+func TestPacketCacheRemedyKeying(t *testing.T) {
+	// A flipping Signaler models a DLV deposit landing between queries: the
+	// remedy bit is part of the key, so the TXT answer must track it with no
+	// explicit invalidation.
+	hasDLV := false
+	sig := SignalerFunc(func(dns.Name) bool { return hasDLV })
+	srv, err := New(Config{Name: "ns", TXTRemedy: true, Signaler: sig}, testZone(t, "example.com", false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	txtOf := func(r *dns.Message) string {
+		t.Helper()
+		if len(r.Answer) != 1 {
+			t.Fatalf("answer = %+v", r.Answer)
+		}
+		s, ok := ParseTXTSignal(r.Answer[0].Data.(*dns.TXTData).Strings)
+		if !ok {
+			t.Fatalf("no dlv= signal in %+v", r.Answer[0].Data)
+		}
+		return TXTSignal(s)
+	}
+
+	r1, _ := queryWire(t, srv, 1, "www.example.com", dns.TypeTXT)
+	if got := txtOf(r1); got != "dlv=0" {
+		t.Fatalf("signal = %q, want dlv=0", got)
+	}
+	hasDLV = true
+	r2, _ := queryWire(t, srv, 2, "www.example.com", dns.TypeTXT)
+	if got := txtOf(r2); got != "dlv=1" {
+		t.Fatalf("signal after deposit = %q, want dlv=1 (stale cache entry?)", got)
+	}
+}
+
+func TestPacketCacheUncacheableBypasses(t *testing.T) {
+	srv, err := New(Config{Name: "ns"}, testZone(t, "example.com", false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two questions: answered (for the first question) but never cached.
+	q := dns.NewQuery(1, dns.MustName("www.example.com"), dns.TypeA, false)
+	q.Question = append(q.Question, dns.Question{
+		Name: dns.MustName("www.example.com"), Type: dns.TypeAAAA, Class: dns.ClassIN,
+	})
+	for id := uint16(1); id <= 2; id++ {
+		q.Header.ID = id
+		if _, _, err := srv.HandleQueryWire(q, stub, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hits, misses := srv.Cache().Stats(); hits != 0 || misses != 0 {
+		t.Fatalf("uncacheable query touched the cache: (%d, %d)", hits, misses)
+	}
+}
+
+func TestPacketCacheDisabled(t *testing.T) {
+	srv, err := New(Config{Name: "ns", DisablePacketCache: true}, testZone(t, "example.com", false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.Cache() != nil {
+		t.Fatal("cache present despite DisablePacketCache")
+	}
+	r1, w1 := queryWire(t, srv, 7, "www.example.com", dns.TypeA)
+	if r1.Header.RCode != dns.RCodeNoError || len(r1.Answer) != 1 {
+		t.Fatalf("disabled-cache response = %+v", r1)
+	}
+	enc, err := r1.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, w1) {
+		t.Fatal("wire does not match response encoding with cache disabled")
+	}
+	// nil cache stats are zero and Invalidate is a no-op.
+	var nilCache *PacketCache
+	nilCache.Invalidate()
+	if h, m := nilCache.Stats(); h != 0 || m != 0 {
+		t.Fatal("nil cache reported stats")
+	}
+}

@@ -1,0 +1,147 @@
+package dns
+
+import (
+	"testing"
+)
+
+// Allocation budgets for the wire-codec hot path. These are ceilings, not
+// targets: a regression that pushes any operation above its budget fails
+// loudly. Budgets assume a warmed name-intern table (steady experiment
+// state), which the tests arrange before measuring.
+const (
+	// allocBudgetEncode: Encode allocates exactly once — the copy-out of
+	// the pooled builder's buffer. Everything else (builder, compression
+	// map) comes from the pool.
+	allocBudgetEncode = 1
+	// allocBudgetAppendEncode: AppendEncode into a pre-sized destination
+	// allocates nothing; the encoder writes through the pooled builder and
+	// appends into caller memory.
+	allocBudgetAppendEncode = 0
+	// allocBudgetWireSize: WireSize runs the encoder in measure mode —
+	// offsets advance, no bytes are written, nothing escapes.
+	allocBudgetWireSize = 0
+	// allocBudgetDecodeQuestion: the question-only decoder resolves the
+	// owner name through the intern table and returns a value type.
+	allocBudgetDecodeQuestion = 0
+	// allocBudgetDecodeMessage: a full decode of the signed sample
+	// response (question + 2 answers + authority + additional + OPT)
+	// still allocates the Message, section slices, and per-RR RData
+	// values; names come from the intern table. The reference decoder
+	// needs ~58 allocations on the same input.
+	allocBudgetDecodeMessage = 16
+)
+
+func measureAllocs(t *testing.T, name string, budget float64, fn func()) {
+	t.Helper()
+	if got := testing.AllocsPerRun(200, fn); got > budget {
+		t.Errorf("%s: %.1f allocs/op, budget %.0f", name, got, budget)
+	}
+}
+
+func TestAllocationBudgets(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation behavior")
+	}
+	m := sampleMessage()
+	wire, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the intern table so steady-state behavior is measured.
+	if _, err := DecodeMessage(wire); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, 0, len(wire)+64)
+
+	measureAllocs(t, "Encode", allocBudgetEncode, func() {
+		if _, err := m.Encode(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	measureAllocs(t, "AppendEncode", allocBudgetAppendEncode, func() {
+		if _, err := m.AppendEncode(dst[:0]); err != nil {
+			t.Fatal(err)
+		}
+	})
+	measureAllocs(t, "WireSize", allocBudgetWireSize, func() {
+		if _, err := m.WireSize(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	measureAllocs(t, "DecodeQuestion", allocBudgetDecodeQuestion, func() {
+		if _, err := DecodeQuestion(wire); err != nil {
+			t.Fatal(err)
+		}
+	})
+	measureAllocs(t, "DecodeMessage", allocBudgetDecodeMessage, func() {
+		if _, err := DecodeMessage(wire); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestDecodeQuestion pins the question-only fast decoder against the full
+// decoder for every fixture message that carries a question.
+func TestDecodeQuestion(t *testing.T) {
+	for name, m := range fixtureMessages() {
+		wire, err := m.Encode()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		q, err := DecodeQuestion(wire)
+		if err != nil {
+			t.Fatalf("%s: DecodeQuestion: %v", name, err)
+		}
+		if len(m.Question) == 0 {
+			if q != (Question{}) {
+				t.Errorf("%s: question-less message decoded to %+v", name, q)
+			}
+			continue
+		}
+		if q != m.Question[0] {
+			t.Errorf("%s: DecodeQuestion = %+v, want %+v", name, q, m.Question[0])
+		}
+	}
+	if _, err := DecodeQuestion([]byte{1, 2, 3}); err == nil {
+		t.Error("DecodeQuestion accepted a truncated header")
+	}
+}
+
+// TestMessageClone verifies clones are independent where it matters for the
+// packet cache: section slices must not alias, so appends on a served
+// response (e.g. the resolver's CNAME chase) never corrupt the cached copy.
+func TestMessageClone(t *testing.T) {
+	m := sampleMessage()
+	c := m.Clone()
+	if c == m {
+		t.Fatal("Clone returned the receiver")
+	}
+	cWire, err := c.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mWire, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(cWire) != string(mWire) {
+		t.Fatal("clone encodes differently from original")
+	}
+	// Mutating the clone's header and appending to its sections must leave
+	// the original untouched.
+	c.Header.ID ^= 0xFFFF
+	c.Answer = append(c.Answer, c.Answer[0])
+	c.EDNS.Padding = 99
+	if m.Header.ID == c.Header.ID {
+		t.Error("header mutation leaked into original")
+	}
+	if len(m.Answer) == len(c.Answer) {
+		t.Error("answer append leaked into original")
+	}
+	if m.EDNS.Padding == 99 {
+		t.Error("EDNS mutation leaked into original")
+	}
+	if (&Message{}).Clone() == nil {
+		t.Error("Clone of empty message is nil")
+	}
+}

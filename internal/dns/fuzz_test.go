@@ -2,6 +2,7 @@ package dns
 
 import (
 	"bytes"
+	"reflect"
 	"testing"
 )
 
@@ -53,6 +54,65 @@ func FuzzDecodeMessage(f *testing.F) {
 		}
 		if back.Header != m.Header {
 			t.Fatalf("header changed across roundtrip: %+v vs %+v", m.Header, back.Header)
+		}
+	})
+}
+
+// FuzzDecodeDifferential pits the zero-allocation decode fast path (interned
+// names, pre-sized sections) against the retained seed-era reference decoder
+// on arbitrary input. Both must agree on accept/reject, produce deeply equal
+// messages, and — when the result is encodable — byte-identical re-encodings.
+// Run with `go test -fuzz=FuzzDecodeDifferential ./internal/dns`.
+func FuzzDecodeDifferential(f *testing.F) {
+	q := NewQuery(1, MustName("www.example.com"), TypeA, true)
+	qw, err := q.Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(qw)
+	r := sampleMessage()
+	rw, err := r.Encode() // compressed: exercises pointer chasing in both paths
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(rw)
+	p := NewQuery(2, MustName("pad.example"), TypeTXT, true)
+	p.EDNS.Padding = 17
+	pw, err := p.Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(pw)
+	// Mixed-case owner: the fast path lowercases while copying, the
+	// reference path lowercases in MakeName; results must still agree.
+	f.Add([]byte{
+		0, 7, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0,
+		3, 'W', 'w', 'W', 7, 'E', 'x', 'A', 'm', 'P', 'l', 'E', 3, 'c', 'O', 'm', 0,
+		0, 1, 0, 1,
+	})
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0xC0, 12, 0, 1, 0, 1})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fast, fastErr := DecodeMessage(data)
+		ref, refErr := decodeMessageReference(data)
+		if (fastErr == nil) != (refErr == nil) {
+			t.Fatalf("accept/reject disagreement: fast err=%v, reference err=%v", fastErr, refErr)
+		}
+		if fastErr != nil {
+			return
+		}
+		if !reflect.DeepEqual(fast, ref) {
+			t.Fatalf("decoded messages differ:\nfast:      %#v\nreference: %#v", fast, ref)
+		}
+		fw, fastEncErr := fast.Encode()
+		rw, refEncErr := ref.Encode()
+		if (fastEncErr == nil) != (refEncErr == nil) {
+			t.Fatalf("re-encode disagreement: fast err=%v, reference err=%v", fastEncErr, refEncErr)
+		}
+		if fastEncErr == nil && !bytes.Equal(fw, rw) {
+			t.Fatalf("re-encodings differ:\nfast:      %x\nreference: %x", fw, rw)
 		}
 	})
 }

@@ -1,0 +1,45 @@
+package dns
+
+import (
+	"fmt"
+	"sync"
+)
+
+// nameInternCap bounds the intern table. A top-1M-scale universe touches a
+// few million distinct owner names; the table resets when full rather than
+// evicting, like the zone signature cache, so a pathological workload costs
+// repeated misses instead of unbounded memory.
+const nameInternCap = 1 << 20
+
+// nameIntern maps decoded presentation text (lowercase, dots between labels,
+// no trailing dot — exactly what the reference decoder hands to MakeName) to
+// the interned Name. Lookups key on a stack buffer via the compiler's
+// map[string(bytes)] optimization, so a hit allocates nothing.
+var nameIntern = struct {
+	sync.RWMutex
+	m map[string]Name
+}{m: make(map[string]Name, 1024)}
+
+// internName resolves the canonical text of a decoded name to a shared Name
+// value. On a miss the text is validated through MakeName — accepting and
+// rejecting exactly what the reference decoder does — and the result is
+// published for subsequent hits.
+func internName(text []byte) (Name, error) {
+	nameIntern.RLock()
+	n, ok := nameIntern.m[string(text)]
+	nameIntern.RUnlock()
+	if ok {
+		return n, nil
+	}
+	n, err := MakeName(string(text))
+	if err != nil {
+		return "", fmt.Errorf("decoding name: %w", err)
+	}
+	nameIntern.Lock()
+	if len(nameIntern.m) >= nameInternCap {
+		nameIntern.m = make(map[string]Name, 1024)
+	}
+	nameIntern.m[string(text)] = n
+	nameIntern.Unlock()
+	return n, nil
+}

@@ -100,6 +100,37 @@ func NewResponse(q *Message) *Message {
 // DNSSECOK reports whether the message advertises DNSSEC support (EDNS0 DO).
 func (m *Message) DNSSECOK() bool { return m.EDNS != nil && m.EDNS.DO }
 
+// Clone returns a structurally independent copy of m: fresh section slices
+// and EDNS state, so the caller may mutate headers and append to sections
+// without affecting m. RData payloads are shared — they are treated as
+// immutable throughout the codebase (zone storage hands out the same
+// pointers). Packet caches rely on this to serve one stored response to
+// many concurrent clients.
+func (m *Message) Clone() *Message {
+	c := &Message{Header: m.Header}
+	if m.Question != nil {
+		c.Question = make([]Question, len(m.Question))
+		copy(c.Question, m.Question)
+	}
+	c.Answer = cloneRRs(m.Answer)
+	c.Authority = cloneRRs(m.Authority)
+	c.Additional = cloneRRs(m.Additional)
+	if m.EDNS != nil {
+		e := *m.EDNS
+		c.EDNS = &e
+	}
+	return c
+}
+
+func cloneRRs(rrs []RR) []RR {
+	if rrs == nil {
+		return nil
+	}
+	out := make([]RR, len(rrs))
+	copy(out, rrs)
+	return out
+}
+
 // PadToBlock sets the RFC 7830 padding so the encoded message length is a
 // multiple of block (RFC 8467 recommends 128 for queries, 468 for
 // responses). Messages without EDNS gain an OPT record.

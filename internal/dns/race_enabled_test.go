@@ -1,0 +1,7 @@
+//go:build race
+
+package dns
+
+// raceEnabled reports whether the race detector is active; its
+// instrumentation changes escape analysis, so allocation-budget tests skip.
+const raceEnabled = true

@@ -32,10 +32,14 @@ const (
 const ednsFlagDO uint32 = 1 << 15
 
 // builder accumulates wire-format output with RFC 1035 name compression.
+// In measure mode nothing is written: only vlen advances, so WireSize can
+// compute exact encoded sizes (compression included) without building bytes.
 type builder struct {
 	buf        []byte
 	compress   map[Name]int
 	noCompress bool
+	measure    bool
+	vlen       int
 }
 
 // builderPool recycles builders across Encode calls; every simulated
@@ -51,6 +55,8 @@ func newBuilder() *builder {
 	b := builderPool.Get().(*builder)
 	b.buf = b.buf[:0]
 	b.noCompress = false
+	b.measure = false
+	b.vlen = 0
 	clear(b.compress)
 	return b
 }
@@ -61,10 +67,70 @@ func (b *builder) release() {
 	builderPool.Put(b)
 }
 
-func (b *builder) putUint8(v uint8)   { b.buf = append(b.buf, v) }
-func (b *builder) putUint16(v uint16) { b.buf = binary.BigEndian.AppendUint16(b.buf, v) }
-func (b *builder) putUint32(v uint32) { b.buf = binary.BigEndian.AppendUint32(b.buf, v) }
-func (b *builder) putBytes(p []byte)  { b.buf = append(b.buf, p...) }
+// len returns the current output offset in both modes; compression targets
+// depend on it, so measure-mode sizes match real encodings exactly.
+func (b *builder) len() int {
+	if b.measure {
+		return b.vlen
+	}
+	return len(b.buf)
+}
+
+func (b *builder) putUint8(v uint8) {
+	if b.measure {
+		b.vlen++
+		return
+	}
+	b.buf = append(b.buf, v)
+}
+
+func (b *builder) putUint16(v uint16) {
+	if b.measure {
+		b.vlen += 2
+		return
+	}
+	b.buf = binary.BigEndian.AppendUint16(b.buf, v)
+}
+
+func (b *builder) putUint32(v uint32) {
+	if b.measure {
+		b.vlen += 4
+		return
+	}
+	b.buf = binary.BigEndian.AppendUint32(b.buf, v)
+}
+
+func (b *builder) putBytes(p []byte) {
+	if b.measure {
+		b.vlen += len(p)
+		return
+	}
+	b.buf = append(b.buf, p...)
+}
+
+// putString appends the raw bytes of s without a []byte conversion.
+func (b *builder) putString(s string) {
+	if b.measure {
+		b.vlen += len(s)
+		return
+	}
+	b.buf = append(b.buf, s...)
+}
+
+// putZeros appends n zero octets (RFC 7830 padding) without allocating a
+// scratch slice.
+func (b *builder) putZeros(n int) {
+	if b.measure {
+		b.vlen += n
+		return
+	}
+	for ; n >= len(zeroOctets); n -= len(zeroOctets) {
+		b.buf = append(b.buf, zeroOctets[:]...)
+	}
+	b.buf = append(b.buf, zeroOctets[:n]...)
+}
+
+var zeroOctets [64]byte
 
 // putName appends a domain name, using a compression pointer to an earlier
 // occurrence when allowed. Compression targets must be at offsets
@@ -80,12 +146,12 @@ func (b *builder) putName(n Name, allowCompress bool) {
 				return
 			}
 		}
-		if off := len(b.buf); b.compress != nil && off < 0x4000 {
+		if off := b.len(); b.compress != nil && off < 0x4000 {
 			b.compress[n] = off
 		}
 		label := n.FirstLabel()
 		b.putUint8(uint8(len(label)))
-		b.putBytes([]byte(label))
+		b.putString(label)
 		n = n.Parent()
 	}
 	b.putUint8(0)
@@ -96,7 +162,28 @@ func (b *builder) putName(n Name, allowCompress bool) {
 func (m *Message) Encode() ([]byte, error) {
 	b := newBuilder()
 	defer b.release()
+	if err := m.encodeTo(b); err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(b.buf))
+	copy(out, b.buf)
+	return out, nil
+}
 
+// AppendEncode appends the wire encoding of m to dst and returns the
+// extended slice. Exchange hot paths use it with pooled buffers so encoding
+// a message costs no allocation beyond dst's own growth.
+func (m *Message) AppendEncode(dst []byte) ([]byte, error) {
+	b := newBuilder()
+	defer b.release()
+	if err := m.encodeTo(b); err != nil {
+		return nil, err
+	}
+	return append(dst, b.buf...), nil
+}
+
+// encodeTo writes the full message into b.
+func (m *Message) encodeTo(b *builder) error {
 	var flags uint16
 	h := m.Header
 	if h.QR {
@@ -144,36 +231,37 @@ func (m *Message) Encode() ([]byte, error) {
 	}
 	for _, rr := range m.Answer {
 		if err := encodeRR(b, rr); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	for _, rr := range m.Authority {
 		if err := encodeRR(b, rr); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	for _, rr := range m.Additional {
 		if err := encodeRR(b, rr); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	if m.EDNS != nil {
 		encodeOPT(b, m.EDNS)
 	}
-	out := make([]byte, len(b.buf))
-	copy(out, b.buf)
-	return out, nil
+	return nil
 }
 
-// WireSize returns the encoded size of the message in octets. It encodes the
-// message; callers measuring traffic volume should prefer keeping the bytes
-// from Encode.
+// WireSize returns the encoded size of the message in octets without
+// building the bytes: the pooled builder runs in measure mode, advancing
+// only an offset (compression pointers included), so the hot PadToBlock
+// path allocates nothing.
 func (m *Message) WireSize() (int, error) {
-	p, err := m.Encode()
-	if err != nil {
+	b := newBuilder()
+	defer b.release()
+	b.measure = true
+	if err := m.encodeTo(b); err != nil {
 		return 0, err
 	}
-	return len(p), nil
+	return b.vlen, nil
 }
 
 func encodeRR(b *builder, rr RR) error {
@@ -181,16 +269,18 @@ func encodeRR(b *builder, rr RR) error {
 	b.putUint16(uint16(rr.Type))
 	b.putUint16(uint16(rr.Class))
 	b.putUint32(rr.TTL)
-	lenOff := len(b.buf)
+	lenOff := b.len()
 	b.putUint16(0) // RDLENGTH placeholder
 	if err := encodeRData(b, rr.Data); err != nil {
 		return fmt.Errorf("encoding %s: %w", rr.Key(), err)
 	}
-	rdlen := len(b.buf) - lenOff - 2
+	rdlen := b.len() - lenOff - 2
 	if rdlen > 0xFFFF {
 		return fmt.Errorf("%w: %s", ErrRDataTooLong, rr.Key())
 	}
-	binary.BigEndian.PutUint16(b.buf[lenOff:], uint16(rdlen))
+	if !b.measure {
+		binary.BigEndian.PutUint16(b.buf[lenOff:], uint16(rdlen))
+	}
 	return nil
 }
 
@@ -213,7 +303,7 @@ func encodeOPT(b *builder, e *EDNS) {
 	b.putUint16(uint16(4 + e.Padding))
 	b.putUint16(ednsOptionPadding)
 	b.putUint16(uint16(e.Padding))
-	b.putBytes(make([]byte, e.Padding))
+	b.putZeros(e.Padding)
 }
 
 // encodeRData appends the payload in wire format. Name compression inside
@@ -260,7 +350,7 @@ func encodeRData(b *builder, d RData) error {
 				return fmt.Errorf("%w: TXT string exceeds 255 octets", ErrBadRData)
 			}
 			b.putUint8(uint8(len(s)))
-			b.putBytes([]byte(s))
+			b.putString(s)
 		}
 	case *DNSKEYData:
 		b.putUint16(v.Flags)
@@ -369,10 +459,13 @@ func encodeTypeBitmap(b *builder, types []Type) {
 	flush()
 }
 
-// parser consumes wire-format input.
+// parser consumes wire-format input. reference selects the original
+// allocate-per-label name decoding; the default fast path interns names.
+// Both must agree on every input (pinned by FuzzDecodeDifferential).
 type parser struct {
-	data []byte
-	off  int
+	data      []byte
+	off       int
+	reference bool
 }
 
 func (p *parser) remaining() int { return len(p.data) - p.off }
@@ -414,8 +507,83 @@ func (p *parser) bytes(n int) ([]byte, error) {
 }
 
 // name reads a possibly-compressed domain name starting at the current
-// offset, following pointers with a hop limit.
+// offset, following pointers with a hop limit. The fast path assembles the
+// lowercased presentation text in a stack buffer and resolves it through the
+// intern table, so decoding a hot name allocates nothing; validation falls
+// back to MakeName, keeping accepted inputs and errors identical to the
+// reference path.
 func (p *parser) name() (Name, error) {
+	if p.reference {
+		return p.nameReference()
+	}
+	// text holds the lowercased dotted form including the trailing dot;
+	// its length equals the wire-format name length, bounded by maxNameLen.
+	var text [maxNameLen]byte
+	n := 0
+	off := p.off
+	jumped := false
+	hops := 0
+	total := 0
+	for {
+		if off >= len(p.data) {
+			return "", ErrTruncatedMessage
+		}
+		c := p.data[off]
+		switch {
+		case c == 0:
+			if !jumped {
+				p.off = off + 1
+			}
+			if n == 0 {
+				return Root, nil
+			}
+			// Strip the trailing separator: the reference decoder joins
+			// labels with dots *between* them before MakeName, and for
+			// hostile labels that themselves contain '.' the two texts
+			// must stay byte-identical to accept and reject alike.
+			return internName(text[:n-1])
+		case c&0xC0 == 0xC0:
+			if off+1 >= len(p.data) {
+				return "", ErrTruncatedMessage
+			}
+			ptr := int(binary.BigEndian.Uint16(p.data[off:]) & 0x3FFF)
+			if !jumped {
+				p.off = off + 2
+				jumped = true
+			}
+			hops++
+			if hops > 32 || ptr >= off {
+				return "", ErrBadPointer
+			}
+			off = ptr
+		case c&0xC0 != 0:
+			return "", fmt.Errorf("%w: label type %#x", ErrBadPointer, c&0xC0)
+		default:
+			l := int(c)
+			if off+1+l > len(p.data) {
+				return "", ErrTruncatedMessage
+			}
+			total += l + 1
+			if total > maxNameLen {
+				return "", ErrNameTooLong
+			}
+			for _, ch := range p.data[off+1 : off+1+l] {
+				if ch >= 'A' && ch <= 'Z' {
+					ch += 'a' - 'A'
+				}
+				text[n] = ch
+				n++
+			}
+			text[n] = '.'
+			n++
+			off += 1 + l
+		}
+	}
+}
+
+// nameReference is the seed decoder's name path, retained as the
+// differential-fuzz oracle for the interning fast path.
+func (p *parser) nameReference() (Name, error) {
 	var labels []string
 	off := p.off
 	jumped := false
@@ -481,7 +649,17 @@ func joinLabels(labels []string) string {
 // DecodeMessage parses a wire-format DNS message. OPT records found in the
 // additional section are lifted into Message.EDNS.
 func DecodeMessage(data []byte) (*Message, error) {
-	p := &parser{data: data}
+	return decodeMessage(data, false)
+}
+
+// decodeMessageReference decodes with the seed-era per-label allocation
+// path; FuzzDecodeDifferential uses it as the oracle for the fast path.
+func decodeMessageReference(data []byte) (*Message, error) {
+	return decodeMessage(data, true)
+}
+
+func decodeMessage(data []byte, reference bool) (*Message, error) {
+	p := &parser{data: data, reference: reference}
 	m := &Message{}
 
 	id, err := p.uint16()
@@ -522,6 +700,12 @@ func DecodeMessage(data []byte) (*Message, error) {
 		return nil, err
 	}
 
+	if qd > 0 {
+		// Pre-size from the header count, clamped by what the remaining
+		// bytes could possibly hold (a question is at least 5 octets), so
+		// a forged count cannot force a huge allocation.
+		m.Question = make([]Question, 0, clampCount(int(qd), p.remaining()/5+1))
+	}
 	for i := 0; i < int(qd); i++ {
 		qname, err := p.name()
 		if err != nil {
@@ -540,6 +724,11 @@ func DecodeMessage(data []byte) (*Message, error) {
 
 	decodeSection := func(count int, section string) ([]RR, error) {
 		var rrs []RR
+		if count > 0 {
+			// An RR is at least 11 octets (root owner, fixed header, empty
+			// RDATA); clamp like the question section.
+			rrs = make([]RR, 0, clampCount(count, p.remaining()/11+1))
+		}
 		for i := 0; i < count; i++ {
 			rr, isOPT, err := decodeRR(p, m)
 			if err != nil {
@@ -548,6 +737,11 @@ func DecodeMessage(data []byte) (*Message, error) {
 			if !isOPT {
 				rrs = append(rrs, rr)
 			}
+		}
+		if len(rrs) == 0 {
+			// Keep nil sections nil (an OPT-only additional section must
+			// decode identically to the seed path).
+			return nil, nil
 		}
 		return rrs, nil
 	}
@@ -561,6 +755,42 @@ func DecodeMessage(data []byte) (*Message, error) {
 		return nil, err
 	}
 	return m, nil
+}
+
+// clampCount bounds a header-declared entry count by a plausibility limit.
+func clampCount(count, limit int) int {
+	if count > limit {
+		return limit
+	}
+	return count
+}
+
+// DecodeQuestion parses only the header and first question of a wire
+// message — everything exchange routing and capture need — without
+// materializing resource records. A message without questions yields the
+// zero Question and no error; truncated or malformed question bytes fail
+// exactly as DecodeMessage would.
+func DecodeQuestion(data []byte) (Question, error) {
+	if len(data) < 12 {
+		return Question{}, ErrTruncatedMessage
+	}
+	if binary.BigEndian.Uint16(data[4:6]) == 0 {
+		return Question{}, nil
+	}
+	p := &parser{data: data, off: 12}
+	qname, err := p.name()
+	if err != nil {
+		return Question{}, fmt.Errorf("question 0: %w", err)
+	}
+	qtype, err := p.uint16()
+	if err != nil {
+		return Question{}, err
+	}
+	qclass, err := p.uint16()
+	if err != nil {
+		return Question{}, err
+	}
+	return Question{Name: qname, Type: Type(qtype), Class: Class(qclass)}, nil
 }
 
 // decodeRR parses one resource record; OPT records are absorbed into

@@ -3,6 +3,7 @@ package dns
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"math/rand"
 	"net/netip"
 	"reflect"
@@ -88,9 +89,9 @@ func TestNameCompressionSavesBytes(t *testing.T) {
 	}
 }
 
-func TestAllRDataRoundTrip(t *testing.T) {
-	owner := MustName("test.example.com")
-	payloads := []RData{
+// fixturePayloads covers every supported RDATA shape.
+func fixturePayloads() []RData {
+	return []RData{
 		&AData{Addr: netip.MustParseAddr("203.0.113.7")},
 		&AAAAData{Addr: netip.MustParseAddr("2001:db8::1")},
 		&NSData{Target: MustName("ns.example.net")},
@@ -118,7 +119,11 @@ func TestAllRDataRoundTrip(t *testing.T) {
 		},
 		&RawData{T: Type(999), Data: []byte{9, 9, 9}},
 	}
-	for _, d := range payloads {
+}
+
+func TestAllRDataRoundTrip(t *testing.T) {
+	owner := MustName("test.example.com")
+	for _, d := range fixturePayloads() {
 		t.Run(d.RType().String()+"/"+d.String(), func(t *testing.T) {
 			m := &Message{
 				Header:   Header{ID: 1, QR: true},
@@ -339,18 +344,48 @@ func TestEncodeBadAddressFamilies(t *testing.T) {
 	}
 }
 
+// fixtureMessages returns every message shape the codec tests exercise:
+// the compressed sample response, one answer message per RDATA fixture,
+// queries with and without EDNS, a padded query, and degenerate headers.
+func fixtureMessages() map[string]*Message {
+	owner := MustName("test.example.com")
+	fixtures := map[string]*Message{
+		"sample":        sampleMessage(),
+		"query-edns":    NewQuery(1, MustName("example.com"), TypeA, true),
+		"query-plain":   NewQuery(2, MustName("example.com"), TypeDLV, false),
+		"header-only":   {Header: Header{ID: 3, QR: true, AA: true, RCode: RCodeNXDomain}},
+		"header-zbit":   {Header: Header{ID: 4, QR: true, Z: true, AD: true, CD: true}},
+		"root-question": {Question: []Question{{Name: Root, Type: TypeNS, Class: ClassIN}}},
+	}
+	padded := NewQuery(5, MustName("pad-me.example.com"), TypeA, true)
+	padded.EDNS.Padding = 37
+	fixtures["query-padded"] = padded
+	for i, d := range fixturePayloads() {
+		m := &Message{
+			Header:   Header{ID: 6, QR: true, AA: true},
+			Question: []Question{{Name: owner, Type: d.RType(), Class: ClassIN}},
+			Answer:   []RR{{Name: owner, Type: d.RType(), Class: ClassIN, TTL: 60, Data: d}},
+		}
+		fixtures[fmt.Sprintf("rdata-%d-%s", i, d.RType())] = m
+	}
+	return fixtures
+}
+
 func TestWireSizeMatchesEncode(t *testing.T) {
-	m := sampleMessage()
-	n, err := m.WireSize()
-	if err != nil {
-		t.Fatal(err)
-	}
-	wire, err := m.Encode()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if n != len(wire) {
-		t.Fatalf("WireSize = %d, Encode len = %d", n, len(wire))
+	for name, m := range fixtureMessages() {
+		t.Run(name, func(t *testing.T) {
+			n, err := m.WireSize()
+			if err != nil {
+				t.Fatal(err)
+			}
+			wire, err := m.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != len(wire) {
+				t.Fatalf("WireSize = %d, Encode len = %d", n, len(wire))
+			}
+		})
 	}
 }
 

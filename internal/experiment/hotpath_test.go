@@ -1,0 +1,52 @@
+package experiment
+
+import (
+	"testing"
+
+	"github.com/dnsprivacy/lookaside/internal/simnet"
+)
+
+// TestHotPathOutputsByteIdentical pins the PR's invariance bar: experiment
+// outputs with the exchange fast path and authoritative packet caches
+// enabled (the default) are byte-identical to the seed-era reference path
+// (full encode/decode on both sides of every exchange, responses rebuilt
+// and re-encoded per query). Rendered strings are compared, so any drift in
+// leak accounting, sizes, timings, or adversary metrics fails loudly.
+func TestHotPathOutputsByteIdentical(t *testing.T) {
+	p := Params{Seed: 7, Scale: 2000}
+
+	run := func() map[string]string {
+		out := map[string]string{}
+		out["table1"] = Table1().String()
+		t2, err := Table2()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out["table2"] = t2.String()
+		lc, err := LeakCurve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out["fig8"] = lc.Fig8().String()
+		out["fig9"] = lc.Fig9().String()
+		adv, err := Adversary(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out["adversary"] = adv.String()
+		return out
+	}
+
+	fast := run()
+
+	simnet.SetReferencePath(true)
+	defer simnet.SetReferencePath(false)
+	reference := run()
+
+	for name, want := range reference {
+		if got := fast[name]; got != want {
+			t.Errorf("%s output differs between fast and reference paths:\nfast:\n%s\nreference:\n%s",
+				name, got, want)
+		}
+	}
+}

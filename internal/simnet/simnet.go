@@ -76,6 +76,32 @@ func (f HandlerFunc) HandleQuery(q *dns.Message, from netip.Addr) (*dns.Message,
 	return f(q, from)
 }
 
+// WireResponder is an optional Handler extension for servers that keep a
+// packet cache of encoded responses: HandleQueryWire returns the decoded
+// response (caller-owned) together with its wire bytes appended to dst, so
+// the exchange path gets the response size without encoding. The wire bytes
+// must be exactly what resp.Encode() would produce.
+type WireResponder interface {
+	Handler
+	HandleQueryWire(q *dns.Message, from netip.Addr, dst []byte) (resp *dns.Message, wire []byte, err error)
+}
+
+// referencePath switches every exchange to the seed codepath: full encode
+// plus decode on both sides, no WireResponder fast path. Equivalence tests
+// flip it to pin that the fast path changes no experiment output.
+var referencePath atomic.Bool
+
+// SetReferencePath toggles the seed-era exchange path (see referencePath).
+func SetReferencePath(on bool) { referencePath.Store(on) }
+
+// wireBufPool recycles per-exchange encode buffers.
+var wireBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 1024)
+		return &b
+	},
+}
+
 // Exchanger is the client-side transport interface the recursive resolver
 // uses; Network implements it, as does the real-UDP transport.
 type Exchanger interface {
@@ -287,11 +313,59 @@ func (n *Network) admit(dst netip.Addr) (*serverEntry, error) {
 	return entry, nil
 }
 
-// roundTrip pushes one query through the wire codec to a server handler and
-// decodes the response, returning the first question and the wire sizes for
-// capture accounting. It touches no clock and no shared counters, so shards
-// and the global network share it.
+// roundTrip pushes one query through the wire codec to a server handler,
+// returning the first question and the wire sizes for capture accounting.
+// It touches no clock and no shared counters, so shards and the global
+// network share it.
+//
+// The fast path encodes into a pooled buffer, extracts the question with
+// the single-pass DecodeQuestion, hands the caller's message to the handler
+// (handlers treat queries as read-only, and every handler-built response
+// already decodes to itself — pinned by the experiment equivalence test),
+// and skips re-decoding the server's own response. Tap and capture
+// semantics are unchanged: the question, sizes, rcode, and Z bit fed to
+// taps are byte-derived exactly as before.
 func roundTrip(entry *serverEntry, src netip.Addr, q *dns.Message) (resp *dns.Message, question dns.Question, qLen, rLen int, err error) {
+	if referencePath.Load() {
+		return roundTripReference(entry, src, q)
+	}
+	bufp := wireBufPool.Get().(*[]byte)
+	defer func() {
+		wireBufPool.Put(bufp)
+	}()
+	qWire, err := q.AppendEncode((*bufp)[:0])
+	if err != nil {
+		return nil, question, 0, 0, fmt.Errorf("simnet: encoding query: %w", err)
+	}
+	*bufp = qWire[:0] // keep grown capacity pooled
+	qLen = len(qWire)
+	question, err = dns.DecodeQuestion(qWire)
+	if err != nil {
+		return nil, question, 0, 0, fmt.Errorf("simnet: server-side decode: %w", err)
+	}
+	if wr, ok := entry.handler.(WireResponder); ok {
+		resp, rWire, err := wr.HandleQueryWire(q, src, qWire[:0])
+		if err != nil {
+			return nil, question, 0, 0, fmt.Errorf("simnet: server %s: %w", entry.name, err)
+		}
+		*bufp = rWire[:0]
+		return resp, question, qLen, len(rWire), nil
+	}
+	handled, err := entry.handler.HandleQuery(q, src)
+	if err != nil {
+		return nil, question, 0, 0, fmt.Errorf("simnet: server %s: %w", entry.name, err)
+	}
+	rWire, err := handled.AppendEncode(qWire[:0])
+	if err != nil {
+		return nil, question, 0, 0, fmt.Errorf("simnet: encoding response: %w", err)
+	}
+	*bufp = rWire[:0]
+	return handled, question, qLen, len(rWire), nil
+}
+
+// roundTripReference is the seed exchange path: encode and decode on both
+// sides of the wire. SetReferencePath(true) routes every exchange here.
+func roundTripReference(entry *serverEntry, src netip.Addr, q *dns.Message) (resp *dns.Message, question dns.Question, qLen, rLen int, err error) {
 	qWire, err := q.Encode()
 	if err != nil {
 		return nil, question, 0, 0, fmt.Errorf("simnet: encoding query: %w", err)

@@ -38,9 +38,21 @@ func poolNSName(pool int, tld string) (dns.Name, error) {
 // buildHosting delegates every SLD from its TLD zone to a hosting pool and
 // registers the pool servers.
 func (u *Universe) buildHosting() error {
-	// Register pool servers first.
+	// Register pool servers first. Each pool carries its own packet cache
+	// and a prebuilt remedy config (the registry exists by this point in
+	// the build sequence).
 	for p := 0; p < u.hostPools; p++ {
-		h := &hostingHandler{u: u, pool: p}
+		h := &hostingHandler{
+			u:    u,
+			pool: p,
+			cfg: authserver.Config{
+				Name:       fmt.Sprintf("pool%d", p),
+				TXTRemedy:  u.opts.TXTRemedy,
+				ZBitRemedy: u.opts.ZBitRemedy,
+				Signaler:   u.Registry,
+			},
+			cache: authserver.NewPacketCache(),
+		}
 		lat := hostLatency + time.Duration(hash64(fmt.Sprint("pool", p))%25)*time.Millisecond
 		name := fmt.Sprintf("pool%d.hosting.example", p)
 		if err := u.Net.Register(poolAddr(p), name, simnet.RoleSLD, lat, h); err != nil {
@@ -202,35 +214,54 @@ func siteAddr6(name dns.Name) netip.Addr {
 }
 
 // hostingHandler serves all SLD zones of one pool, materializing them on
-// demand. It applies the remedy configuration of the universe.
+// demand. It applies the remedy configuration of the universe and caches
+// encoded responses per pool. Cached entries stay valid across the zone
+// cache's evict-and-rebuild cycle because rebuilding a zone replays the
+// same deterministic mutation sequence, yielding the same generation.
 type hostingHandler struct {
-	u    *Universe
-	pool int
+	u     *Universe
+	pool  int
+	cfg   authserver.Config
+	cache *authserver.PacketCache
 }
 
 // HandleQuery implements simnet.Handler.
 func (h *hostingHandler) HandleQuery(q *dns.Message, _ netip.Addr) (*dns.Message, error) {
-	resp := dns.NewResponse(q)
+	resp, _, err := h.respond(q, nil, false)
+	return resp, err
+}
+
+// HandleQueryWire implements simnet.WireResponder.
+func (h *hostingHandler) HandleQueryWire(q *dns.Message, _ netip.Addr, dst []byte) (*dns.Message, []byte, error) {
+	return h.respond(q, dst, true)
+}
+
+func (h *hostingHandler) respond(q *dns.Message, dst []byte, wantWire bool) (*dns.Message, []byte, error) {
 	if len(q.Question) == 0 {
-		resp.Header.RCode = dns.RCodeFormErr
-		return resp, nil
+		return h.refuse(q, dns.RCodeFormErr, dst, wantWire)
 	}
 	qname := q.Question[0].Name
 	d, ok := h.u.domainOf(qname)
 	if !ok || h.u.pool(d.Name) != h.pool {
-		resp.Header.RCode = dns.RCodeRefused
-		return resp, nil
+		return h.refuse(q, dns.RCodeRefused, dst, wantWire)
 	}
 	z, err := h.u.sldZone(d)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return authserver.Respond(z, authserver.Config{
-		Name:       fmt.Sprintf("pool%d", h.pool),
-		TXTRemedy:  h.u.opts.TXTRemedy,
-		ZBitRemedy: h.u.opts.ZBitRemedy,
-		Signaler:   h.u.Registry,
-	}, q)
+	return h.cache.Respond(z, h.cfg, q, dst, wantWire)
+}
+
+func (h *hostingHandler) refuse(q *dns.Message, rcode dns.RCode, dst []byte, wantWire bool) (*dns.Message, []byte, error) {
+	resp := dns.NewResponse(q)
+	resp.Header.RCode = rcode
+	if wantWire {
+		var err error
+		if dst, err = resp.AppendEncode(dst); err != nil {
+			return nil, nil, err
+		}
+	}
+	return resp, dst, nil
 }
 
 // domainOf maps a query name to the population SLD owning it (the last two

@@ -69,6 +69,11 @@ type Zone struct {
 	// cuts marks delegation points (child zone apexes).
 	cuts map[dns.Name]bool
 
+	// gen counts content mutations (inserts, delegations, signing state).
+	// Packet caches key cached responses on it so a mutated zone — e.g.
+	// the DLV registry after a Deposit — is never served stale.
+	gen uint64
+
 	signed     bool
 	nsec3      bool
 	nsec3Salt  []byte
@@ -132,6 +137,15 @@ func New(cfg Config) (*Zone, error) {
 // Apex returns the zone origin.
 func (z *Zone) Apex() dns.Name { return z.apex }
 
+// Generation returns the zone's mutation counter; it changes whenever zone
+// content (records, cuts, signing state) changes. Authoritative packet
+// caches validate cached responses against it.
+func (z *Zone) Generation() uint64 {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	return z.gen
+}
+
 // IsSigned reports whether Sign has been called.
 func (z *Zone) IsSigned() bool {
 	z.mu.RLock()
@@ -183,6 +197,7 @@ func (z *Zone) Delegate(child dns.Name, servers []dns.Name, glue []dns.RR) error
 	}
 	z.mu.Lock()
 	defer z.mu.Unlock()
+	z.gen++
 	z.cuts[child] = true
 	for _, s := range servers {
 		z.insertLocked(dns.RR{
@@ -217,6 +232,7 @@ func (z *Zone) AttachDS(child dns.Name, ds ...*dns.DSData) error {
 
 // insertLocked adds rr and indexes its owner name. Callers hold z.mu.
 func (z *Zone) insertLocked(rr dns.RR) {
+	z.gen++
 	key := rr.Key()
 	z.records[key] = append(z.records[key], rr)
 	if !dns.HasType(z.typesByName[rr.Name], rr.Type) {
@@ -259,6 +275,7 @@ func (z *Zone) Sign(cfg SignConfig) error {
 	}
 	z.mu.Lock()
 	defer z.mu.Unlock()
+	z.gen++
 	z.signed = true
 	z.ksk, z.zsk = cfg.KSK, cfg.ZSK
 	z.inception, z.expiration = cfg.Inception, cfg.Expiration
