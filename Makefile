@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet cover bench bench-hotpath fuzz experiments experiments-full clean
+.PHONY: all build test vet cover bench bench-hotpath bench-faults fuzz experiments experiments-full clean
 
 all: build vet test
 
@@ -42,9 +42,27 @@ bench-hotpath:
 		END { print "\n}" }' BENCH_hotpath.txt > BENCH_hotpath.json
 	@cat BENCH_hotpath.json
 
-# Short fuzzing pass over every Fuzz* target (wire decoder, zone parser).
-# -fuzz accepts a single target per run, so discover and loop.
-FUZZ_PKGS = ./internal/dns ./internal/zonefile
+# Fault benchmarks: the E17 retry-amplification experiment end to end plus
+# the per-exchange cost of the fault decision path. Emits the raw output to
+# BENCH_faults.txt and a flat {benchmark: {metric: value}} summary to
+# BENCH_faults.json.
+bench-faults:
+	$(GO) test -run XXX -bench 'BenchmarkFaultsExperiment|BenchmarkFaultedExchange' \
+		-benchmem -benchtime $(BENCHTIME) . | tee BENCH_faults.txt
+	@awk 'BEGIN { printf "{"; n = 0 } \
+		/^Benchmark/ { \
+			if (n++) printf ","; \
+			printf "\n  \"%s\": {\"ns_per_op\": %s", $$1, $$3; \
+			for (i = 5; i < NF; i += 2) printf ", \"%s\": %s", $$(i+1), $$i; \
+			printf "}" \
+		} \
+		END { print "\n}" }' BENCH_faults.txt > BENCH_faults.json
+	@cat BENCH_faults.json
+
+# Short fuzzing pass over every Fuzz* target (wire decoder, zone parser,
+# fault schedules). -fuzz accepts a single target per run, so discover and
+# loop.
+FUZZ_PKGS = ./internal/dns ./internal/zonefile ./internal/faults
 
 fuzz:
 	@set -e; for pkg in $(FUZZ_PKGS); do \
@@ -63,4 +81,5 @@ experiments-full:
 
 clean:
 	$(GO) clean ./...
-	rm -f test_output.txt bench_output.txt BENCH_hotpath.txt BENCH_hotpath.json
+	rm -f test_output.txt bench_output.txt BENCH_hotpath.txt BENCH_hotpath.json \
+		BENCH_faults.txt BENCH_faults.json

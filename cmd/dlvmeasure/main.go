@@ -37,7 +37,7 @@ var experimentNames = []string{
 	"table1", "table2", "fig8", "fig9", "order", "table3", "utility",
 	"table4", "table5", "fig10", "fig11", "fig12", "deployment",
 	"dictionary", "nsec3", "fleet", "registry-size", "qname-min",
-	"phaseout", "policy", "padding", "enumeration", "adversary",
+	"phaseout", "policy", "padding", "enumeration", "adversary", "faults",
 }
 
 func run(args []string) error {
@@ -50,6 +50,10 @@ func run(args []string) error {
 		"concurrent experiments and sweep points; results are identical at any setting")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	faultSeed := fs.Int64("faultseed", 0, "fault-schedule seed for -exp faults (0 = -seed)")
+	loss := fs.Float64("loss", 0, "registry-link drop probability of the E17 loss condition (0 = 0.30)")
+	dlvOutage := fs.Float64("dlv-outage", 0, "down fraction of each flap period in the E17 flap condition (0 = 0.5)")
+	breaker := fs.Bool("breaker", true, "include the DLV circuit-breaker variants in -exp faults")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -79,6 +83,12 @@ func run(args []string) error {
 		}()
 	}
 	p := experiment.Params{Seed: *seed, Scale: *scale, Workers: *workers}
+	knobs := experiment.FaultKnobs{
+		FaultSeed:      *faultSeed,
+		Loss:           *loss,
+		OutageFraction: *dlvOutage,
+		DisableBreaker: !*breaker,
+	}
 
 	selected := map[string]bool{}
 	if *exp == "all" {
@@ -114,7 +124,7 @@ func run(args []string) error {
 		name := name
 		jobs = append(jobs, experiment.Job{
 			Name: name,
-			Run:  func() (fmt.Stringer, error) { return dispatch(name, p, *traceMinutes) },
+			Run:  func() (fmt.Stringer, error) { return dispatch(name, p, *traceMinutes, knobs) },
 		})
 	}
 	if len(selected) > 0 {
@@ -142,7 +152,7 @@ func run(args []string) error {
 
 // dispatch runs one named experiment. fig8/fig9 share a sweep but are
 // dispatched separately so either can be regenerated alone.
-func dispatch(name string, p experiment.Params, traceMinutes int) (fmt.Stringer, error) {
+func dispatch(name string, p experiment.Params, traceMinutes int, knobs experiment.FaultKnobs) (fmt.Stringer, error) {
 	switch name {
 	case "table1":
 		return experiment.Table1(), nil
@@ -209,6 +219,8 @@ func dispatch(name string, p experiment.Params, traceMinutes int) (fmt.Stringer,
 		return experiment.Enumeration(p)
 	case "adversary":
 		return experiment.Adversary(p)
+	case "faults":
+		return experiment.Faults(p, knobs)
 	default:
 		return nil, fmt.Errorf("no such experiment")
 	}

@@ -25,6 +25,7 @@ import (
 	"github.com/dnsprivacy/lookaside/internal/dataset"
 	"github.com/dnsprivacy/lookaside/internal/dns"
 	"github.com/dnsprivacy/lookaside/internal/dnssec"
+	"github.com/dnsprivacy/lookaside/internal/faults"
 	"github.com/dnsprivacy/lookaside/internal/resolver"
 	"github.com/dnsprivacy/lookaside/internal/simnet"
 	"github.com/dnsprivacy/lookaside/internal/udptransport"
@@ -54,6 +55,10 @@ func run(args []string) error {
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0),
 		"resolver instances serving queries concurrently (1 = single-threaded)")
 	verbose := fs.Bool("v", false, "log every query observed at the DLV registry")
+	faultSeed := fs.Int64("faultseed", 0, "fault-schedule seed (0 = -seed)")
+	loss := fs.Float64("loss", 0, "drop probability on the DLV registry link (0 = healthy)")
+	dlvOutage := fs.Bool("dlv-outage", false, "take the DLV registry down for the whole run (the retired-registry scenario)")
+	breaker := fs.Bool("breaker", false, "serve with the resilient resolver and its DLV circuit breaker")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -109,7 +114,28 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown remedy %q", *remedy)
 	}
-	handler, stats, err := buildHandler(u, cfg, *workers)
+	var plan *faults.Plan
+	if *loss > 0 || *dlvOutage {
+		fseed := *faultSeed
+		if fseed == 0 {
+			fseed = *seed
+		}
+		p := faults.Plan{Seed: fseed, LossRate: *loss}
+		if *dlvOutage {
+			p.Outages = []faults.Window{{Start: 0, End: 1 << 62}}
+		}
+		plan = &p
+		u.Net.SetFaultPlan(universe.RegistryAddr, p)
+		fmt.Printf("resolved: fault plan on registry link: loss=%.2f outage=%t seed=%d\n",
+			*loss, *dlvOutage, fseed)
+	}
+	if *breaker {
+		cfg.Resilience = &resolver.Resilience{
+			TCPFallback: true,
+			Breaker:     &faults.BreakerConfig{},
+		}
+	}
+	handler, stats, err := buildHandler(u, cfg, *workers, plan)
 	if err != nil {
 		return err
 	}
@@ -161,7 +187,9 @@ func run(args []string) error {
 // resolver instances each run on a private simnet shard (own virtual clock
 // and caches) but share one RRSIG verification cache, and incoming queries
 // round-robin across them. The returned stats func merges all instances.
-func buildHandler(u *universe.Universe, cfg resolver.Config, workers int) (simnet.Handler, func() resolver.Stats, error) {
+// A non-nil fault plan is installed on every shard (fault state is per
+// clock domain, so the global network's plan does not reach shards).
+func buildHandler(u *universe.Universe, cfg resolver.Config, workers int, plan *faults.Plan) (simnet.Handler, func() resolver.Stats, error) {
 	if workers <= 1 {
 		r, err := u.StartResolver(cfg)
 		if err != nil {
@@ -175,7 +203,11 @@ func buildHandler(u *universe.Universe, cfg resolver.Config, workers int) (simne
 		mus: make([]sync.Mutex, workers),
 	}
 	for i := range pool.res {
-		r, err := u.StartShardResolver(u.NewShard(), cfg)
+		sh := u.NewShard()
+		if plan != nil {
+			sh.SetFaultPlan(universe.RegistryAddr, *plan)
+		}
+		r, err := u.StartShardResolver(sh, cfg)
 		if err != nil {
 			return nil, nil, fmt.Errorf("starting shard resolver %d: %w", i, err)
 		}
@@ -215,4 +247,8 @@ func (p *resolverPool) stats() resolver.Stats {
 func printStats(st resolver.Stats) {
 	fmt.Printf("resolutions=%d dlv-queries=%d suppressed=%d remedy-skipped=%d cache-hits=%d\n",
 		st.Resolutions, st.DLVQueries, st.DLVSuppressed, st.DLVSkippedByRemedy, st.CacheHits)
+	if st.Retries+st.TCPFallbacks+st.DLVFailures+st.BreakerOpens+st.BreakerSkips > 0 {
+		fmt.Printf("retries=%d tcp-fallbacks=%d dlv-failures=%d breaker-opens=%d breaker-skips=%d\n",
+			st.Retries, st.TCPFallbacks, st.DLVFailures, st.BreakerOpens, st.BreakerSkips)
+	}
 }

@@ -1,0 +1,104 @@
+package lookaside
+
+// Fault-layer benchmarks: the E17 retry-amplification experiment end to end
+// (`make bench-faults` emits these as BENCH_faults.json) and the per-exchange
+// cost of the fault decision path — none installed, an all-zero metering
+// plan, and an active loss plan — pinning that fault support stays off the
+// clean hot path.
+
+import (
+	"testing"
+
+	"github.com/dnsprivacy/lookaside/internal/dns"
+	"github.com/dnsprivacy/lookaside/internal/experiment"
+	"github.com/dnsprivacy/lookaside/internal/faults"
+)
+
+// BenchmarkFaultsExperiment runs E17 at 1% scale and reports its headline
+// numbers: registry-visible sends per lookup under a full outage with and
+// without the circuit breaker, and the no-breaker amplification factor.
+func BenchmarkFaultsExperiment(b *testing.B) {
+	var last *experiment.FaultsResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Faults(benchParams, experiment.FaultKnobs{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	cell := func(condition string, breaker bool) experiment.FaultCell {
+		for _, c := range last.Cells {
+			if c.Condition == condition && c.Breaker == breaker {
+				return c
+			}
+		}
+		b.Fatalf("no cell %s/breaker=%v", condition, breaker)
+		return experiment.FaultCell{}
+	}
+	healthy := cell("healthy", false)
+	outage := cell("outage", false)
+	protected := cell("outage", true)
+	b.ReportMetric(healthy.SendsPerLookup, "sends/lookup@healthy")
+	b.ReportMetric(outage.SendsPerLookup, "sends/lookup@outage")
+	b.ReportMetric(protected.SendsPerLookup, "sends/lookup@breaker")
+	b.ReportMetric(outage.Amplification, "amplification@outage")
+}
+
+// BenchmarkFaultedExchange measures one warm authoritative exchange with the
+// fault layer in three states. "none" is the baseline hot path (one atomic
+// load); "metered" installs an all-zero plan, paying the per-exchange draw
+// without perturbing delivery; "loss" runs an active 10% loss plan, where
+// dropped exchanges surface as transient errors.
+func BenchmarkFaultedExchange(b *testing.B) {
+	run := func(b *testing.B, plan *faults.Plan, tolerate bool) {
+		exchange, net := newExchangeBench(b, false)
+		if plan != nil {
+			net.SetFaultPlan(addr4(192, 0, 2, 53), *plan)
+		}
+		www := dns.MustName("www.example.com")
+		q := func(id uint16) {
+			if !tolerate {
+				exchange(id)
+				return
+			}
+			// Active loss: drops are expected, anything else is not.
+			qmsg := dns.NewQuery(id, www, dns.TypeA, true)
+			_, err := net.Exchange(addr4(10, 0, 0, 1), addr4(192, 0, 2, 53), qmsg)
+			if err != nil && !faults.IsTransient(err) {
+				b.Fatal(err)
+			}
+		}
+		q(0) // warm the packet cache and intern table
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q(uint16(i))
+		}
+	}
+	b.Run("none", func(b *testing.B) { run(b, nil, false) })
+	b.Run("metered", func(b *testing.B) { run(b, &faults.Plan{Seed: 1}, false) })
+	b.Run("loss", func(b *testing.B) { run(b, &faults.Plan{Seed: 1, LossRate: 0.1}, true) })
+}
+
+// TestFaultedExchangeAllocationBudget pins that a metered (zero-plan)
+// exchange stays within the same allocation budget as a plan-free one: the
+// fault layer adds decisions, not allocations.
+func TestFaultedExchangeAllocationBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation behavior")
+	}
+	exchange, net := newExchangeBench(t, false)
+	net.SetFaultPlan(addr4(192, 0, 2, 53), faults.Plan{Seed: 1})
+	exchange(0) // warm up
+	id := uint16(1)
+	got := testing.AllocsPerRun(200, func() {
+		exchange(id)
+		id++
+	})
+	if got > allocBudgetExchange {
+		t.Errorf("one warm metered exchange = %.1f allocs, budget %d", got, allocBudgetExchange)
+	}
+	if _, ok := net.FaultStats(addr4(192, 0, 2, 53)); !ok {
+		t.Fatal("fault stats vanished")
+	}
+}

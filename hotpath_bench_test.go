@@ -26,8 +26,9 @@ import (
 const allocBudgetExchange = 10
 
 // newExchangeBench wires one signed zone behind an authoritative server on
-// a fresh network and returns the exchange closure.
-func newExchangeBench(tb testing.TB, disableCache bool) func(id uint16) {
+// a fresh network and returns the exchange closure plus the network (so the
+// fault benchmarks can install plans on the same setup).
+func newExchangeBench(tb testing.TB, disableCache bool) (func(id uint16), *simnet.Network) {
 	tb.Helper()
 	z, err := zone.New(zone.Config{Apex: dns.MustName("example.com"), Serial: 1})
 	if err != nil {
@@ -71,7 +72,7 @@ func newExchangeBench(tb testing.TB, disableCache bool) func(id uint16) {
 		if resp.Header.ID != id || len(resp.Answer) == 0 {
 			tb.Fatalf("bad response: id=%#x answers=%d", resp.Header.ID, len(resp.Answer))
 		}
-	}
+	}, net
 }
 
 // BenchmarkExchange measures one DNSSEC exchange end to end. The "cached"
@@ -80,7 +81,7 @@ func newExchangeBench(tb testing.TB, disableCache bool) func(id uint16) {
 // seed-era full encode/decode on both sides of the wire.
 func BenchmarkExchange(b *testing.B) {
 	run := func(b *testing.B, disableCache bool) {
-		exchange := newExchangeBench(b, disableCache)
+		exchange, _ := newExchangeBench(b, disableCache)
 		exchange(0) // warm the packet cache and intern table
 		b.ReportAllocs()
 		b.ResetTimer()
@@ -101,7 +102,7 @@ func TestExchangeAllocationBudget(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race instrumentation changes allocation behavior")
 	}
-	exchange := newExchangeBench(t, false)
+	exchange, _ := newExchangeBench(t, false)
 	exchange(0) // warm up
 	id := uint16(1)
 	got := testing.AllocsPerRun(200, func() {

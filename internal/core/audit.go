@@ -64,7 +64,10 @@ type Auditor struct {
 
 	started       time.Duration
 	queried       int
+	stubQueries   int
 	secureAnswers int
+	servfails     int
+	shard         *simnet.Shard // nil on the sequential path
 	latencies     []time.Duration
 	scratch       []time.Duration
 	nextID        uint16
@@ -81,6 +84,11 @@ type Options struct {
 	// AAAASharePercent is the share of domains additionally queried for
 	// AAAA (default 50, matching the paper's capture mix).
 	AAAASharePercent int
+	// Shard, when non-nil, is the pre-built network shard NewShardAuditor
+	// attaches to instead of creating a fresh one. Experiments use it to
+	// configure the shard — fault plans, extra taps — before the audit
+	// starts, and to read per-link fault statistics after it ends.
+	Shard *simnet.Shard
 }
 
 // analyzerConfig is the capture configuration shared by the sequential and
@@ -119,7 +127,10 @@ func NewAuditor(u *universe.Universe, opts Options) (*Auditor, error) {
 // other shard. Experiments use it to keep audits on a shared universe from
 // interfering; ShardedAuditor runs several concurrently.
 func NewShardAuditor(u *universe.Universe, opts Options) (*Auditor, error) {
-	sh := u.NewShard()
+	sh := opts.Shard
+	if sh == nil {
+		sh = u.NewShard()
+	}
 	an := capture.NewAnalyzer(analyzerConfig(u))
 	sh.AddTap(an.Tap)
 	r, err := u.StartShardResolver(sh, opts.Resolver)
@@ -132,10 +143,15 @@ func NewShardAuditor(u *universe.Universe, opts Options) (*Auditor, error) {
 	}
 	return &Auditor{
 		port: shardPort{u: u, sh: sh}, r: r, analyzer: an,
+		shard:     sh,
 		started:   sh.Now(),
 		aaaaShare: share,
 	}, nil
 }
+
+// Shard returns the network shard the audit runs on (nil for a sequential
+// auditor on the global network).
+func (a *Auditor) Shard() *simnet.Shard { return a.shard }
 
 // Resolver exposes the resolver under audit (for stats and direct calls).
 func (a *Auditor) Resolver() *resolver.Resolver { return a.r }
@@ -155,6 +171,7 @@ func (a *Auditor) QueryDomain(name dns.Name) error {
 // adversary workloads use it; QueryDomain is the single-stub special case.
 func (a *Auditor) QueryDomainAs(client netip.Addr, name dns.Name) error {
 	a.queried++
+	a.stubQueries++
 	a.nextID++
 	start := a.port.Now()
 	resp, err := a.port.StubQueryFrom(client, a.nextID, name, dns.TypeA)
@@ -165,10 +182,18 @@ func (a *Auditor) QueryDomainAs(client netip.Addr, name dns.Name) error {
 	if resp.Header.AD {
 		a.secureAnswers++
 	}
+	if resp.Header.RCode == dns.RCodeServFail {
+		a.servfails++
+	}
 	if int(hash64(string(name))%100) < a.aaaaShare {
+		a.stubQueries++
 		a.nextID++
-		if _, err := a.port.StubQueryFrom(client, a.nextID, name, dns.TypeAAAA); err != nil {
+		resp, err := a.port.StubQueryFrom(client, a.nextID, name, dns.TypeAAAA)
+		if err != nil {
 			return fmt.Errorf("core: stub query %s/AAAA: %w", name, err)
+		}
+		if resp.Header.RCode == dns.RCodeServFail {
+			a.servfails++
 		}
 	}
 	return nil
@@ -190,6 +215,12 @@ type Report struct {
 	QueriedDomains int
 	// SecureAnswers counts stub answers with the AD bit (validated).
 	SecureAnswers int
+	// StubQueries counts every stub question asked (A and AAAA alike);
+	// Servfails counts how many of them came back SERVFAIL. Their ratio is
+	// the availability loss a fault regime inflicts on the stub.
+	StubQueries int
+	// Servfails counts stub answers with RCODE=SERVFAIL.
+	Servfails int
 	// Capture is the wire-level summary (leak cases, query mix, bytes).
 	Capture capture.Report
 	// ResolverStats are the resolver-internal counters (suppressions,
@@ -230,6 +261,15 @@ func (r *Report) UtilityProportion() float64 {
 	return float64(r.Capture.DLVNoError) / float64(total)
 }
 
+// ServfailProportion is the share of stub questions answered SERVFAIL —
+// the stub-visible availability cost of a fault regime.
+func (r *Report) ServfailProportion() float64 {
+	if r.StubQueries == 0 {
+		return 0
+	}
+	return float64(r.Servfails) / float64(r.StubQueries)
+}
+
 // Report snapshots the audit so far.
 func (a *Auditor) Report() Report {
 	var p50, p95 time.Duration
@@ -237,6 +277,8 @@ func (a *Auditor) Report() Report {
 	return Report{
 		QueriedDomains: a.queried,
 		SecureAnswers:  a.secureAnswers,
+		StubQueries:    a.stubQueries,
+		Servfails:      a.servfails,
 		Capture:        a.analyzer.Snapshot(),
 		ResolverStats:  a.r.Stats(),
 		Elapsed:        a.port.Now() - a.started,

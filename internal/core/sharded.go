@@ -104,14 +104,16 @@ func (s *ShardedAuditor) QueryDomains(domains []dataset.Domain) error {
 func (s *ShardedAuditor) Report() Report {
 	merged := capture.NewAnalyzer(analyzerConfig(s.u))
 	var stats resolver.Stats
-	var queried, secure int
+	var queried, stubQueries, secure, servfails int
 	var elapsed time.Duration
 	var latencies []time.Duration
 	for _, a := range s.auditors {
 		merged.Merge(a.analyzer)
 		stats = stats.Plus(a.r.Stats())
 		queried += a.queried
+		stubQueries += a.stubQueries
 		secure += a.secureAnswers
+		servfails += a.servfails
 		latencies = append(latencies, a.latencies...)
 		if d := a.port.Now() - a.started; d > elapsed {
 			elapsed = d
@@ -121,6 +123,8 @@ func (s *ShardedAuditor) Report() Report {
 	return Report{
 		QueriedDomains: queried,
 		SecureAnswers:  secure,
+		StubQueries:    stubQueries,
+		Servfails:      servfails,
 		Capture:        merged.Snapshot(),
 		ResolverStats:  stats,
 		Elapsed:        elapsed,

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"reflect"
 	"testing"
+
+	"github.com/dnsprivacy/lookaside/internal/faults"
 )
 
 // FuzzDecodeMessage drives the wire decoder with arbitrary input: it must
@@ -54,6 +56,54 @@ func FuzzDecodeMessage(f *testing.F) {
 		}
 		if back.Header != m.Header {
 			t.Fatalf("header changed across roundtrip: %+v vs %+v", m.Header, back.Header)
+		}
+	})
+}
+
+// FuzzFaultedDecode feeds the decoder exactly what the fault layer's
+// CorruptRate produces on the simulated wire: a message garbled in place by
+// faults.Corrupt under fuzzer-chosen entropy. The decoder must never panic
+// on a corrupted packet, the fast path and the reference decoder must agree
+// on it, and anything accepted must survive re-encoding — the invariants
+// the simnet corruption path (deliver-if-parseable, else timeout) relies
+// on. Run with `go test -fuzz=FuzzFaultedDecode ./internal/dns`.
+func FuzzFaultedDecode(f *testing.F) {
+	q := NewQuery(1, MustName("www.example.com"), TypeA, true)
+	qw, err := q.Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	r := sampleMessage()
+	rw, err := r.Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, entropy := range []uint64{0, 1, 1 << 40, ^uint64(0)} {
+		f.Add(qw, entropy)
+		f.Add(rw, entropy)
+	}
+	f.Add([]byte{}, uint64(7))
+	f.Add(bytes.Repeat([]byte{0xFF}, 64), uint64(1<<40|3))
+
+	f.Fuzz(func(t *testing.T, data []byte, entropy uint64) {
+		wire := append([]byte(nil), data...)
+		faults.Corrupt(entropy, wire)
+		fast, fastErr := DecodeMessage(wire)
+		ref, refErr := decodeMessageReference(wire)
+		if (fastErr == nil) != (refErr == nil) {
+			t.Fatalf("accept/reject disagreement on corrupted wire: fast err=%v, reference err=%v",
+				fastErr, refErr)
+		}
+		if fastErr != nil {
+			return // rejected corruption becomes a simnet timeout; fine
+		}
+		if !reflect.DeepEqual(fast, ref) {
+			t.Fatalf("decoded messages differ:\nfast:      %#v\nreference: %#v", fast, ref)
+		}
+		if wire2, err := fast.Encode(); err == nil {
+			if _, err := DecodeMessage(wire2); err != nil {
+				t.Fatalf("re-decode of accepted corrupted message failed: %v", err)
+			}
 		}
 	})
 }

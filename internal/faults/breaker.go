@@ -1,0 +1,147 @@
+package faults
+
+import "time"
+
+// BreakerConfig parameterizes a circuit breaker.
+type BreakerConfig struct {
+	// Threshold is how many consecutive failures open the circuit
+	// (default 5).
+	Threshold int
+	// Cooldown is how long an open circuit waits (in simulated time)
+	// before letting a half-open probe through (default 60s).
+	Cooldown time.Duration
+}
+
+// withDefaults fills zero fields.
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold <= 0 {
+		c.Threshold = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 60 * time.Second
+	}
+	return c
+}
+
+// BreakerState is the circuit state.
+type BreakerState int
+
+// Circuit states.
+const (
+	// BreakerClosed passes every request (healthy).
+	BreakerClosed BreakerState = iota
+	// BreakerOpen rejects every request until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen is probing: one request is allowed through; its
+	// outcome closes or re-opens the circuit.
+	BreakerHalfOpen
+)
+
+// String implements fmt.Stringer.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// Breaker is a deterministic circuit breaker driven entirely by the
+// caller's logical clock: after Threshold consecutive failures it opens
+// and rejects requests; after Cooldown it half-opens and admits a single
+// probe whose outcome decides between closing and re-opening. It contains
+// no wall-clock reads and no randomness, so runs replay byte-identically.
+// It is not safe for concurrent use; its owner serializes access (the
+// resolver is single-threaded per instance by design).
+type Breaker struct {
+	cfg      BreakerConfig
+	state    BreakerState
+	failures int
+	openedAt time.Duration
+	probing  bool
+
+	opens int
+	skips int
+}
+
+// NewBreaker creates a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults()}
+}
+
+// State returns the circuit state as of simulated time now (an open
+// circuit past its cooldown reads as half-open).
+func (b *Breaker) State(now time.Duration) BreakerState {
+	if b.state == BreakerOpen && now >= b.openedAt+b.cfg.Cooldown {
+		return BreakerHalfOpen
+	}
+	return b.state
+}
+
+// Allow reports whether a request may proceed at simulated time now. A
+// false return means the caller must skip the request (and should count it
+// as load shed). When an open circuit's cooldown has elapsed, the first
+// Allow admits the half-open probe; further Allows are rejected until the
+// probe reports Success or Failure.
+func (b *Breaker) Allow(now time.Duration) bool {
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if now >= b.openedAt+b.cfg.Cooldown {
+			b.state = BreakerHalfOpen
+			b.probing = true
+			return true
+		}
+		b.skips++
+		return false
+	case BreakerHalfOpen:
+		if b.probing {
+			b.skips++
+			return false // one probe at a time
+		}
+		b.probing = true
+		return true
+	}
+	return true
+}
+
+// Success reports a completed request; it resets the failure run and
+// closes a half-open circuit.
+func (b *Breaker) Success() {
+	b.failures = 0
+	b.probing = false
+	b.state = BreakerClosed
+}
+
+// Failure reports a failed request at simulated time now. It returns true
+// when this failure opened (or re-opened) the circuit.
+func (b *Breaker) Failure(now time.Duration) bool {
+	if b.state == BreakerHalfOpen {
+		// The probe failed: straight back to open, cooldown restarts.
+		b.state = BreakerOpen
+		b.openedAt = now
+		b.probing = false
+		b.opens++
+		return true
+	}
+	b.failures++
+	if b.state == BreakerClosed && b.failures >= b.cfg.Threshold {
+		b.state = BreakerOpen
+		b.openedAt = now
+		b.opens++
+		return true
+	}
+	return false
+}
+
+// Opens returns how many times the circuit opened.
+func (b *Breaker) Opens() int { return b.opens }
+
+// Skips returns how many requests the breaker rejected.
+func (b *Breaker) Skips() int { return b.skips }

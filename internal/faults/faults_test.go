@@ -1,0 +1,206 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+)
+
+// TestDecideDeterministic pins the core contract: two states over the same
+// plan produce identical decision sequences, and a different seed produces
+// a different one.
+func TestDecideDeterministic(t *testing.T) {
+	plan := Plan{
+		Seed: 42, LossRate: 0.2, JitterMax: 30 * time.Millisecond,
+		SpikeRate: 0.1, SpikeLatency: 200 * time.Millisecond,
+		TruncateRate: 0.15, CorruptRate: 0.1,
+		Byzantine: ByzServFail, ByzantineRate: 0.25,
+	}
+	a, b := NewState(plan), NewState(plan)
+	diffSeed := plan
+	diffSeed.Seed = 43
+	c := NewState(diffSeed)
+	same, diff := true, true
+	for i := 0; i < 500; i++ {
+		now := time.Duration(i) * time.Second
+		da, db, dc := a.Decide(now), b.Decide(now), c.Decide(now)
+		if da != db {
+			same = false
+		}
+		if da != dc {
+			diff = false
+		}
+	}
+	if !same {
+		t.Fatal("identical plans diverged")
+	}
+	if diff {
+		t.Fatal("different seeds produced identical decision sequences")
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+}
+
+// TestLossRateConverges checks the probabilistic draws actually hit their
+// configured rates.
+func TestLossRateConverges(t *testing.T) {
+	const n = 20000
+	for _, rate := range []float64{0.05, 0.3, 0.75} {
+		s := NewState(Plan{Seed: 7, LossRate: rate})
+		for i := 0; i < n; i++ {
+			s.Decide(0)
+		}
+		got := float64(s.Stats().Dropped) / n
+		if math.Abs(got-rate) > 0.02 {
+			t.Errorf("loss rate %.2f: observed %.3f", rate, got)
+		}
+	}
+}
+
+// TestOutageWindows checks explicit windows and the periodic flap
+// generator.
+func TestOutageWindows(t *testing.T) {
+	p := Plan{Outages: []Window{{Start: 10 * time.Second, End: 20 * time.Second}}}
+	for _, tc := range []struct {
+		at   time.Duration
+		down bool
+	}{
+		{0, false}, {10 * time.Second, true}, {19 * time.Second, true},
+		{20 * time.Second, false}, {time.Hour, false},
+	} {
+		if got := p.Down(tc.at); got != tc.down {
+			t.Errorf("window Down(%v) = %t, want %t", tc.at, got, tc.down)
+		}
+	}
+
+	flap := Plan{FlapPeriod: 90 * time.Second, FlapDown: 30 * time.Second}
+	for _, tc := range []struct {
+		at   time.Duration
+		down bool
+	}{
+		{0, true}, {29 * time.Second, true}, {30 * time.Second, false},
+		{89 * time.Second, false}, {90 * time.Second, true}, {121 * time.Second, false},
+	} {
+		if got := flap.Down(tc.at); got != tc.down {
+			t.Errorf("flap Down(%v) = %t, want %t", tc.at, got, tc.down)
+		}
+	}
+
+	s := NewState(Plan{Outages: []Window{{Start: 0, End: time.Hour}}, LossRate: 1})
+	d := s.Decide(time.Minute)
+	if !d.Down || d.Drop {
+		t.Fatalf("decision inside outage = %+v, want Down only", d)
+	}
+	if st := s.Stats(); st.Attempts != 1 || st.TimedOut != 1 || st.Dropped != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestDecideTCP pins the reliable-stream semantics: no loss, truncation, or
+// corruption, but outages and byzantine answers still apply.
+func TestDecideTCP(t *testing.T) {
+	s := NewState(Plan{
+		Seed: 3, LossRate: 1, TruncateRate: 1, CorruptRate: 1,
+		Byzantine: ByzServFail, ByzantineRate: 1,
+	})
+	d := s.DecideTCP(0)
+	if d.Drop || d.Truncate || d.Corrupt {
+		t.Fatalf("tcp decision carries UDP-only faults: %+v", d)
+	}
+	if d.Byzantine != ByzServFail {
+		t.Fatalf("tcp decision lost byzantine mode: %+v", d)
+	}
+	down := NewState(Plan{Outages: []Window{{End: time.Hour}}})
+	if !down.DecideTCP(0).Down {
+		t.Fatal("tcp decision ignored outage window")
+	}
+}
+
+// TestRateClamping: out-of-range rates are clamped, not rejected.
+func TestRateClamping(t *testing.T) {
+	s := NewState(Plan{LossRate: 42, TruncateRate: -3})
+	if p := s.Plan(); p.LossRate != 1 || p.TruncateRate != 0 {
+		t.Fatalf("clamped plan = %+v", p)
+	}
+	if !s.Decide(0).Drop {
+		t.Fatal("LossRate clamped to 1 did not drop")
+	}
+}
+
+// TestZero classifies inert plans.
+func TestZero(t *testing.T) {
+	if !(&Plan{Seed: 9}).Zero() {
+		t.Fatal("seed-only plan should be zero")
+	}
+	if (&Plan{LossRate: 0.1}).Zero() {
+		t.Fatal("lossy plan classified zero")
+	}
+	if (&Plan{FlapPeriod: time.Minute, FlapDown: time.Second}).Zero() {
+		t.Fatal("flapping plan classified zero")
+	}
+	if (&Plan{Byzantine: ByzBogusSig, ByzantineRate: 1}).Zero() {
+		t.Fatal("byzantine plan classified zero")
+	}
+}
+
+// TestCorrupt: deterministic, always changes a non-empty buffer, never
+// panics on tiny ones.
+func TestCorrupt(t *testing.T) {
+	orig := make([]byte, 64)
+	for i := range orig {
+		orig[i] = byte(i * 7)
+	}
+	a := append([]byte(nil), orig...)
+	b := append([]byte(nil), orig...)
+	Corrupt(12345, a)
+	Corrupt(12345, b)
+	if string(a) != string(b) {
+		t.Fatal("corruption is not deterministic in entropy")
+	}
+	if string(a) == string(orig) {
+		t.Fatal("corruption left the buffer unchanged")
+	}
+	Corrupt(1, nil)
+	Corrupt(1, []byte{0})
+}
+
+// transientErr / permanentErr exercise the structural classification.
+type classifiedErr struct {
+	msg       string
+	transient bool
+}
+
+func (e *classifiedErr) Error() string   { return e.msg }
+func (e *classifiedErr) Transient() bool { return e.transient }
+
+func TestIsTransient(t *testing.T) {
+	trans := &classifiedErr{"timeout-ish", true}
+	perm := &classifiedErr{"no route", false}
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{errors.New("untyped"), true}, // unknown errors are retried
+		{trans, true},
+		{perm, false},
+		{fmt.Errorf("wrapped: %w", trans), true},
+		{fmt.Errorf("wrapped: %w", perm), false},
+		{fmt.Errorf("deep: %w", fmt.Errorf("mid: %w", perm)), false},
+		{errors.Join(trans, perm), false}, // any permanent member is terminal
+		{errors.Join(trans, errors.New("x")), true},
+		{ErrDeadlineExceeded, false},
+		{fmt.Errorf("resolver: %w", ErrDeadlineExceeded), false},
+	}
+	for i, tc := range cases {
+		if got := IsTransient(tc.err); got != tc.want {
+			t.Errorf("case %d: IsTransient(%v) = %t, want %t", i, tc.err, got, tc.want)
+		}
+	}
+	if !errors.Is(fmt.Errorf("x: %w", ErrDeadlineExceeded), ErrDeadlineExceeded) {
+		t.Fatal("ErrDeadlineExceeded does not survive wrapping")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"net/netip"
 
 	"github.com/dnsprivacy/lookaside/internal/dns"
+	"github.com/dnsprivacy/lookaside/internal/faults"
 	"github.com/dnsprivacy/lookaside/internal/simnet"
 )
 
@@ -29,7 +30,9 @@ func (r *Resolver) HandleQuery(q *dns.Message, _ netip.Addr) (*dns.Message, erro
 		// stub as SERVFAIL, as a real recursive would do.
 		if errors.Is(err, ErrServfail) || errors.Is(err, ErrNoServers) ||
 			errors.Is(err, ErrDepthLimit) || errors.Is(err, ErrLoopDetected) ||
-			errors.Is(err, simnet.ErrServerDown) || errors.Is(err, simnet.ErrNoRoute) {
+			errors.Is(err, simnet.ErrServerDown) || errors.Is(err, simnet.ErrNoRoute) ||
+			errors.Is(err, simnet.ErrPacketLoss) || errors.Is(err, simnet.ErrCorruptResponse) ||
+			errors.Is(err, faults.ErrDeadlineExceeded) {
 			resp.Header.RCode = dns.RCodeServFail
 			return resp, nil
 		}

@@ -6,6 +6,7 @@ import (
 	"net/netip"
 
 	"github.com/dnsprivacy/lookaside/internal/dns"
+	"github.com/dnsprivacy/lookaside/internal/faults"
 )
 
 // coreResult is the raw outcome of iterative resolution, before validation.
@@ -296,11 +297,27 @@ const retryRounds = 2
 
 // exchangeWithZone sends the query to the zone's servers with failover and
 // retry: a transport failure (dead server, lost packet) moves on to the
-// next candidate, then retries the list once.
+// next candidate, then retries the list once. With Resilience configured,
+// the budgeted/backoff loop in exchangeResilient replaces the fixed rounds.
+//
+// Failover accounting: Failovers counts server transitions — the failed
+// attempts before a success, or one fewer than total attempts when every
+// attempt failed (the first attempt is not a failover). A single accounting
+// point per outcome keeps the counter from double-charging, and
+// noteFailovers guards the exhaustion path against a negative adjustment.
 func (r *Resolver) exchangeWithZone(zone dns.Name, qname dns.Name, qtype dns.Type, depth int) (*dns.Message, error) {
 	addrs, err := r.serverAddrs(zone, depth)
 	if err != nil {
 		return nil, err
+	}
+	if len(addrs) == 0 {
+		// serverAddrs never returns an empty list without an error today;
+		// this guard keeps the accounting below and the round-robin indexing
+		// safe if that ever changes.
+		return nil, fmt.Errorf("%w: zone %s (empty candidate list)", ErrNoServers, zone)
+	}
+	if r.resil != nil {
+		return r.exchangeResilient(addrs, qname, qtype)
 	}
 	var lastErr error
 	attempts := 0
@@ -308,14 +325,20 @@ func (r *Resolver) exchangeWithZone(zone dns.Name, qname dns.Name, qtype dns.Typ
 		for _, addr := range addrs {
 			resp, err := r.exchange(addr, qname, qtype)
 			if err == nil {
-				r.stats.Failovers += attempts
+				r.noteFailovers(attempts)
 				return resp, nil
 			}
 			lastErr = err
 			attempts++
+			if !faults.IsTransient(err) {
+				// A permanently-classified error (no route, misconfig)
+				// cannot be outwaited or failed over around.
+				r.noteFailovers(attempts - 1)
+				return nil, lastErr
+			}
 		}
 	}
-	r.stats.Failovers += attempts - 1
+	r.noteFailovers(attempts - 1)
 	return nil, lastErr
 }
 

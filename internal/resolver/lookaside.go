@@ -1,10 +1,12 @@
 package resolver
 
 import (
+	"errors"
 	"fmt"
 
 	"github.com/dnsprivacy/lookaside/internal/dlv"
 	"github.com/dnsprivacy/lookaside/internal/dns"
+	"github.com/dnsprivacy/lookaside/internal/faults"
 )
 
 // remedyAllows applies the client half of the DLV-aware DNS remedies: with
@@ -109,12 +111,33 @@ func (r *Resolver) lookasideWalk(start dns.Name, depth int) (*dns.DLVData, error
 // against the registry keys. A failed exchange (registry outage — a
 // documented DLV operational hazard, §8.4) degrades to "no record found":
 // the answer is still served, it just cannot validate through look-aside.
+//
+// When a circuit breaker is configured, it wraps the registry consultation:
+// consecutive failures open the circuit and subsequent consultations are
+// shed without sending anything — the same unvalidated degradation, but
+// with the retry-amplified leakage (and latency) of hammering a dead
+// registry capped. Byzantine answers that transport successfully (bogus
+// signatures) do not trip it; SERVFAIL storms and outages do.
 func (r *Resolver) lookasideQuery(lookName dns.Name, depth int) (*dns.DLVData, bool, error) {
 	lc := r.cfg.Lookaside
+	if r.dlvBreaker != nil && !r.dlvBreaker.Allow(r.cfg.Clock.Now()) {
+		r.stats.BreakerSkips++
+		return nil, false, nil
+	}
 	core, err := r.resolveInternal(lookName, dns.TypeDLV, depth+1)
 	if err != nil {
+		if errors.Is(err, faults.ErrDeadlineExceeded) {
+			// The query's time budget is spent: abort the walk entirely.
+			return nil, false, err
+		}
 		r.stats.DLVFailures++
+		if r.dlvBreaker != nil && r.dlvBreaker.Failure(r.cfg.Clock.Now()) {
+			r.stats.BreakerOpens++
+		}
 		return nil, false, nil
+	}
+	if r.dlvBreaker != nil {
+		r.dlvBreaker.Success()
 	}
 	if !core.fromCache {
 		r.stats.DLVQueries++

@@ -1,0 +1,260 @@
+package resolver
+
+import (
+	"errors"
+	"net/netip"
+	"testing"
+	"time"
+
+	"github.com/dnsprivacy/lookaside/internal/dns"
+	"github.com/dnsprivacy/lookaside/internal/faults"
+)
+
+// permanentTestErr classifies as non-transient through faults.IsTransient.
+type permanentTestErr struct{ msg string }
+
+func (e *permanentTestErr) Error() string   { return e.msg }
+func (e *permanentTestErr) Transient() bool { return false }
+
+// flakyNet fails the first failures exchanges with failErr, then delegates
+// to the scripted fakeNet.
+type flakyNet struct {
+	*fakeNet
+	failures int
+	failErr  error
+}
+
+func (f *flakyNet) Exchange(src, dst netip.Addr, q *dns.Message) (*dns.Message, error) {
+	if f.failures > 0 {
+		f.failures--
+		f.exchanges++
+		f.now += f.step
+		return nil, f.failErr
+	}
+	return f.fakeNet.Exchange(src, dst, q)
+}
+
+func newResilientResolver(t *testing.T, net interface {
+	Exchange(src, dst netip.Addr, q *dns.Message) (*dns.Message, error)
+}, clock Clock, res *Resilience) *Resolver {
+	t.Helper()
+	r, err := New(Config{
+		Addr:       resAddr,
+		RootHints:  []netip.Addr{rootAddr},
+		Net:        exchangerFunc(net.Exchange),
+		Clock:      clock,
+		Resilience: res,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestResilientAttemptBudget(t *testing.T) {
+	f := newFakeNet()
+	f.errs[key(rootAddr, dns.MustName("www.example.com"), dns.TypeA)] = errors.New("link down")
+	r := newResilientResolver(t, f, f, &Resilience{MaxAttempts: 4})
+	_, err := r.Resolve(dns.MustName("www.example.com"), dns.TypeA)
+	if err == nil {
+		t.Fatal("resolution against a dead link succeeded")
+	}
+	if f.exchanges != 4 {
+		t.Fatalf("exchanges = %d, want the 4-attempt budget", f.exchanges)
+	}
+	st := r.Stats()
+	if st.Retries != 3 || st.Failovers != 3 {
+		t.Fatalf("stats = %+v, want Retries=3 Failovers=3", st)
+	}
+}
+
+func TestResilientRecoversAfterTransientFailures(t *testing.T) {
+	f := newFakeNet()
+	scriptBasicPath(f)
+	fl := &flakyNet{fakeNet: f, failures: 2, failErr: errors.New("flaky")}
+	r := newResilientResolver(t, fl, f, &Resilience{MaxAttempts: 3})
+	res, err := r.Resolve(dns.MustName("www.example.com"), dns.TypeA)
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	if res.RCode != dns.RCodeNoError || len(res.Answer) == 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	st := r.Stats()
+	if st.Retries != 2 || st.Failovers != 2 {
+		t.Fatalf("stats = %+v, want Retries=2 Failovers=2", st)
+	}
+}
+
+func TestResilientPermanentErrorStopsRetrying(t *testing.T) {
+	f := newFakeNet()
+	fl := &flakyNet{fakeNet: f, failures: 100, failErr: &permanentTestErr{"no route"}}
+	r := newResilientResolver(t, fl, f, &Resilience{MaxAttempts: 5})
+	_, err := r.Resolve(dns.MustName("www.example.com"), dns.TypeA)
+	if err == nil {
+		t.Fatal("resolution through a permanent failure succeeded")
+	}
+	if f.exchanges != 1 {
+		t.Fatalf("exchanges = %d, want 1 (no retry of a permanent error)", f.exchanges)
+	}
+	if st := r.Stats(); st.Failovers != 0 || st.Retries != 0 {
+		t.Fatalf("stats = %+v, want no failovers/retries", st)
+	}
+}
+
+func TestLegacyLoopStopsOnPermanentError(t *testing.T) {
+	f := newFakeNet()
+	fl := &flakyNet{fakeNet: f, failures: 100, failErr: &permanentTestErr{"no route"}}
+	r, err := New(Config{
+		Addr: resAddr, RootHints: []netip.Addr{rootAddr},
+		Net: exchangerFunc(fl.Exchange), Clock: f,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Resolve(dns.MustName("www.example.com"), dns.TypeA); err == nil {
+		t.Fatal("resolution through a permanent failure succeeded")
+	}
+	if f.exchanges != 1 {
+		t.Fatalf("exchanges = %d, want 1", f.exchanges)
+	}
+	if st := r.Stats(); st.Failovers != 0 {
+		t.Fatalf("Failovers = %d, want 0 (single failed attempt is not a failover)", st.Failovers)
+	}
+}
+
+func TestQueryDeadlineStopsRetryStorm(t *testing.T) {
+	f := newFakeNet()
+	f.step = 2 * time.Second // every failed exchange burns 2s of simulated time
+	f.errs[key(rootAddr, dns.MustName("www.example.com"), dns.TypeA)] = errors.New("timeout")
+	r := newResilientResolver(t, f, f, &Resilience{
+		MaxAttempts: 100, QueryDeadline: 5 * time.Second,
+	})
+	_, err := r.Resolve(dns.MustName("www.example.com"), dns.TypeA)
+	if !errors.Is(err, faults.ErrDeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrDeadlineExceeded", err)
+	}
+	if f.exchanges >= 100 {
+		t.Fatalf("deadline did not bound the retry storm: %d exchanges", f.exchanges)
+	}
+	if st := r.Stats(); st.DeadlineExceeded != 1 {
+		t.Fatalf("DeadlineExceeded = %d, want 1", st.DeadlineExceeded)
+	}
+
+	// The stub-facing handler turns a deadline expiry into SERVFAIL.
+	q := dns.NewQuery(9, dns.MustName("www.example.com"), dns.TypeA, false)
+	q.Header.RD = true
+	resp, err := r.HandleQuery(q, netip.MustParseAddr("10.9.9.9"))
+	if err != nil {
+		t.Fatalf("HandleQuery: %v", err)
+	}
+	if resp.Header.RCode != dns.RCodeServFail {
+		t.Fatalf("rcode = %s, want SERVFAIL", resp.Header.RCode)
+	}
+}
+
+// truncNet serves every UDP answer with the TC bit set and offers the clean
+// answer over its TCP path, modeling a size-capped server.
+type truncNet struct {
+	*fakeNet
+	tcpExchanges int
+}
+
+func (tn *truncNet) Exchange(src, dst netip.Addr, q *dns.Message) (*dns.Message, error) {
+	resp, err := tn.fakeNet.Exchange(src, dst, q)
+	if err != nil {
+		return nil, err
+	}
+	out := *resp
+	out.Header.TC = true
+	return &out, nil
+}
+
+func (tn *truncNet) ExchangeTCP(src, dst netip.Addr, q *dns.Message) (*dns.Message, error) {
+	tn.tcpExchanges++
+	return tn.fakeNet.Exchange(src, dst, q)
+}
+
+func TestTCPFallbackOnTruncation(t *testing.T) {
+	f := newFakeNet()
+	scriptBasicPath(f)
+	tn := &truncNet{fakeNet: f}
+	r, err := New(Config{
+		Addr: resAddr, RootHints: []netip.Addr{rootAddr},
+		Net: tn, Clock: f,
+		Resilience: &Resilience{TCPFallback: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Resolve(dns.MustName("www.example.com"), dns.TypeA)
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	if res.RCode != dns.RCodeNoError || len(res.Answer) == 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	st := r.Stats()
+	if st.TCPFallbacks == 0 || tn.tcpExchanges != st.TCPFallbacks {
+		t.Fatalf("TCPFallbacks = %d, tcp exchanges = %d", st.TCPFallbacks, tn.tcpExchanges)
+	}
+
+	// Without resilience (or with fallback off) the TC bit is ignored, as
+	// the legacy resolver always did.
+	f2 := newFakeNet()
+	scriptBasicPath(f2)
+	tn2 := &truncNet{fakeNet: f2}
+	legacy, err := New(Config{
+		Addr: resAddr, RootHints: []netip.Addr{rootAddr}, Net: tn2, Clock: f2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := legacy.Resolve(dns.MustName("www.example.com"), dns.TypeA); err != nil {
+		t.Fatalf("legacy Resolve: %v", err)
+	}
+	if tn2.tcpExchanges != 0 || legacy.Stats().TCPFallbacks != 0 {
+		t.Fatal("legacy resolver used the TCP path")
+	}
+}
+
+func TestDLVBreakerShedsConsultations(t *testing.T) {
+	f := newFakeNet()
+	// Nothing is scripted: every registry resolution dies at the root with
+	// a transient error, burning the full attempt budget each time.
+	f.errs[key(rootAddr, dns.MustName("example.com.dlv.test"), dns.TypeDLV)] = errors.New("registry dark")
+	r, err := New(Config{
+		Addr: resAddr, RootHints: []netip.Addr{rootAddr},
+		Net: exchangerFunc(f.Exchange), Clock: f,
+		ValidationEnabled: true,
+		Lookaside:         &LookasideConfig{Zone: dns.MustName("dlv.test")},
+		Resilience: &Resilience{
+			MaxAttempts: 2,
+			Breaker:     &faults.BreakerConfig{Threshold: 3, Cooldown: time.Hour},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lookName := dns.MustName("example.com.dlv.test")
+	for i := 0; i < 10; i++ {
+		if _, _, err := r.lookasideQuery(lookName, 0); err != nil {
+			t.Fatalf("consultation %d: %v", i, err)
+		}
+	}
+	st := r.Stats()
+	if st.BreakerOpens != 1 {
+		t.Fatalf("BreakerOpens = %d, want 1", st.BreakerOpens)
+	}
+	if st.DLVFailures != 3 {
+		t.Fatalf("DLVFailures = %d, want 3 (threshold, then the circuit opened)", st.DLVFailures)
+	}
+	if st.BreakerSkips != 7 {
+		t.Fatalf("BreakerSkips = %d, want 7 shed consultations", st.BreakerSkips)
+	}
+	// Only the three pre-open consultations generated traffic: 2 attempts
+	// each under the configured budget.
+	if f.exchanges != 6 {
+		t.Fatalf("exchanges = %d, want 6 (3 consultations x 2 attempts)", f.exchanges)
+	}
+}

@@ -18,6 +18,7 @@ import (
 
 	"github.com/dnsprivacy/lookaside/internal/dns"
 	"github.com/dnsprivacy/lookaside/internal/dnssec"
+	"github.com/dnsprivacy/lookaside/internal/faults"
 	"github.com/dnsprivacy/lookaside/internal/simnet"
 )
 
@@ -160,6 +161,11 @@ type Config struct {
 	// resolver a private cache; sharded audits pass one shared cache so
 	// every worker benefits from every other worker's verifications.
 	VerifyCache *dnssec.VerifyCache
+
+	// Resilience enables the resilient transport core (attempt budgets,
+	// backoff, per-query deadline, TCP fallback, DLV circuit breaker). Nil
+	// keeps the legacy fixed two-round failover exactly.
+	Resilience *Resilience
 }
 
 // Resolver is a caching, validating, DLV-capable recursive resolver.
@@ -169,6 +175,14 @@ type Resolver struct {
 	vcache *dnssec.VerifyCache
 
 	nextID uint16
+
+	// resil is cfg.Resilience with defaults applied (nil = legacy
+	// transport behavior); dlvBreaker is the look-aside circuit breaker
+	// when one is configured; deadlineAt is the in-flight top-level
+	// query's simulated-time budget (0 = none).
+	resil      *Resilience
+	dlvBreaker *faults.Breaker
+	deadlineAt time.Duration
 
 	// counters for introspection and tests
 	stats Stats
@@ -194,6 +208,19 @@ type Stats struct {
 	Failovers int
 	// CacheHits counts answers served from cache.
 	CacheHits int
+	// Retries counts extra transport attempts made by the resilient core
+	// beyond each query's first (0 on the legacy path).
+	Retries int
+	// TCPFallbacks counts truncated answers re-asked over TCP.
+	TCPFallbacks int
+	// DeadlineExceeded counts top-level resolutions abandoned because the
+	// per-query simulated-time budget ran out.
+	DeadlineExceeded int
+	// BreakerSkips counts look-aside consultations shed by an open DLV
+	// circuit breaker (each is a registry query — a leak — that was never
+	// sent); BreakerOpens counts circuit-open transitions.
+	BreakerSkips int
+	BreakerOpens int
 }
 
 // Plus returns the field-wise sum of two Stats; sharded audits use it to
@@ -207,6 +234,11 @@ func (s Stats) Plus(o Stats) Stats {
 		DLVFailures:        s.DLVFailures + o.DLVFailures,
 		Failovers:          s.Failovers + o.Failovers,
 		CacheHits:          s.CacheHits + o.CacheHits,
+		Retries:            s.Retries + o.Retries,
+		TCPFallbacks:       s.TCPFallbacks + o.TCPFallbacks,
+		DeadlineExceeded:   s.DeadlineExceeded + o.DeadlineExceeded,
+		BreakerSkips:       s.BreakerSkips + o.BreakerSkips,
+		BreakerOpens:       s.BreakerOpens + o.BreakerOpens,
 	}
 }
 
@@ -236,7 +268,15 @@ func New(cfg Config) (*Resolver, error) {
 	if vcache == nil {
 		vcache = dnssec.NewVerifyCache()
 	}
-	return &Resolver{cfg: cfg, cache: newCache(), vcache: vcache}, nil
+	r := &Resolver{cfg: cfg, cache: newCache(), vcache: vcache}
+	if cfg.Resilience != nil {
+		res := cfg.Resilience.withDefaults()
+		r.resil = &res
+		if res.Breaker != nil {
+			r.dlvBreaker = faults.NewBreaker(*res.Breaker)
+		}
+	}
+	return r, nil
 }
 
 // Stats returns a copy of the resolver's counters.
@@ -273,21 +313,35 @@ type Result struct {
 func (r *Resolver) Resolve(qname dns.Name, qtype dns.Type) (*Result, error) {
 	start := r.cfg.Clock.Now()
 	r.stats.Resolutions++
+	if r.resil != nil && r.resil.QueryDeadline > 0 {
+		r.deadlineAt = start + r.resil.QueryDeadline
+		defer func() { r.deadlineAt = 0 }()
+	}
 	out, err := r.resolve(qname, qtype, 0)
 	if err != nil {
+		if errors.Is(err, faults.ErrDeadlineExceeded) {
+			r.stats.DeadlineExceeded++
+		}
 		return nil, err
 	}
 	out.Elapsed = r.cfg.Clock.Now() - start
 	return out, nil
 }
 
-// exchange sends one query and returns the decoded response.
+// exchange sends one query and returns the decoded response. With the
+// resilient core's TCP fallback enabled, a truncated (TC-bit) response is
+// transparently re-asked over the transport's reliable stream.
 func (r *Resolver) exchange(dst netip.Addr, qname dns.Name, qtype dns.Type) (*dns.Message, error) {
 	q := dns.NewQuery(r.id(), qname, qtype, r.cfg.ValidationEnabled)
 	q.Header.RD = false // iterative
 	resp, err := r.cfg.Net.Exchange(r.cfg.Addr, dst, q)
 	if err != nil {
 		return nil, fmt.Errorf("resolver: exchanging %s/%s with %s: %w", qname, qtype, dst, err)
+	}
+	if resp.Header.TC && r.resil != nil && r.resil.TCPFallback {
+		if tcp, ok := r.cfg.Net.(simnet.TCPExchanger); ok {
+			return r.tcpRetry(tcp, dst, qname, qtype)
+		}
 	}
 	return resp, nil
 }

@@ -1,0 +1,391 @@
+package simnet
+
+import (
+	"bytes"
+	"errors"
+	"net/netip"
+	"testing"
+	"time"
+
+	"github.com/dnsprivacy/lookaside/internal/dns"
+	"github.com/dnsprivacy/lookaside/internal/faults"
+)
+
+// signedHandler answers with an A record plus its RRSIG and exposes the
+// last response it built, so tests can verify the fault layer never mutates
+// handler-owned messages (packet caches depend on that).
+type signedHandler struct {
+	last *dns.Message
+	sig  *dns.RRSIGData
+}
+
+func newSignedHandler() *signedHandler {
+	return &signedHandler{sig: &dns.RRSIGData{
+		TypeCovered: dns.TypeA, Algorithm: 13, Labels: 2,
+		SignerName: dns.MustName("test"),
+		Signature:  []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12},
+	}}
+}
+
+func (h *signedHandler) HandleQuery(q *dns.Message, _ netip.Addr) (*dns.Message, error) {
+	r := dns.NewResponse(q)
+	r.Header.RCode = dns.RCodeNoError
+	name := q.Question[0].Name
+	r.Answer = append(r.Answer,
+		dns.RR{Name: name, Type: dns.TypeA, Class: dns.ClassIN, TTL: 300,
+			Data: &dns.AData{Addr: netip.MustParseAddr("192.0.2.10")}},
+		dns.RR{Name: name, Type: dns.TypeRRSIG, Class: dns.ClassIN, TTL: 300, Data: h.sig},
+	)
+	h.last = r
+	return r, nil
+}
+
+// denialHandler answers NXDOMAIN with an NSEC denial proof in authority.
+type denialHandler struct{}
+
+func (denialHandler) HandleQuery(q *dns.Message, _ netip.Addr) (*dns.Message, error) {
+	r := dns.NewResponse(q)
+	r.Header.RCode = dns.RCodeNXDomain
+	r.Authority = append(r.Authority,
+		dns.RR{Name: dns.MustName("a.test"), Type: dns.TypeNSEC, Class: dns.ClassIN, TTL: 900,
+			Data: &dns.NSECData{NextName: dns.MustName("z.test"), Types: []dns.Type{dns.TypeA}}},
+	)
+	return r, nil
+}
+
+func faultNet(t *testing.T, h Handler) *Network {
+	t.Helper()
+	n := New()
+	if err := n.Register(serverAddr, "ns.test", RoleDLV, 25*time.Millisecond, h); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func testQuery(id uint16) *dns.Message {
+	return dns.NewQuery(id, dns.MustName("www.example.test"), dns.TypeA, true)
+}
+
+func TestFaultPlanLoss(t *testing.T) {
+	n := faultNet(t, echoHandler(false))
+	n.SetFaultPlan(serverAddr, faults.Plan{Seed: 1, LossRate: 1})
+	_, err := n.Exchange(clientAddr, serverAddr, testQuery(1))
+	if !errors.Is(err, ErrPacketLoss) {
+		t.Fatalf("err = %v, want ErrPacketLoss", err)
+	}
+	if !faults.IsTransient(err) {
+		t.Fatal("packet loss should classify transient")
+	}
+	if n.Now() != timeoutCost {
+		t.Fatalf("clock = %v, want one timeout (%v)", n.Now(), timeoutCost)
+	}
+	st, ok := n.FaultStats(serverAddr)
+	if !ok || st.Attempts != 1 || st.Dropped != 1 {
+		t.Fatalf("stats = %+v ok=%t", st, ok)
+	}
+}
+
+func TestFaultPlanOutageWindow(t *testing.T) {
+	n := faultNet(t, echoHandler(false))
+	n.SetFaultPlan(serverAddr, faults.Plan{
+		Outages: []faults.Window{{Start: 0, End: 10 * time.Second}},
+	})
+	if _, err := n.Exchange(clientAddr, serverAddr, testQuery(1)); !errors.Is(err, ErrServerDown) {
+		t.Fatalf("err inside outage = %v, want ErrServerDown", err)
+	}
+	// The timeout itself advanced the clock 2s; five more failures walk the
+	// clock out of the window, after which the link heals.
+	for n.Now() < 10*time.Second {
+		n.Exchange(clientAddr, serverAddr, testQuery(2))
+	}
+	if _, err := n.Exchange(clientAddr, serverAddr, testQuery(3)); err != nil {
+		t.Fatalf("exchange after outage window: %v", err)
+	}
+	st, _ := n.FaultStats(serverAddr)
+	if st.TimedOut == 0 || st.Attempts != st.TimedOut+1 {
+		t.Fatalf("stats = %+v: Attempts must count downed sends", st)
+	}
+}
+
+// TestFaultDeterminism pins that two networks with identical plans observe
+// identical error sequences, clocks, and fault statistics.
+func TestFaultDeterminism(t *testing.T) {
+	plan := faults.Plan{
+		Seed: 99, LossRate: 0.3, JitterMax: 40 * time.Millisecond,
+		SpikeRate: 0.1, SpikeLatency: 300 * time.Millisecond,
+		TruncateRate: 0.2, CorruptRate: 0.2,
+		Byzantine: ByzMode(), ByzantineRate: 0.3,
+	}
+	run := func() (string, time.Duration, faults.Stats) {
+		n := faultNet(t, newSignedHandler())
+		n.SetFaultPlan(serverAddr, plan)
+		var trace bytes.Buffer
+		for i := 0; i < 300; i++ {
+			resp, err := n.Exchange(clientAddr, serverAddr, testQuery(uint16(i)))
+			switch {
+			case err != nil:
+				trace.WriteString("E:" + err.Error() + "\n")
+			default:
+				trace.WriteString(resp.Header.RCode.String())
+				if resp.Header.TC {
+					trace.WriteString("+TC")
+				}
+				trace.WriteByte('\n')
+			}
+		}
+		st, _ := n.FaultStats(serverAddr)
+		return trace.String(), n.Now(), st
+	}
+	t1, c1, s1 := run()
+	t2, c2, s2 := run()
+	if t1 != t2 || c1 != c2 || s1 != s2 {
+		t.Fatalf("identical plans diverged:\nclock %v vs %v\nstats %+v vs %+v", c1, c2, s1, s2)
+	}
+}
+
+// ByzMode returns a nonzero byzantine mode for the determinism test without
+// hardcoding which (any mode must be deterministic).
+func ByzMode() faults.Mode { return faults.ByzServFail }
+
+func TestForcedTruncationAndTCPFallback(t *testing.T) {
+	h := newSignedHandler()
+	n := faultNet(t, h)
+	n.SetFaultPlan(serverAddr, faults.Plan{Seed: 5, TruncateRate: 1})
+
+	resp, err := n.Exchange(clientAddr, serverAddr, testQuery(1))
+	if err != nil {
+		t.Fatalf("Exchange: %v", err)
+	}
+	if !resp.Header.TC || len(resp.Answer) != 0 {
+		t.Fatalf("response not truncated: TC=%t answers=%d", resp.Header.TC, len(resp.Answer))
+	}
+	if len(h.last.Answer) != 2 {
+		t.Fatal("truncation mutated the handler-owned message")
+	}
+
+	before := n.Now()
+	full, err := n.ExchangeTCP(clientAddr, serverAddr, testQuery(2))
+	if err != nil {
+		t.Fatalf("ExchangeTCP: %v", err)
+	}
+	if full.Header.TC || len(full.Answer) != 2 {
+		t.Fatalf("TCP retry still truncated: TC=%t answers=%d", full.Header.TC, len(full.Answer))
+	}
+	// Stream setup costs an extra round trip: 4x the 25ms one-way latency.
+	if got := n.Now() - before; got != 100*time.Millisecond {
+		t.Fatalf("TCP exchange took %v of simulated time, want 100ms", got)
+	}
+}
+
+func TestByzantineServFail(t *testing.T) {
+	h := newSignedHandler()
+	n := faultNet(t, h)
+	n.SetFaultPlan(serverAddr, faults.Plan{Byzantine: faults.ByzServFail, ByzantineRate: 1})
+	resp, err := n.Exchange(clientAddr, serverAddr, testQuery(1))
+	if err != nil {
+		t.Fatalf("Exchange: %v", err)
+	}
+	if resp.Header.RCode != dns.RCodeServFail || len(resp.Answer) != 0 {
+		t.Fatalf("byzantine servfail delivered %s with %d answers", resp.Header.RCode, len(resp.Answer))
+	}
+	if h.last.Header.RCode != dns.RCodeNoError || len(h.last.Answer) != 2 {
+		t.Fatal("byzantine mutation reached the handler-owned message")
+	}
+	// SERVFAIL storms also strike the reliable path: a TCP retry cannot
+	// route around a misbehaving server.
+	tcpResp, err := n.ExchangeTCP(clientAddr, serverAddr, testQuery(2))
+	if err != nil {
+		t.Fatalf("ExchangeTCP: %v", err)
+	}
+	if tcpResp.Header.RCode != dns.RCodeServFail {
+		t.Fatalf("TCP response = %s, want SERVFAIL", tcpResp.Header.RCode)
+	}
+}
+
+func TestByzantineBogusSig(t *testing.T) {
+	h := newSignedHandler()
+	n := faultNet(t, h)
+	n.SetFaultPlan(serverAddr, faults.Plan{Seed: 11, Byzantine: faults.ByzBogusSig, ByzantineRate: 1})
+	resp, err := n.Exchange(clientAddr, serverAddr, testQuery(1))
+	if err != nil {
+		t.Fatalf("Exchange: %v", err)
+	}
+	if len(resp.Answer) != 2 {
+		t.Fatalf("bogus-sig response lost records: %d answers", len(resp.Answer))
+	}
+	got, ok := resp.Answer[1].Data.(*dns.RRSIGData)
+	if !ok {
+		t.Fatalf("answer[1] is %T, want RRSIG", resp.Answer[1].Data)
+	}
+	if bytes.Equal(got.Signature, h.sig.Signature) {
+		t.Fatal("signature bytes were not garbled")
+	}
+	if got == h.sig {
+		t.Fatal("mutated RRSIG shares the handler's RData pointer")
+	}
+	if !bytes.Equal(h.sig.Signature, []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}) {
+		t.Fatal("handler-owned signature bytes were mutated")
+	}
+	// Non-signature RData must stay pointer-shared (the immutability
+	// contract lets the fault layer avoid a deep copy).
+	if resp.Answer[0].Data != h.last.Answer[0].Data {
+		t.Fatal("A record RData was needlessly copied")
+	}
+}
+
+func TestByzantineWrongDenial(t *testing.T) {
+	n := faultNet(t, denialHandler{})
+	n.SetFaultPlan(serverAddr, faults.Plan{Byzantine: faults.ByzWrongDenial, ByzantineRate: 1})
+	resp, err := n.Exchange(clientAddr, serverAddr, testQuery(1))
+	if err != nil {
+		t.Fatalf("Exchange: %v", err)
+	}
+	if resp.Header.RCode != dns.RCodeNoError {
+		t.Fatalf("rcode = %s, want flattened NOERROR", resp.Header.RCode)
+	}
+	if len(resp.Authority) != 0 {
+		t.Fatalf("denial proof survived: %d authority records", len(resp.Authority))
+	}
+
+	// Positive answers pass through untouched.
+	pos := faultNet(t, newSignedHandler())
+	pos.SetFaultPlan(serverAddr, faults.Plan{Byzantine: faults.ByzWrongDenial, ByzantineRate: 1})
+	resp, err = pos.Exchange(clientAddr, serverAddr, testQuery(2))
+	if err != nil {
+		t.Fatalf("Exchange: %v", err)
+	}
+	if len(resp.Answer) != 2 || resp.Header.RCode != dns.RCodeNoError {
+		t.Fatalf("positive answer damaged: %d answers, rcode %s", len(resp.Answer), resp.Header.RCode)
+	}
+}
+
+// TestCorruptionParsesOrTimesOut: every corrupted exchange either delivers
+// a (possibly damaged) message or fails like a timeout with a transient,
+// classifiable error — never a panic, never a silent success.
+func TestCorruptionParsesOrTimesOut(t *testing.T) {
+	n := faultNet(t, newSignedHandler())
+	n.SetFaultPlan(serverAddr, faults.Plan{Seed: 21, CorruptRate: 1})
+	delivered, dropped := 0, 0
+	for i := 0; i < 200; i++ {
+		before := n.Now()
+		resp, err := n.Exchange(clientAddr, serverAddr, testQuery(uint16(i)))
+		if err != nil {
+			if !errors.Is(err, ErrCorruptResponse) {
+				t.Fatalf("exchange %d: err = %v, want ErrCorruptResponse", i, err)
+			}
+			if !faults.IsTransient(err) {
+				t.Fatal("corrupt response should classify transient")
+			}
+			if n.Now()-before != timeoutCost {
+				t.Fatalf("undecodable corruption cost %v, want timeout %v", n.Now()-before, timeoutCost)
+			}
+			dropped++
+			continue
+		}
+		if resp == nil {
+			t.Fatalf("exchange %d: nil response without error", i)
+		}
+		delivered++
+	}
+	if delivered == 0 || dropped == 0 {
+		t.Fatalf("corruption too one-sided over 200 runs: delivered=%d dropped=%d (want both paths exercised)", delivered, dropped)
+	}
+	st, _ := n.FaultStats(serverAddr)
+	if st.Corrupted != 200 {
+		t.Fatalf("Corrupted = %d, want 200", st.Corrupted)
+	}
+}
+
+// TestShardFaultIsolation pins the per-clock-domain contract: a plan on one
+// shard affects neither sibling shards nor the shared network, and network
+// plans are invisible to shards.
+func TestShardFaultIsolation(t *testing.T) {
+	n := faultNet(t, echoHandler(false))
+	sick := n.NewShard()
+	healthy := n.NewShard()
+	sick.SetFaultPlan(serverAddr, faults.Plan{Seed: 2, LossRate: 1})
+
+	if _, err := sick.Exchange(clientAddr, serverAddr, testQuery(1)); !errors.Is(err, ErrPacketLoss) {
+		t.Fatalf("faulted shard err = %v, want ErrPacketLoss", err)
+	}
+	if _, err := healthy.Exchange(clientAddr, serverAddr, testQuery(2)); err != nil {
+		t.Fatalf("sibling shard caught the fault: %v", err)
+	}
+	if _, err := n.Exchange(clientAddr, serverAddr, testQuery(3)); err != nil {
+		t.Fatalf("network caught the shard's fault: %v", err)
+	}
+
+	n.SetFaultPlan(serverAddr, faults.Plan{Seed: 3, LossRate: 1})
+	if _, err := healthy.Exchange(clientAddr, serverAddr, testQuery(4)); err != nil {
+		t.Fatalf("shard caught the network's fault plan: %v", err)
+	}
+	if _, err := n.Exchange(clientAddr, serverAddr, testQuery(5)); !errors.Is(err, ErrPacketLoss) {
+		t.Fatalf("network plan not applied: %v", err)
+	}
+
+	// Per-shard stats are independent.
+	if st, ok := sick.FaultStats(serverAddr); !ok || st.Attempts != 1 {
+		t.Fatalf("sick shard stats = %+v ok=%t", st, ok)
+	}
+	if _, ok := healthy.FaultStats(serverAddr); ok {
+		t.Fatal("healthy shard reports stats for a plan it never had")
+	}
+}
+
+// TestLatencyFaults pins spike latency onto the clock deterministically.
+func TestLatencyFaults(t *testing.T) {
+	n := faultNet(t, echoHandler(false))
+	n.SetFaultPlan(serverAddr, faults.Plan{SpikeRate: 1, SpikeLatency: 300 * time.Millisecond})
+	if _, err := n.Exchange(clientAddr, serverAddr, testQuery(1)); err != nil {
+		t.Fatalf("Exchange: %v", err)
+	}
+	if got := n.Now(); got != 350*time.Millisecond {
+		t.Fatalf("clock = %v, want 50ms RTT + 300ms spike", got)
+	}
+}
+
+// TestZeroPlanCountsAttempts: installing an inert plan is how experiments
+// meter a link (leaked sends per lookup) without perturbing it.
+func TestZeroPlanCountsAttempts(t *testing.T) {
+	n := faultNet(t, echoHandler(false))
+	n.SetFaultPlan(serverAddr, faults.Plan{})
+	for i := 0; i < 7; i++ {
+		if _, err := n.Exchange(clientAddr, serverAddr, testQuery(uint16(i))); err != nil {
+			t.Fatalf("zero plan perturbed exchange %d: %v", i, err)
+		}
+	}
+	if st, _ := n.FaultStats(serverAddr); st.Attempts != 7 || st != (faults.Stats{Attempts: 7}) {
+		t.Fatalf("stats = %+v, want Attempts=7 and nothing else", st)
+	}
+	if n.Now() != 7*50*time.Millisecond {
+		t.Fatalf("zero plan changed timing: clock = %v", n.Now())
+	}
+	n.ClearFaultPlans()
+	if _, ok := n.FaultStats(serverAddr); ok {
+		t.Fatal("ClearFaultPlans left stats behind")
+	}
+}
+
+// TestFaultedEventSizes: taps must see the mutated packet's wire size.
+func TestFaultedEventSizes(t *testing.T) {
+	h := newSignedHandler()
+	n := faultNet(t, h)
+	var plain, truncated int
+	n.AddTap(func(ev Event) {
+		if ev.RespSize > 0 && plain == 0 {
+			plain = ev.RespSize
+		} else {
+			truncated = ev.RespSize
+		}
+	})
+	if _, err := n.Exchange(clientAddr, serverAddr, testQuery(1)); err != nil {
+		t.Fatal(err)
+	}
+	n.SetFaultPlan(serverAddr, faults.Plan{TruncateRate: 1})
+	if _, err := n.Exchange(clientAddr, serverAddr, testQuery(2)); err != nil {
+		t.Fatal(err)
+	}
+	if truncated >= plain {
+		t.Fatalf("truncated RespSize %d not smaller than full %d", truncated, plain)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/dnsprivacy/lookaside/internal/dns"
+	"github.com/dnsprivacy/lookaside/internal/faults"
 )
 
 // Shard is an isolated clock domain layered over a shared Network. Each
@@ -32,6 +33,11 @@ type Shard struct {
 	// (Event.Client). Shards are driven sequentially by their audit, so
 	// one slot per shard suffices.
 	client netip.Addr
+	// faults holds this shard's per-link fault-injection state. Strictly
+	// shard-private: plans installed on the network are never consulted
+	// here, so each shard replays its own deterministic fault history
+	// regardless of worker interleaving.
+	faults map[netip.Addr]*faults.State
 }
 
 // swapClient installs addr as the shard's attribution client and returns
@@ -99,60 +105,14 @@ func (s *Shard) Advance(d time.Duration) {
 }
 
 // Exchange routes a query like Network.Exchange but advances only the
-// shard's clock and feeds the shard's taps (then the network's global
-// taps). Failure injection on shared servers — down flags and every-Nth
-// loss — still applies and remains globally ordered, so loss-injection
-// experiments should run sequentially. It implements Exchanger.
+// shard's clock, evaluates only the shard's fault plans, and feeds the
+// shard's taps (then the network's global taps). Failure injection on
+// shared servers — down flags and every-Nth loss — still applies and
+// remains globally ordered, so loss-injection experiments should run
+// sequentially (seeded fault plans, being shard-private, have no such
+// restriction). It implements Exchanger.
 func (s *Shard) Exchange(src, dst netip.Addr, q *dns.Message) (*dns.Message, error) {
-	entry, err := s.admit(dst)
-	if err != nil {
-		if entry != nil {
-			s.Advance(timeoutCost)
-		}
-		return nil, err
-	}
-
-	// Same attribution rule as Network.Exchange: exchanges nested inside a
-	// stub→recursive hop belong to that stub.
-	if entry.role == RoleRecursive {
-		prev := s.swapClient(src)
-		defer s.swapClient(prev)
-	}
-
-	resp, question, qLen, rLen, err := roundTrip(entry, src, q)
-	if err != nil {
-		return nil, err
-	}
-
-	rtt := 2 * entry.latency
-	s.mu.Lock()
-	s.now += rtt
-	now := s.now
-	taps := s.taps
-	s.mu.Unlock()
-	s.net.account(qLen, rLen)
-
-	ev := Event{
-		Time:      now,
-		Src:       src,
-		Dst:       dst,
-		Client:    s.attributedClient(src),
-		DstName:   entry.name,
-		DstRole:   entry.role,
-		Question:  question,
-		QuerySize: qLen,
-		RespSize:  rLen,
-		RCode:     resp.Header.RCode,
-		RTT:       rtt,
-		ZBit:      resp.Header.Z,
-	}
-	for _, tap := range taps {
-		tap(ev)
-	}
-	for _, tap := range s.net.tapsSnapshot() {
-		tap(ev)
-	}
-	return resp, nil
+	return exchangeOn(s, src, dst, q, false)
 }
 
 // admit resolves dst against the shard overlay first, then the shared

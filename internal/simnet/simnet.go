@@ -10,7 +10,6 @@
 package simnet
 
 import (
-	"errors"
 	"fmt"
 	"net/netip"
 	"sync"
@@ -18,15 +17,33 @@ import (
 	"time"
 
 	"github.com/dnsprivacy/lookaside/internal/dns"
+	"github.com/dnsprivacy/lookaside/internal/faults"
 )
 
-// Errors returned by the network.
+// netError is a network-condition error that knows whether it represents a
+// transient (retryable) condition; faults.IsTransient classifies through
+// the Transient method without either package importing the other.
+type netError struct {
+	msg       string
+	transient bool
+}
+
+// Error implements error.
+func (e *netError) Error() string { return e.msg }
+
+// Transient reports whether retrying could help (packet loss, timeouts) or
+// not (no route, misconfiguration).
+func (e *netError) Transient() bool { return e.transient }
+
+// Errors returned by the network. All are classifiable with errors.Is and
+// carry retryability for faults.IsTransient.
 var (
-	ErrNoRoute      = errors.New("simnet: no server at address")
-	ErrServerDown   = errors.New("simnet: server down (timeout)")
-	ErrPacketLoss   = errors.New("simnet: packet lost (timeout)")
-	ErrOversized    = errors.New("simnet: response exceeds advertised UDP size")
-	ErrDuplicateReg = errors.New("simnet: address already registered")
+	ErrNoRoute         error = &netError{"simnet: no server at address", false}
+	ErrServerDown      error = &netError{"simnet: server down (timeout)", true}
+	ErrPacketLoss      error = &netError{"simnet: packet lost (timeout)", true}
+	ErrCorruptResponse error = &netError{"simnet: response corrupted on the wire (timeout)", true}
+	ErrOversized       error = &netError{"simnet: response exceeds advertised UDP size", false}
+	ErrDuplicateReg    error = &netError{"simnet: address already registered", false}
 )
 
 // Role labels what part of the DNS ecosystem a server plays; the threat
@@ -161,6 +178,12 @@ type Network struct {
 	// Like the clock, it is meaningful only on the sequential path;
 	// concurrent audits use shards, which carry their own.
 	client netip.Addr
+	// faults holds per-link fault-injection state for exchanges made
+	// directly on the network (shards carry their own; see Shard.faults).
+	// faultsOn mirrors "any plan installed" so the no-faults hot path pays
+	// one atomic load instead of a lock.
+	faults   map[netip.Addr]*faults.State
+	faultsOn atomic.Bool
 
 	// Aggregate statistics, maintained as atomics so concurrent shards do
 	// not contend on the network lock.
@@ -394,56 +417,8 @@ func roundTripReference(entry *serverEntry, src netip.Addr, q *dns.Message) (res
 
 // Exchange sends a query from src to dst through the wire codec, invokes
 // the destination handler, and returns the decoded response. It advances
-// the clock by the link RTT, feeds capture taps, and maintains aggregate
-// counters. It implements Exchanger.
+// the clock by the link RTT, applies any fault plan on the link, feeds
+// capture taps, and maintains aggregate counters. It implements Exchanger.
 func (n *Network) Exchange(src, dst netip.Addr, q *dns.Message) (*dns.Message, error) {
-	entry, err := n.admit(dst)
-	if err != nil {
-		if entry != nil {
-			n.Advance(timeoutCost)
-		}
-		return nil, err
-	}
-
-	// A query entering the recursive resolver is resolved synchronously
-	// inside roundTrip, so every exchange the resolver issues before
-	// returning belongs to this stub: mark it as the attribution client
-	// for the duration (restored on return, so direct exchanges outside a
-	// stub query stay self-attributed).
-	if entry.role == RoleRecursive {
-		prev := n.swapClient(src)
-		defer n.swapClient(prev)
-	}
-
-	resp, question, qLen, rLen, err := roundTrip(entry, src, q)
-	if err != nil {
-		return nil, err
-	}
-
-	rtt := 2 * entry.latency
-	n.mu.Lock()
-	n.now += rtt
-	now := n.now
-	taps := n.taps
-	n.mu.Unlock()
-	n.account(qLen, rLen)
-
-	ev := Event{
-		Time:      now,
-		Src:       src,
-		Dst:       dst,
-		Client:    n.attributedClient(src),
-		DstName:   entry.name,
-		DstRole:   entry.role,
-		Question:  question,
-		QuerySize: qLen,
-		RespSize:  rLen,
-		RCode:     resp.Header.RCode,
-		RTT:       rtt,
-		ZBit:      resp.Header.Z,
-	}
-	for _, tap := range taps {
-		tap(ev)
-	}
-	return resp, nil
+	return exchangeOn(n, src, dst, q, false)
 }
