@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet cover bench bench-hotpath bench-faults fuzz experiments experiments-full clean
+.PHONY: all build test vet cover bench bench-hotpath bench-faults bench-sweep fuzz experiments experiments-full clean
 
 all: build vet test
 
@@ -26,20 +26,14 @@ bench:
 
 # Hot-path benchmarks (one simnet exchange plus the leak-curve sweeps) with
 # allocation reporting. Emits the raw output to BENCH_hotpath.txt and a
-# flat {benchmark: {metric: value}} summary to BENCH_hotpath.json.
+# flat {benchmark: {metric: value}} summary to BENCH_hotpath.json via
+# scripts/bench2json.awk.
 BENCHTIME ?= 2s
 
 bench-hotpath:
 	$(GO) test -run XXX -bench 'BenchmarkExchange|BenchmarkFig8DLVQueries|BenchmarkFig9LeakProportion' \
 		-benchmem -benchtime $(BENCHTIME) . | tee BENCH_hotpath.txt
-	@awk 'BEGIN { printf "{"; n = 0 } \
-		/^Benchmark/ { \
-			if (n++) printf ","; \
-			printf "\n  \"%s\": {\"ns_per_op\": %s", $$1, $$3; \
-			for (i = 5; i < NF; i += 2) printf ", \"%s\": %s", $$(i+1), $$i; \
-			printf "}" \
-		} \
-		END { print "\n}" }' BENCH_hotpath.txt > BENCH_hotpath.json
+	@awk -f scripts/bench2json.awk BENCH_hotpath.txt > BENCH_hotpath.json
 	@cat BENCH_hotpath.json
 
 # Fault benchmarks: the E17 retry-amplification experiment end to end plus
@@ -49,15 +43,20 @@ bench-hotpath:
 bench-faults:
 	$(GO) test -run XXX -bench 'BenchmarkFaultsExperiment|BenchmarkFaultedExchange' \
 		-benchmem -benchtime $(BENCHTIME) . | tee BENCH_faults.txt
-	@awk 'BEGIN { printf "{"; n = 0 } \
-		/^Benchmark/ { \
-			if (n++) printf ","; \
-			printf "\n  \"%s\": {\"ns_per_op\": %s", $$1, $$3; \
-			for (i = 5; i < NF; i += 2) printf ", \"%s\": %s", $$(i+1), $$i; \
-			printf "}" \
-		} \
-		END { print "\n}" }' BENCH_faults.txt > BENCH_faults.json
+	@awk -f scripts/bench2json.awk BENCH_faults.txt > BENCH_faults.json
 	@cat BENCH_faults.json
+
+# Million-domain sweep benchmarks (DESIGN.md §9): universe setup lazy vs.
+# eager, end-to-end sweep throughput at 10k/100k/1M, and the pre-sweep
+# pooled-worker baseline. One iteration per point is the measurement (the
+# sweep audits the whole population internally), so this target always runs
+# -benchtime=1x; the 1M point takes a few minutes and a few GB. Emits
+# BENCH_sweep.txt and BENCH_sweep.json.
+bench-sweep:
+	$(GO) test -run XXX -bench 'BenchmarkSweepSetup|BenchmarkSweepThroughput|BenchmarkSweepBaseline' \
+		-benchmem -benchtime 1x -timeout 60m . | tee BENCH_sweep.txt
+	@awk -f scripts/bench2json.awk BENCH_sweep.txt > BENCH_sweep.json
+	@cat BENCH_sweep.json
 
 # Short fuzzing pass over every Fuzz* target (wire decoder, zone parser,
 # fault schedules). -fuzz accepts a single target per run, so discover and
@@ -82,4 +81,4 @@ experiments-full:
 clean:
 	$(GO) clean ./...
 	rm -f test_output.txt bench_output.txt BENCH_hotpath.txt BENCH_hotpath.json \
-		BENCH_faults.txt BENCH_faults.json
+		BENCH_faults.txt BENCH_faults.json BENCH_sweep.txt BENCH_sweep.json

@@ -38,6 +38,7 @@ var experimentNames = []string{
 	"table4", "table5", "fig10", "fig11", "fig12", "deployment",
 	"dictionary", "nsec3", "fleet", "registry-size", "qname-min",
 	"phaseout", "policy", "padding", "enumeration", "adversary", "faults",
+	"sweep",
 }
 
 func run(args []string) error {
@@ -46,6 +47,8 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "random seed (experiments are deterministic in it)")
 	scale := fs.Int("scale", 100, "workload divisor: 1 = paper scale, 100 = 1% size")
 	traceMinutes := fs.Int("trace-minutes", 0, "override Fig. 12 trace length (0 = 7h/scale)")
+	population := fs.Int("population", 0,
+		"single population size for -exp sweep, up to 1M (0 = the 10k/100k/1M ladder divided by -scale)")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0),
 		"concurrent experiments and sweep points; results are identical at any setting")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -124,7 +127,7 @@ func run(args []string) error {
 		name := name
 		jobs = append(jobs, experiment.Job{
 			Name: name,
-			Run:  func() (fmt.Stringer, error) { return dispatch(name, p, *traceMinutes, knobs) },
+			Run:  func() (fmt.Stringer, error) { return dispatch(name, p, *traceMinutes, *population, knobs) },
 		})
 	}
 	if len(selected) > 0 {
@@ -152,7 +155,7 @@ func run(args []string) error {
 
 // dispatch runs one named experiment. fig8/fig9 share a sweep but are
 // dispatched separately so either can be regenerated alone.
-func dispatch(name string, p experiment.Params, traceMinutes int, knobs experiment.FaultKnobs) (fmt.Stringer, error) {
+func dispatch(name string, p experiment.Params, traceMinutes, population int, knobs experiment.FaultKnobs) (fmt.Stringer, error) {
 	switch name {
 	case "table1":
 		return experiment.Table1(), nil
@@ -221,6 +224,12 @@ func dispatch(name string, p experiment.Params, traceMinutes int, knobs experime
 		return experiment.Adversary(p)
 	case "faults":
 		return experiment.Faults(p, knobs)
+	case "sweep":
+		var populations []int
+		if population > 0 {
+			populations = []int{population}
+		}
+		return experiment.Sweep(p, populations)
 	default:
 		return nil, fmt.Errorf("no such experiment")
 	}

@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"syscall"
 
+	"github.com/dnsprivacy/lookaside/internal/core"
 	"github.com/dnsprivacy/lookaside/internal/dataset"
 	"github.com/dnsprivacy/lookaside/internal/dns"
 	"github.com/dnsprivacy/lookaside/internal/dnssec"
@@ -54,6 +55,8 @@ func run(args []string) error {
 	printTop := fs.Int("print-top", 10, "print the N most popular domains at startup")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0),
 		"resolver instances serving queries concurrently (1 = single-threaded)")
+	sharedInfra := fs.Bool("shared-infra", true,
+		"with workers > 1, pre-validate root/TLD/registry state once and share the sealed cache across instances")
 	verbose := fs.Bool("v", false, "log every query observed at the DLV registry")
 	faultSeed := fs.Int64("faultseed", 0, "fault-schedule seed (0 = -seed)")
 	loss := fs.Float64("loss", 0, "drop probability on the DLV registry link (0 = healthy)")
@@ -135,7 +138,7 @@ func run(args []string) error {
 			Breaker:     &faults.BreakerConfig{},
 		}
 	}
-	handler, stats, err := buildHandler(u, cfg, *workers, plan)
+	handler, stats, err := buildHandler(u, cfg, *workers, *sharedInfra, plan)
 	if err != nil {
 		return err
 	}
@@ -185,11 +188,16 @@ func run(args []string) error {
 // buildHandler starts the serving resolver(s). With workers <= 1 it is the
 // classic single resolver on the shared network; with more, N independent
 // resolver instances each run on a private simnet shard (own virtual clock
-// and caches) but share one RRSIG verification cache, and incoming queries
+// and caches) but share one RRSIG verification cache — and, with
+// sharedInfra, a sealed infrastructure cache warmed once, so instances skip
+// the identical root/TLD/registry validation walks — and incoming queries
 // round-robin across them. The returned stats func merges all instances.
 // A non-nil fault plan is installed on every shard (fault state is per
-// clock domain, so the global network's plan does not reach shards).
-func buildHandler(u *universe.Universe, cfg resolver.Config, workers int, plan *faults.Plan) (simnet.Handler, func() resolver.Stats, error) {
+// clock domain, so the global network's plan does not reach shards),
+// including the warm-up shard: a fleet warmed during the registry
+// trouble experiences it too, rather than coming up pre-loaded with
+// registry state it could never have fetched.
+func buildHandler(u *universe.Universe, cfg resolver.Config, workers int, sharedInfra bool, plan *faults.Plan) (simnet.Handler, func() resolver.Stats, error) {
 	if workers <= 1 {
 		r, err := u.StartResolver(cfg)
 		if err != nil {
@@ -198,6 +206,13 @@ func buildHandler(u *universe.Universe, cfg resolver.Config, workers int, plan *
 		return r, r.Stats, nil
 	}
 	cfg.VerifyCache = dnssec.NewVerifyCache()
+	if sharedInfra {
+		ic, err := core.WarmInfraUnder(u, cfg, plan)
+		if err != nil {
+			return nil, nil, fmt.Errorf("warming shared infrastructure: %w", err)
+		}
+		cfg.Infra = ic
+	}
 	pool := &resolverPool{
 		res: make([]*resolver.Resolver, workers),
 		mus: make([]sync.Mutex, workers),

@@ -68,9 +68,14 @@ type Auditor struct {
 	secureAnswers int
 	servfails     int
 	shard         *simnet.Shard // nil on the sequential path
-	latencies     []time.Duration
-	scratch       []time.Duration
-	nextID        uint16
+	// latHist counts primary-query latencies by exact value. Simulated
+	// latencies are sums of a few fixed link delays, so the histogram
+	// stays tiny while the sample count grows with the workload —
+	// million-domain sweeps keep O(distinct values) memory instead of one
+	// slice element per query, and per-shard histograms merge by addition.
+	latHist  map[time.Duration]int
+	latCount int
+	nextID   uint16
 	// aaaaShare controls how many domains also get an AAAA stub query
 	// (percent; the paper's captures show roughly half).
 	aaaaShare int
@@ -117,6 +122,7 @@ func NewAuditor(u *universe.Universe, opts Options) (*Auditor, error) {
 	return &Auditor{
 		port: netPort{u: u}, r: r, analyzer: an,
 		started:   u.Net.Now(),
+		latHist:   make(map[time.Duration]int),
 		aaaaShare: share,
 	}, nil
 }
@@ -145,6 +151,7 @@ func NewShardAuditor(u *universe.Universe, opts Options) (*Auditor, error) {
 		port: shardPort{u: u, sh: sh}, r: r, analyzer: an,
 		shard:     sh,
 		started:   sh.Now(),
+		latHist:   make(map[time.Duration]int),
 		aaaaShare: share,
 	}, nil
 }
@@ -178,7 +185,8 @@ func (a *Auditor) QueryDomainAs(client netip.Addr, name dns.Name) error {
 	if err != nil {
 		return fmt.Errorf("core: stub query %s/A: %w", name, err)
 	}
-	a.latencies = append(a.latencies, a.port.Now()-start)
+	a.latHist[a.port.Now()-start]++
+	a.latCount++
 	if resp.Header.AD {
 		a.secureAnswers++
 	}
@@ -272,8 +280,7 @@ func (r *Report) ServfailProportion() float64 {
 
 // Report snapshots the audit so far.
 func (a *Auditor) Report() Report {
-	var p50, p95 time.Duration
-	p50, p95, a.scratch = percentiles(a.latencies, a.scratch)
+	p50, p95 := histPercentiles(a.latHist, a.latCount)
 	return Report{
 		QueriedDomains: a.queried,
 		SecureAnswers:  a.secureAnswers,
@@ -286,6 +293,38 @@ func (a *Auditor) Report() Report {
 		LatencyP95:     p95,
 		observed:       a.analyzer.ObservedDomains(),
 	}
+}
+
+// histPercentiles computes the same nearest-rank percentiles as percentiles
+// but from a value-count histogram: the p-th percentile is the smallest
+// value whose cumulative count reaches rank ceil(p·n), which is exactly the
+// 1-based rank-R element of the sorted sample (TestHistPercentilesMatch
+// pins the equivalence). Sharded reports merge per-shard histograms by
+// addition and call this once, never materializing the pooled sample.
+func histPercentiles(hist map[time.Duration]int, n int) (p50, p95 time.Duration) {
+	if n == 0 {
+		return 0, 0
+	}
+	values := make([]time.Duration, 0, len(hist))
+	for v := range hist {
+		values = append(values, v)
+	}
+	slices.Sort(values)
+	r50 := int(math.Ceil(0.50 * float64(n)))
+	r95 := int(math.Ceil(0.95 * float64(n)))
+	cum := 0
+	have50 := false
+	for _, v := range values {
+		cum += hist[v]
+		if !have50 && cum >= r50 {
+			p50, have50 = v, true
+		}
+		if cum >= r95 {
+			p95 = v
+			break
+		}
+	}
+	return p50, p95
 }
 
 // percentiles computes the nearest-rank (RFC-free, Hyndman-Fan type 1) 50th

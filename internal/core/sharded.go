@@ -97,16 +97,20 @@ func (s *ShardedAuditor) QueryDomains(domains []dataset.Domain) error {
 	return errors.Join(errs...)
 }
 
-// Report merges the per-shard reports: counters and query-mix tables sum,
-// observed-domain sets union (Case-1 dominating, as in live capture),
-// latency percentiles are computed over the pooled samples, and Elapsed is
-// the slowest shard's simulated time — the parallel wall-clock analogue.
+// Report merges the per-shard reports as a stream: counters and query-mix
+// tables sum, observed-domain sets union (Case-1 dominating, as in live
+// capture), per-shard latency histograms add (so percentiles come from the
+// exact pooled distribution without materializing one sample per query),
+// and Elapsed is the slowest shard's simulated time — the parallel
+// wall-clock analogue. Merge state is O(shards + distinct latency values),
+// independent of workload size.
 func (s *ShardedAuditor) Report() Report {
 	merged := capture.NewAnalyzer(analyzerConfig(s.u))
 	var stats resolver.Stats
 	var queried, stubQueries, secure, servfails int
 	var elapsed time.Duration
-	var latencies []time.Duration
+	hist := make(map[time.Duration]int)
+	count := 0
 	for _, a := range s.auditors {
 		merged.Merge(a.analyzer)
 		stats = stats.Plus(a.r.Stats())
@@ -114,12 +118,15 @@ func (s *ShardedAuditor) Report() Report {
 		stubQueries += a.stubQueries
 		secure += a.secureAnswers
 		servfails += a.servfails
-		latencies = append(latencies, a.latencies...)
+		for v, n := range a.latHist {
+			hist[v] += n
+		}
+		count += a.latCount
 		if d := a.port.Now() - a.started; d > elapsed {
 			elapsed = d
 		}
 	}
-	p50, p95, _ := percentiles(latencies, nil)
+	p50, p95 := histPercentiles(hist, count)
 	return Report{
 		QueriedDomains: queried,
 		SecureAnswers:  secure,

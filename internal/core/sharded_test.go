@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math/rand"
 	"reflect"
 	"testing"
 	"time"
@@ -137,5 +138,33 @@ func TestPercentilesNearestRank(t *testing.T) {
 	// The input must not be reordered by the call.
 	if samples[0] != ms(10) || samples[9] != ms(1) {
 		t.Error("percentiles mutated its input")
+	}
+}
+
+// TestHistPercentilesMatch pins the histogram path to the sample path: for
+// random samples the histogram percentiles must equal the nearest-rank
+// percentiles of the raw sample, so switching the auditors to streaming
+// histograms changed no reported number.
+func TestHistPercentilesMatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(50)
+		samples := make([]time.Duration, n)
+		hist := make(map[time.Duration]int)
+		for i := range samples {
+			// Few distinct values, like simulated link-latency sums.
+			v := time.Duration(1+rng.Intn(12)) * time.Millisecond
+			samples[i] = v
+			hist[v]++
+		}
+		wantP50, wantP95, _ := percentiles(samples, nil)
+		gotP50, gotP95 := histPercentiles(hist, n)
+		if gotP50 != wantP50 || gotP95 != wantP95 {
+			t.Fatalf("trial %d (n=%d): hist (%v, %v) != sample (%v, %v)",
+				trial, n, gotP50, gotP95, wantP50, wantP95)
+		}
+	}
+	if p50, p95 := histPercentiles(nil, 0); p50 != 0 || p95 != 0 {
+		t.Errorf("empty histogram: (%v, %v), want zeros", p50, p95)
 	}
 }

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/dnsprivacy/lookaside/internal/simnet"
+)
+
+// TestCacheTTLExpiry pins the cache's clock behavior end to end on the
+// simnet logical clock: a warm re-query is served entirely from cache (no
+// wire traffic beyond the stub exchange), and once the clock advances past
+// every answer TTL (positives 300s, negative/NSEC material 900s, DLV
+// deposits 3600s) the same query hits the wire again — including fresh
+// look-aside queries at the registry, whose suppressing NSEC spans have
+// expired with everything else.
+func TestCacheTTLExpiry(t *testing.T) {
+	u, pop := buildUniverse(t, 6)
+	a, err := NewShardAuditor(u, auditorConfig(u))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := a.Shard()
+	var wire, dlv int
+	sh.AddTap(func(ev simnet.Event) {
+		if ev.DstRole == simnet.RoleRecursive || ev.DstRole == simnet.RoleStub {
+			return // stub-level traffic, not resolver cache misses
+		}
+		wire++
+		if ev.DstRole == simnet.RoleDLV {
+			dlv++
+		}
+	})
+
+	// An unsigned domain exercises both cache families: positive answers
+	// for the A query, and the look-aside walk's negative spans.
+	var target = pop.Top(30)[0]
+	for _, d := range pop.Top(30) {
+		if !d.Signed {
+			target = d
+			break
+		}
+	}
+	if target.Signed {
+		t.Fatal("population has no unsigned domain in the top 30")
+	}
+
+	if err := a.QueryDomain(target.Name); err != nil {
+		t.Fatal(err)
+	}
+	coldWire, coldDLV := wire, dlv
+	if coldWire == 0 || coldDLV == 0 {
+		t.Fatalf("cold query produced %d wire / %d DLV events, want both > 0", coldWire, coldDLV)
+	}
+
+	if err := a.QueryDomain(target.Name); err != nil {
+		t.Fatal(err)
+	}
+	if wire != coldWire {
+		t.Errorf("warm re-query hit the wire %d times, want 0", wire-coldWire)
+	}
+
+	// 2h expires every answer and span; only the 48h delegations survive.
+	sh.Advance(2 * time.Hour)
+	if err := a.QueryDomain(target.Name); err != nil {
+		t.Fatal(err)
+	}
+	if wire == coldWire {
+		t.Error("post-expiry re-query produced no wire traffic — entries never expired")
+	}
+	if dlv == coldDLV {
+		t.Error("post-expiry re-query sent no DLV queries — NSEC spans never expired")
+	}
+
+	// The delegations (TTL 172800s) must still be cached: the post-expiry
+	// walk re-fetches the answer and the look-aside proof, not the whole
+	// root-to-TLD referral chain.
+	if grew := wire - coldWire; grew >= coldWire {
+		t.Errorf("post-expiry re-query cost %d wire events vs %d cold — delegations expired too?",
+			grew, coldWire)
+	}
+}

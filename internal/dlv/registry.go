@@ -92,12 +92,22 @@ type Config struct {
 	Empty bool
 }
 
+// DepositIndex is a derived deposit set: a lazily materialized registry
+// (universe.Build's default) answers membership and counts from the domain
+// population instead of explicit Deposit calls. Implementations must be
+// safe for concurrent use.
+type DepositIndex interface {
+	HasDeposit(domain dns.Name) bool
+	DepositCount() int
+}
+
 // Registry is a DLV registry: a signed zone of deposited DLV records.
 type Registry struct {
 	mu       sync.RWMutex
 	cfg      Config
 	zone     *zone.Zone
 	deposits map[dns.Name]bool
+	idx      DepositIndex
 	ksk      *dnssec.KeyPair
 }
 
@@ -177,13 +187,24 @@ func (r *Registry) Deposit(domain dns.Name, record *dns.DLVData) error {
 	return nil
 }
 
+// AttachDepositIndex installs a derived deposit set consulted alongside
+// explicit deposits (the lazily materialized registry path).
+func (r *Registry) AttachDepositIndex(idx DepositIndex) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.idx = idx
+}
+
 // HasDeposit reports whether domain (the original name, not the registry
-// name) has a deposited record. It implements authserver.Signaler for the
-// DLV-aware DNS remedies.
+// name) has a deposited record — explicit or index-derived. It implements
+// authserver.Signaler for the DLV-aware DNS remedies.
 func (r *Registry) HasDeposit(domain dns.Name) bool {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	return r.deposits[domain]
+	if r.deposits[domain] {
+		return true
+	}
+	return r.idx != nil && r.idx.HasDeposit(domain)
 }
 
 // HasDLV implements the authserver.Signaler method set.
@@ -193,5 +214,9 @@ func (r *Registry) HasDLV(domain dns.Name) bool { return r.HasDeposit(domain) }
 func (r *Registry) DepositCount() int {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	return len(r.deposits)
+	n := len(r.deposits)
+	if r.idx != nil {
+		n += r.idx.DepositCount()
+	}
+	return n
 }

@@ -206,21 +206,39 @@ func (n Name) WireLen() int {
 // order"): labels are compared right to left as case-insensitive byte
 // strings, and absence of a label sorts before any label. It returns -1, 0,
 // or +1. This ordering underpins the NSEC chain and span-covering logic.
+//
+// Names are canonically lowercase (the MakeName invariant), so labels
+// compare as plain byte strings. The walk slices labels off the ends of
+// both names in place — this is the hottest comparison in the repository
+// (zone owner indexes, NSEC span search) and must not allocate.
 func CanonicalCompare(a, b Name) int {
-	al, bl := a.Labels(), b.Labels()
-	for i := 1; ; i++ {
-		ai, bi := len(al)-i, len(bl)-i
+	if a == b {
+		return 0
+	}
+	// ad/bd index the dot that closes each name's next unread label
+	// (rightmost first); negative means that name is exhausted.
+	ad, bd := len(a)-1, len(b)-1
+	if a.IsRoot() {
+		ad = -1
+	}
+	if b.IsRoot() {
+		bd = -1
+	}
+	for {
 		switch {
-		case ai < 0 && bi < 0:
+		case ad < 0 && bd < 0:
 			return 0
-		case ai < 0:
+		case ad < 0:
 			return -1
-		case bi < 0:
+		case bd < 0:
 			return 1
 		}
-		if c := strings.Compare(al[ai], bl[bi]); c != 0 {
+		as := strings.LastIndexByte(string(a[:ad]), '.') + 1
+		bs := strings.LastIndexByte(string(b[:bd]), '.') + 1
+		if c := strings.Compare(string(a[as:ad]), string(b[bs:bd])); c != 0 {
 			return c
 		}
+		ad, bd = as-1, bs-1
 	}
 }
 

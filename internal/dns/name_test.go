@@ -311,3 +311,50 @@ func TestCoveredSpanProperty(t *testing.T) {
 		}
 	}
 }
+
+// TestCanonicalCompareMatchesReference pins the allocation-free comparison
+// against the straightforward split-into-labels definition of RFC 4034
+// §6.1, over random names plus the shared-prefix shapes the in-place walk
+// could get wrong.
+func TestCanonicalCompareMatchesReference(t *testing.T) {
+	reference := func(a, b Name) int {
+		al, bl := a.Labels(), b.Labels()
+		for i := 1; ; i++ {
+			ai, bi := len(al)-i, len(bl)-i
+			switch {
+			case ai < 0 && bi < 0:
+				return 0
+			case ai < 0:
+				return -1
+			case bi < 0:
+				return 1
+			}
+			if c := strings.Compare(al[ai], bl[bi]); c != 0 {
+				return c
+			}
+		}
+	}
+	fixed := []Name{
+		Root, MustName("com"), MustName("example.com"),
+		MustName("a.example.com"), MustName("aa.example.com"),
+		MustName("ab.x"), MustName("abc.x"), MustName("b.x"),
+		MustName("x"), MustName("x.x"), MustName("*.example.com"),
+	}
+	r := rand.New(rand.NewSource(3))
+	names := append([]Name{}, fixed...)
+	for i := 0; i < 150; i++ {
+		names = append(names, randomName(r))
+	}
+	for _, a := range names {
+		for _, b := range names {
+			if got, want := CanonicalCompare(a, b), reference(a, b); got != want {
+				t.Fatalf("CanonicalCompare(%q, %q) = %d, reference says %d", a, b, got, want)
+			}
+		}
+	}
+	if got := testing.AllocsPerRun(100, func() {
+		CanonicalCompare(fixed[3], fixed[4])
+	}); got != 0 {
+		t.Errorf("CanonicalCompare allocates %.1f times per call, want 0", got)
+	}
+}

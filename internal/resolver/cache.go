@@ -7,22 +7,94 @@ import (
 	"github.com/dnsprivacy/lookaside/internal/dns"
 )
 
+// CacheLimits bounds every piece of per-resolver cache state. Zero fields
+// take defaults sized so the seed-era behavior is unchanged (the defaults
+// never trip in the test suite); million-domain sweeps pass tighter limits
+// so a worker's memory stays proportional to its cache bound, not to the
+// population.
+type CacheLimits struct {
+	// Answers bounds the positive and negative answer caches (entries
+	// each). Default 1<<21, the historical cap.
+	Answers int
+	// Delegations bounds the referral (zone-cut) cache. Default 1<<20.
+	Delegations int
+	// Zones bounds the per-zone validation outcomes and the NS-completion
+	// ledger. Default 1<<20.
+	Zones int
+	// Servers bounds the first-contact server ledger (PTR sampling).
+	// Default 1<<20.
+	Servers int
+	// Spans bounds each zone's validated NSEC span store. Default 1<<20.
+	Spans int
+}
+
+// Cache limit defaults.
+const (
+	defaultAnswerCap = 1 << 21
+	defaultOtherCap  = 1 << 20
+)
+
+// withDefaults fills zero limits.
+func (l CacheLimits) withDefaults() CacheLimits {
+	if l.Answers <= 0 {
+		l.Answers = defaultAnswerCap
+	}
+	if l.Delegations <= 0 {
+		l.Delegations = defaultOtherCap
+	}
+	if l.Zones <= 0 {
+		l.Zones = defaultOtherCap
+	}
+	if l.Servers <= 0 {
+		l.Servers = defaultOtherCap
+	}
+	if l.Spans <= 0 {
+		l.Spans = defaultOtherCap
+	}
+	return l
+}
+
+// CacheSizes reports the current entry counts of every cache (see
+// Resolver.CacheSizes); the steady-state tests assert these stay within the
+// configured limits.
+type CacheSizes struct {
+	Positive, Negative int
+	Delegations        int
+	ZoneOutcomes       int
+	Servers            int
+	NSCompleted        int
+	Spans              int
+}
+
 // cache holds every piece of resolver state: positive and negative answer
 // caches, the delegation (referral) cache, per-zone validation results,
 // and the validated NSEC span store that powers aggressive negative
-// caching of the DLV zone.
+// caching of the DLV zone. Each map is paired with an insertion-order
+// queue so eviction is deterministic: expired entries go first (the
+// logical clock is deterministic), then the oldest survivors, down to 3/4
+// of the limit. Overwrites keep an entry's original queue position.
 type cache struct {
-	positive    map[dns.Key]posEntry
-	negative    map[dns.Key]negEntry
+	limits CacheLimits
+
+	positive map[dns.Key]posEntry
+	posOrder []dns.Key
+	negative map[dns.Key]negEntry
+	negOrder []dns.Key
+
 	delegations map[dns.Name]*delegation
+	delOrder    []dns.Name
 	zoneStatus  map[dns.Name]*zoneOutcome
+	zoneOrder   []dns.Name
 	spans       map[dns.Name]*spanStore
 	seenServers map[netip.Addr]bool
+	seenOrder   []netip.Addr
 	nsCompleted map[dns.Name]bool
+	nsOrder     []dns.Name
 }
 
-func newCache() *cache {
+func newCache(limits CacheLimits) *cache {
 	return &cache{
+		limits:      limits.withDefaults(),
 		positive:    make(map[dns.Key]posEntry),
 		negative:    make(map[dns.Key]negEntry),
 		delegations: make(map[dns.Name]*delegation),
@@ -61,6 +133,16 @@ type delegation struct {
 	servers []nsServer
 }
 
+// clone deep-copies a delegation. The glueless-resolution path writes
+// resolved addresses into servers in place, so a delegation adopted from
+// the shared infrastructure cache (or exported into it) must own its
+// servers slice.
+func (d *delegation) clone() *delegation {
+	c := &delegation{parent: d.parent, servers: make([]nsServer, len(d.servers))}
+	copy(c.servers, d.servers)
+	return c
+}
+
 // zoneOutcome caches per-zone validation state.
 type zoneOutcome struct {
 	status ValidationStatus
@@ -82,40 +164,100 @@ type span struct {
 // spanStore keeps validated NSEC spans queryable by coverage. Inserts go to
 // an unsorted tail; when the tail grows past a threshold it is merged into
 // the sorted body, keeping both insert and lookup cheap at the scale of the
-// million-domain sweeps.
+// million-domain sweeps. A limit bounds the total span count: at the cap,
+// expired spans are purged; if every span is still live the store resets
+// wholesale — crude, but deterministic, and spans rebuild from subsequent
+// denials.
 type spanStore struct {
 	sorted []span
 	tail   []span
+	limit  int
 }
 
-// tailLimit bounds the unsorted tail before a merge.
-const tailLimit = 512
+// tailLimit bounds the unsorted tail before a merge. covers scans the tail
+// linearly on every look-aside check, so the tail must stay small; merges
+// are cheap (sort the tail, then one linear pass over the body).
+const tailLimit = 64
 
-func (s *spanStore) add(sp span) {
+func (s *spanStore) add(sp span, now uint32) {
+	if s.limit > 0 && s.size() >= s.limit {
+		s.purge(now)
+		if s.size() >= s.limit {
+			s.sorted, s.tail = s.sorted[:0], s.tail[:0]
+		}
+	}
 	s.tail = append(s.tail, sp)
 	if len(s.tail) >= tailLimit {
 		s.merge()
 	}
 }
 
-func (s *spanStore) merge() {
-	s.sorted = append(s.sorted, s.tail...)
-	s.tail = s.tail[:0]
-	sort.Slice(s.sorted, func(i, j int) bool {
-		return dns.CanonicalLess(s.sorted[i].owner, s.sorted[j].owner)
-	})
-	// Deduplicate identical owners, keeping the freshest expiry.
-	out := s.sorted[:0]
+// purge drops expired spans from both the sorted body and the tail.
+func (s *spanStore) purge(now uint32) {
+	live := s.sorted[:0]
 	for _, sp := range s.sorted {
-		if len(out) > 0 && out[len(out)-1].owner == sp.owner {
-			if sp.expires > out[len(out)-1].expires {
-				out[len(out)-1] = sp
+		if sp.expires >= now {
+			live = append(live, sp)
+		}
+	}
+	s.sorted = live
+	liveTail := s.tail[:0]
+	for _, sp := range s.tail {
+		if sp.expires >= now {
+			liveTail = append(liveTail, sp)
+		}
+	}
+	s.tail = liveTail
+}
+
+// merge folds the tail into the sorted body: sort the (small) tail, then
+// one linear two-way merge, deduplicating identical owners with the
+// freshest expiry. The body is never re-sorted — with tens of thousands of
+// harvested spans per registry at sweep scale, a full sort per merge would
+// dominate the audit.
+func (s *spanStore) merge() {
+	sort.Slice(s.tail, func(i, j int) bool {
+		return dns.CanonicalLess(s.tail[i].owner, s.tail[j].owner)
+	})
+	out := make([]span, 0, len(s.sorted)+len(s.tail))
+	i, j := 0, 0
+	push := func(sp span) {
+		if n := len(out); n > 0 && out[n-1].owner == sp.owner {
+			if sp.expires > out[n-1].expires {
+				out[n-1] = sp
 			}
-			continue
+			return
 		}
 		out = append(out, sp)
 	}
-	s.sorted = out
+	for i < len(s.sorted) && j < len(s.tail) {
+		if dns.CanonicalCompare(s.sorted[i].owner, s.tail[j].owner) <= 0 {
+			push(s.sorted[i])
+			i++
+		} else {
+			push(s.tail[j])
+			j++
+		}
+	}
+	for ; i < len(s.sorted); i++ {
+		push(s.sorted[i])
+	}
+	for ; j < len(s.tail); j++ {
+		push(s.tail[j])
+	}
+	s.sorted, s.tail = out, s.tail[:0]
+}
+
+// clone returns an independent, fully merged copy of the store (for export
+// into the shared infrastructure cache).
+func (s *spanStore) clone() *spanStore {
+	c := &spanStore{limit: s.limit}
+	c.sorted = append(c.sorted, s.sorted...)
+	c.tail = append(c.tail, s.tail...)
+	if len(c.tail) > 0 {
+		c.merge()
+	}
+	return c
 }
 
 // covers reports whether a live cached span proves the nonexistence of
@@ -150,39 +292,137 @@ func (s *spanStore) covers(name dns.Name, now uint32) bool {
 // size returns the number of stored spans (for tests).
 func (s *spanStore) size() int { return len(s.sorted) + len(s.tail) }
 
-// cacheCap bounds the positive and negative caches (entries each). When
-// exceeded, an arbitrary quarter of the entries is evicted — crude next to
-// BIND's LRU, but entries are deterministic to rebuild and eviction order
-// does not affect the experiments' leak accounting.
-const cacheCap = 1 << 21
-
-// enforceCap evicts when either cache exceeds its bound.
-func (c *cache) enforceCap() {
-	if len(c.positive) >= cacheCap {
-		evictQuarter(c.positive)
+// evictTo enforces a map's limit before a new key is inserted: expired
+// entries are dropped first (in insertion order), then the oldest survivors
+// until the map holds at most 3/4 of the limit. Both passes depend only on
+// insertion order and the logical clock, so eviction is deterministic. The
+// compacted order queue is returned.
+func evictTo[K comparable, V any](m map[K]V, order []K, limit int, expired func(V) bool) []K {
+	kept := order[:0]
+	for _, k := range order {
+		v, ok := m[k]
+		if !ok {
+			continue
+		}
+		if expired != nil && expired(v) {
+			delete(m, k)
+			continue
+		}
+		kept = append(kept, k)
 	}
-	if len(c.negative) >= cacheCap {
-		evictQuarter(c.negative)
+	target := limit - limit/4
+	drop := 0
+	for len(m) > target && drop < len(kept) {
+		delete(m, kept[drop])
+		drop++
 	}
+	if drop > 0 {
+		n := copy(kept, kept[drop:])
+		kept = kept[:n]
+	}
+	return kept
 }
 
-func evictQuarter[V any](m map[dns.Key]V) {
-	target := len(m) / 4
-	for k := range m {
-		delete(m, k)
-		target--
-		if target <= 0 {
-			return
+// storePositive writes a positive answer, enforcing the answer bound.
+func (c *cache) storePositive(key dns.Key, e posEntry, now uint32) {
+	if _, ok := c.positive[key]; !ok {
+		if len(c.positive) >= c.limits.Answers {
+			c.posOrder = evictTo(c.positive, c.posOrder, c.limits.Answers,
+				func(e posEntry) bool { return e.expires < now })
 		}
+		c.posOrder = append(c.posOrder, key)
 	}
+	c.positive[key] = e
+}
+
+// storeNegative writes a negative answer, enforcing the answer bound.
+func (c *cache) storeNegative(key dns.Key, e negEntry, now uint32) {
+	if _, ok := c.negative[key]; !ok {
+		if len(c.negative) >= c.limits.Answers {
+			c.negOrder = evictTo(c.negative, c.negOrder, c.limits.Answers,
+				func(e negEntry) bool { return e.expires < now })
+		}
+		c.negOrder = append(c.negOrder, key)
+	}
+	c.negative[key] = e
+}
+
+// storeDelegation writes a zone cut, enforcing the delegation bound.
+// Delegations carry no TTL in this model, so eviction is purely FIFO; a
+// dropped cut is relearned through a referral walk.
+func (c *cache) storeDelegation(name dns.Name, d *delegation) {
+	if _, ok := c.delegations[name]; !ok {
+		if len(c.delegations) >= c.limits.Delegations {
+			c.delOrder = evictTo(c.delegations, c.delOrder, c.limits.Delegations, nil)
+		}
+		c.delOrder = append(c.delOrder, name)
+	}
+	c.delegations[name] = d
+}
+
+// storeZoneStatus writes a per-zone validation outcome, enforcing the zone
+// bound. An evicted outcome is re-established by re-validating the chain.
+func (c *cache) storeZoneStatus(name dns.Name, out *zoneOutcome) {
+	if _, ok := c.zoneStatus[name]; !ok {
+		if len(c.zoneStatus) >= c.limits.Zones {
+			c.zoneOrder = evictTo(c.zoneStatus, c.zoneOrder, c.limits.Zones, nil)
+		}
+		c.zoneOrder = append(c.zoneOrder, name)
+	}
+	c.zoneStatus[name] = out
+}
+
+// noteSeenServer records first contact with a server address, enforcing the
+// server bound. Returns true when the address was already known.
+func (c *cache) noteSeenServer(addr netip.Addr) (seen bool) {
+	if c.seenServers[addr] {
+		return true
+	}
+	if len(c.seenServers) >= c.limits.Servers {
+		c.seenOrder = evictTo(c.seenServers, c.seenOrder, c.limits.Servers, nil)
+	}
+	c.seenOrder = append(c.seenOrder, addr)
+	c.seenServers[addr] = true
+	return false
+}
+
+// noteNSCompleted records the NS-completion decision for a zone, enforcing
+// the zone bound. Returns true when the zone was already decided.
+func (c *cache) noteNSCompleted(name dns.Name) (done bool) {
+	if c.nsCompleted[name] {
+		return true
+	}
+	if len(c.nsCompleted) >= c.limits.Zones {
+		c.nsOrder = evictTo(c.nsCompleted, c.nsOrder, c.limits.Zones, nil)
+	}
+	c.nsOrder = append(c.nsOrder, name)
+	c.nsCompleted[name] = true
+	return false
 }
 
 // spansFor returns the span store of a zone, creating it on first use.
 func (c *cache) spansFor(zone dns.Name) *spanStore {
 	st, ok := c.spans[zone]
 	if !ok {
-		st = &spanStore{}
+		st = &spanStore{limit: c.limits.Spans}
 		c.spans[zone] = st
 	}
 	return st
+}
+
+// sizes snapshots the entry counts.
+func (c *cache) sizes() CacheSizes {
+	spans := 0
+	for _, st := range c.spans {
+		spans += st.size()
+	}
+	return CacheSizes{
+		Positive:     len(c.positive),
+		Negative:     len(c.negative),
+		Delegations:  len(c.delegations),
+		ZoneOutcomes: len(c.zoneStatus),
+		Servers:      len(c.seenServers),
+		NSCompleted:  len(c.nsCompleted),
+		Spans:        spans,
+	}
 }

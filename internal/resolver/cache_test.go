@@ -17,7 +17,7 @@ func span4(owner, next string, expires uint32) span {
 
 func TestSpanStoreBasics(t *testing.T) {
 	s := &spanStore{}
-	s.add(span4("alpha.dlv.test", "delta.dlv.test", 100))
+	s.add(span4("alpha.dlv.test", "delta.dlv.test", 100), 0)
 	if !s.covers(dns.MustName("beta.dlv.test"), 50) {
 		t.Fatal("covered name not found")
 	}
@@ -36,7 +36,7 @@ func TestSpanStoreBasics(t *testing.T) {
 func TestSpanStoreWrapAround(t *testing.T) {
 	s := &spanStore{}
 	// Last NSEC wraps to the apex.
-	s.add(span4("zz.dlv.test", "dlv.test", 100))
+	s.add(span4("zz.dlv.test", "dlv.test", 100), 0)
 	if !s.covers(dns.MustName("zzz.dlv.test"), 50) {
 		t.Fatal("wrap-around span not covering past the last owner")
 	}
@@ -53,7 +53,7 @@ func TestSpanStoreMergeAndDedup(t *testing.T) {
 		for i := 0; i < tailLimit; i++ {
 			owner := fmt.Sprintf("n%04d.dlv.test", i)
 			next := fmt.Sprintf("n%04d.dlv.test", i+1)
-			s.add(span4(owner, next, uint32(100+round)))
+			s.add(span4(owner, next, uint32(100+round)), 0)
 		}
 	}
 	if s.size() > tailLimit+1 {
@@ -92,7 +92,7 @@ func TestSpanStoreCoverageProperty(t *testing.T) {
 	}
 	rng.Shuffle(len(linear), func(i, j int) { linear[i], linear[j] = linear[j], linear[i] })
 	for _, sp := range linear {
-		s.add(sp)
+		s.add(sp, 0)
 	}
 
 	prop := func(seed int64) bool {
@@ -188,19 +188,59 @@ func TestStripSigsAndHasRRSIG(t *testing.T) {
 }
 
 func TestCacheEviction(t *testing.T) {
-	m := make(map[dns.Key]posEntry)
+	key := func(i int) dns.Key {
+		return dns.Key{Name: dns.MustName(fmt.Sprintf("n%d.test", i)), Type: dns.TypeA, Class: dns.ClassIN}
+	}
+	// Expired entries are dropped first: fill to the cap with half the
+	// entries already expired at eviction time, and the live half must all
+	// survive the next store.
+	c := newCache(CacheLimits{Answers: 100})
 	for i := 0; i < 100; i++ {
-		m[dns.Key{Name: dns.MustName(fmt.Sprintf("n%d.test", i)), Type: dns.TypeA, Class: dns.ClassIN}] = posEntry{}
+		expires := uint32(50) // expired at now=60
+		if i%2 == 1 {
+			expires = 1000
+		}
+		c.storePositive(key(i), posEntry{expires: expires}, 10)
 	}
-	evictQuarter(m)
-	if len(m) != 75 {
-		t.Fatalf("after eviction: %d entries, want 75", len(m))
+	c.storePositive(key(100), posEntry{expires: 1000}, 60)
+	if len(c.positive) != 51 {
+		t.Fatalf("after expiry-first eviction: %d entries, want 51", len(c.positive))
 	}
-	// enforceCap is a no-op below the bound.
-	c := newCache()
-	c.positive[dns.Key{Name: dns.MustName("x.test"), Type: dns.TypeA, Class: dns.ClassIN}] = posEntry{}
-	c.enforceCap()
-	if len(c.positive) != 1 {
-		t.Fatal("enforceCap evicted below the cap")
+	for i := 1; i < 100; i += 2 {
+		if _, ok := c.positive[key(i)]; !ok {
+			t.Fatalf("live entry %d evicted while expired entries existed", i)
+		}
+	}
+
+	// With nothing expired, the oldest entries go (FIFO) down to 3/4 of
+	// the limit — deterministically, independent of map iteration order.
+	c = newCache(CacheLimits{Answers: 100})
+	for i := 0; i < 100; i++ {
+		c.storePositive(key(i), posEntry{expires: 1000}, 10)
+	}
+	c.storePositive(key(100), posEntry{expires: 1000}, 10)
+	if len(c.positive) != 76 {
+		t.Fatalf("after FIFO eviction: %d entries, want 76", len(c.positive))
+	}
+	for i := 0; i < 25; i++ {
+		if _, ok := c.positive[key(i)]; ok {
+			t.Fatalf("oldest entry %d survived FIFO eviction", i)
+		}
+	}
+	for i := 25; i <= 100; i++ {
+		if _, ok := c.positive[key(i)]; !ok {
+			t.Fatalf("newer entry %d evicted", i)
+		}
+	}
+
+	// Overwriting a key keeps its original queue position and never grows
+	// the order queue.
+	c = newCache(CacheLimits{Answers: 100})
+	for i := 0; i < 50; i++ {
+		c.storePositive(key(0), posEntry{expires: uint32(i)}, 10)
+	}
+	if len(c.positive) != 1 || len(c.posOrder) != 1 {
+		t.Fatalf("overwrites grew the cache: %d entries, %d order slots",
+			len(c.positive), len(c.posOrder))
 	}
 }

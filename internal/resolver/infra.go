@@ -1,0 +1,258 @@
+package resolver
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/dnsprivacy/lookaside/internal/dns"
+)
+
+// InfraCache is a shared, read-mostly cache of infrastructure resolver
+// state: delegations for the root-to-TLD and registry paths, validated
+// per-zone outcomes (root, TLDs, the look-aside registry), and validated
+// NSEC span stores. A sweep warms one cache on a private shard
+// (core.WarmInfra), seals it, and hands it to every worker resolver via
+// Config.Infra — workers then skip the identical root/TLD/registry
+// validation walks instead of each repeating them.
+//
+// Writes are sharded behind mutexes and only happen during warm-up; Seal
+// flips the cache into a read-only state where lookups skip locking
+// entirely, so a worker pool scales without contention. Per-domain answer
+// state never enters this cache (the export filter keeps it out), so
+// worker-local answer caches remain the only place population answers
+// live and the workers-invariance guarantees of the sharded auditor hold.
+type InfraCache struct {
+	sealed atomic.Bool
+	shards [infraShardCount]infraShard
+}
+
+// infraShardCount spreads warm-up writes; reads after Seal are lock-free,
+// so the count only matters for the (single-threaded) warm phase.
+const infraShardCount = 8
+
+type infraShard struct {
+	mu          sync.RWMutex
+	delegations map[dns.Name]*delegation
+	zoneStatus  map[dns.Name]*zoneOutcome
+	spans       map[dns.Name]*spanStore
+}
+
+// NewInfraCache returns an empty, unsealed cache.
+func NewInfraCache() *InfraCache {
+	ic := &InfraCache{}
+	for i := range ic.shards {
+		ic.shards[i].delegations = make(map[dns.Name]*delegation)
+		ic.shards[i].zoneStatus = make(map[dns.Name]*zoneOutcome)
+		ic.shards[i].spans = make(map[dns.Name]*spanStore)
+	}
+	return ic
+}
+
+func (ic *InfraCache) shard(n dns.Name) *infraShard {
+	return &ic.shards[hashString(string(n))%infraShardCount]
+}
+
+// Seal freezes the cache: pending span tails are merged and every
+// subsequent lookup reads without locking. Writes after Seal are ignored.
+func (ic *InfraCache) Seal() {
+	for i := range ic.shards {
+		sh := &ic.shards[i]
+		sh.mu.Lock()
+		for _, st := range sh.spans {
+			if len(st.tail) > 0 {
+				st.merge()
+			}
+		}
+		sh.mu.Unlock()
+	}
+	ic.sealed.Store(true)
+}
+
+// Sealed reports whether the cache has been frozen.
+func (ic *InfraCache) Sealed() bool { return ic.sealed.Load() }
+
+// Sizes reports how many entries the cache holds per kind (delegations,
+// zone outcomes, spans) — introspection for tests and the sweep report.
+func (ic *InfraCache) Sizes() (delegations, zones, spans int) {
+	for i := range ic.shards {
+		sh := &ic.shards[i]
+		sh.mu.RLock()
+		delegations += len(sh.delegations)
+		zones += len(sh.zoneStatus)
+		for _, st := range sh.spans {
+			spans += st.size()
+		}
+		sh.mu.RUnlock()
+	}
+	return
+}
+
+func (ic *InfraCache) putDelegation(n dns.Name, d *delegation) {
+	if ic.sealed.Load() {
+		return
+	}
+	sh := ic.shard(n)
+	sh.mu.Lock()
+	sh.delegations[n] = d
+	sh.mu.Unlock()
+}
+
+func (ic *InfraCache) putOutcome(n dns.Name, out *zoneOutcome) {
+	if ic.sealed.Load() {
+		return
+	}
+	sh := ic.shard(n)
+	sh.mu.Lock()
+	sh.zoneStatus[n] = out
+	sh.mu.Unlock()
+}
+
+func (ic *InfraCache) putSpans(n dns.Name, st *spanStore) {
+	if ic.sealed.Load() {
+		return
+	}
+	sh := ic.shard(n)
+	sh.mu.Lock()
+	sh.spans[n] = st
+	sh.mu.Unlock()
+}
+
+// delegation looks up a shared zone cut.
+func (ic *InfraCache) delegation(n dns.Name) (*delegation, bool) {
+	sh := ic.shard(n)
+	if ic.sealed.Load() {
+		d, ok := sh.delegations[n]
+		return d, ok
+	}
+	sh.mu.RLock()
+	d, ok := sh.delegations[n]
+	sh.mu.RUnlock()
+	return d, ok
+}
+
+// delegationParent returns the referral parent of a shared zone cut.
+func (ic *InfraCache) delegationParent(n dns.Name) (dns.Name, bool) {
+	if d, ok := ic.delegation(n); ok {
+		return d.parent, true
+	}
+	return "", false
+}
+
+// outcome looks up a shared validation outcome.
+func (ic *InfraCache) outcome(n dns.Name) (*zoneOutcome, bool) {
+	sh := ic.shard(n)
+	if ic.sealed.Load() {
+		out, ok := sh.zoneStatus[n]
+		return out, ok
+	}
+	sh.mu.RLock()
+	out, ok := sh.zoneStatus[n]
+	sh.mu.RUnlock()
+	return out, ok
+}
+
+// spanCovers reports whether a shared validated NSEC span proves the
+// nonexistence of name in zone at the given time.
+func (ic *InfraCache) spanCovers(zone, name dns.Name, now uint32) bool {
+	sh := ic.shard(zone)
+	if ic.sealed.Load() {
+		st, ok := sh.spans[zone]
+		return ok && st.covers(name, now)
+	}
+	sh.mu.RLock()
+	st, ok := sh.spans[zone]
+	sh.mu.RUnlock()
+	return ok && st.covers(name, now)
+}
+
+// ExportInfra copies the resolver's cache entries whose names pass keep
+// into the shared cache: delegations are deep-copied (the glueless path
+// mutates server addresses in place), zone outcomes are shared read-only
+// (nothing mutates a cached outcome after storage), and span stores are
+// cloned fully merged. Call before Seal.
+func (r *Resolver) ExportInfra(ic *InfraCache, keep func(dns.Name) bool) {
+	for n, d := range r.cache.delegations {
+		if keep(n) {
+			ic.putDelegation(n, d.clone())
+		}
+	}
+	for n, out := range r.cache.zoneStatus {
+		if keep(n) {
+			ic.putOutcome(n, out)
+		}
+	}
+	for n, st := range r.cache.spans {
+		if keep(n) && st.size() > 0 {
+			ic.putSpans(n, st.clone())
+		}
+	}
+}
+
+// adoptDelegation pulls a shared zone cut into the local cache (as a copy:
+// the glueless-resolution path mutates server addresses in place, which
+// must never write through to the shared state).
+func (r *Resolver) adoptDelegation(n dns.Name) bool {
+	if r.infra == nil {
+		return false
+	}
+	d, ok := r.infra.delegation(n)
+	if !ok {
+		return false
+	}
+	r.cache.storeDelegation(n, d.clone())
+	return true
+}
+
+// cachedOutcome returns the validation outcome of a zone from the local
+// cache, falling back to (and adopting from) the shared infrastructure
+// cache. Outcomes are immutable after storage, so the pointer is shared.
+func (r *Resolver) cachedOutcome(n dns.Name) (*zoneOutcome, bool) {
+	if out, ok := r.cache.zoneStatus[n]; ok {
+		return out, true
+	}
+	if r.infra != nil {
+		if out, ok := r.infra.outcome(n); ok {
+			r.cache.storeZoneStatus(n, out)
+			return out, true
+		}
+	}
+	return nil, false
+}
+
+// spanCovers reports whether a validated NSEC span — locally harvested or
+// shared — proves the nonexistence of name in zone. Harvests stay local;
+// the shared store only grows during warm-up.
+func (r *Resolver) spanCovers(zone, name dns.Name, now uint32) bool {
+	if r.cache.spansFor(zone).covers(name, now) {
+		return true
+	}
+	return r.infra != nil && r.infra.spanCovers(zone, name, now)
+}
+
+// WarmRegistry validates the look-aside registry's keys against the DLV
+// trust anchor, exactly as the first look-aside walk would. Warm-up calls
+// it so the registry outcome (and the delegations learned reaching it) can
+// be exported into the shared infrastructure cache before workers start.
+// An unreachable registry is an error here, even though a serving
+// resolver tolerates it: validateRegistry caches a keyless indeterminate
+// outcome to keep that resolver functioning, but warm-up must not export
+// the failure mode as shared truth — workers handed it would skip the
+// registry walk (and its SERVFAIL/breaker behavior) a cold fleet would
+// have performed.
+func (r *Resolver) WarmRegistry() error {
+	if r.cfg.Lookaside == nil || !r.cfg.ValidationEnabled {
+		return nil
+	}
+	if err := r.validateRegistry(0); err != nil {
+		return err
+	}
+	if out, ok := r.cache.zoneStatus[r.cfg.Lookaside.Zone]; ok &&
+		out.status == StatusIndeterminate && len(out.keys) == 0 {
+		return fmt.Errorf("resolver: registry %s unreachable during warm-up", r.cfg.Lookaside.Zone)
+	}
+	return nil
+}
+
+// CacheSizes snapshots the entry counts of every per-resolver cache.
+func (r *Resolver) CacheSizes() CacheSizes { return r.cache.sizes() }

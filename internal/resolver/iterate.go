@@ -93,18 +93,17 @@ func (r *Resolver) resolveCore(qname dns.Name, qtype dns.Type, depth int, intern
 	// bounded: million-domain sweeps would otherwise hold every answer
 	// ever seen, which no real resolver does.
 	now = r.nowSeconds()
-	r.cache.enforceCap()
 	if core.rcode == dns.RCodeNoError && len(core.answer) > 0 {
-		r.cache.positive[key] = posEntry{
+		r.cache.storePositive(key, posEntry{
 			rrs: core.answer, zone: core.zone, status: core.status,
 			usedDLV: core.usedDLV, zbit: core.zbit,
 			expires: now + minTTL(core.answer),
-		}
+		}, now)
 	} else {
-		r.cache.negative[key] = negEntry{
+		r.cache.storeNegative(key, negEntry{
 			rcode: core.rcode, zone: core.zone,
 			expires: now + negativeTTLFrom(core.authority),
-		}
+		}, now)
 	}
 	return core, nil
 }
@@ -229,15 +228,18 @@ func (r *Resolver) chaseCNAME(core *coreResult, qname dns.Name, qtype dns.Type, 
 }
 
 // closestDelegation returns the deepest cached zone cut enclosing qname
-// (the root when nothing deeper is known).
+// (the root when nothing deeper is known), consulting the shared
+// infrastructure cache behind the local one.
 func (r *Resolver) closestDelegation(qname dns.Name) dns.Name {
-	best := dns.Root
 	for n := qname; !n.IsRoot(); n = n.Parent() {
 		if _, ok := r.cache.delegations[n]; ok {
 			return n
 		}
+		if r.adoptDelegation(n) {
+			return n
+		}
 	}
-	return best
+	return dns.Root
 }
 
 // serverAddr returns a usable server address for a zone, resolving glueless
@@ -261,7 +263,10 @@ func (r *Resolver) serverAddrs(zone dns.Name, depth int) ([]netip.Addr, error) {
 	}
 	d, ok := r.cache.delegations[zone]
 	if !ok {
-		return nil, fmt.Errorf("%w: zone %s", ErrNoServers, zone)
+		if !r.adoptDelegation(zone) {
+			return nil, fmt.Errorf("%w: zone %s", ErrNoServers, zone)
+		}
+		d = r.cache.delegations[zone]
 	}
 	var addrs []netip.Addr
 	for i := range d.servers {
@@ -344,10 +349,9 @@ func (r *Resolver) exchangeWithZone(zone dns.Name, qname dns.Name, qtype dns.Typ
 
 // noteServer performs the first-contact PTR sampling of server addresses.
 func (r *Resolver) noteServer(addr netip.Addr, depth int) {
-	if r.cache.seenServers[addr] {
+	if r.cache.noteSeenServer(addr) {
 		return
 	}
-	r.cache.seenServers[addr] = true
 	if r.cfg.PTRSamplePercent <= 0 || depth > 0 {
 		return
 	}
@@ -375,16 +379,18 @@ func (r *Resolver) cacheDelegation(child, parent dns.Name, resp *dns.Message) {
 		}
 		d.servers = append(d.servers, nsServer{name: ns.Target, addr: glue[ns.Target]})
 	}
-	r.cache.delegations[child] = d
+	r.cache.storeDelegation(child, d)
 }
 
 // maybeCompleteNS issues the sampled authoritative-NS completion query for
 // a newly learned zone.
 func (r *Resolver) maybeCompleteNS(child dns.Name, depth int) {
-	if r.cfg.NSCompletionPercent <= 0 || depth > 0 || r.cache.nsCompleted[child] {
+	if r.cfg.NSCompletionPercent <= 0 || depth > 0 {
 		return
 	}
-	r.cache.nsCompleted[child] = true
+	if r.cache.noteNSCompleted(child) {
+		return
+	}
 	if int(hashString(string(child))%100) >= r.cfg.NSCompletionPercent {
 		return
 	}
@@ -400,7 +406,7 @@ func (r *Resolver) harvestSpans(resp *dns.Message) {
 	if lc == nil || lc.DisableAggressiveNegCache {
 		return
 	}
-	reg, ok := r.cache.zoneStatus[lc.Zone]
+	reg, ok := r.cachedOutcome(lc.Zone)
 	if !ok || reg.status != StatusSecure {
 		return // registry keys not validated: spans cannot be trusted
 	}
@@ -419,7 +425,7 @@ func (r *Resolver) harvestSpans(resp *dns.Message) {
 		}
 		r.cache.spansFor(lc.Zone).add(span{
 			owner: rr.Name, next: nsec.NextName, expires: now + rr.TTL,
-		})
+		}, now)
 	}
 }
 

@@ -84,7 +84,7 @@ func (r *Resolver) lookasideWalk(start dns.Name, depth int) (*dns.DLVData, error
 			return nil, fmt.Errorf("resolver: lookaside name for %s: %w", name, err)
 		}
 		if !lc.DisableAggressiveNegCache &&
-			r.cache.spansFor(lc.Zone).covers(lookName, r.nowSeconds()) {
+			r.spanCovers(lc.Zone, lookName, r.nowSeconds()) {
 			// A validated NSEC span already proves nonexistence: the query
 			// is suppressed (this is the negative-caching effect the paper
 			// observes as sub-linear leakage growth).
@@ -145,7 +145,7 @@ func (r *Resolver) lookasideQuery(lookName dns.Name, depth int) (*dns.DLVData, b
 	if core.rcode != dns.RCodeNoError || len(core.answer) == 0 {
 		return nil, false, nil
 	}
-	reg := r.cache.zoneStatus[lc.Zone]
+	reg, _ := r.cachedOutcome(lc.Zone)
 	now := r.nowSeconds()
 	var rrset []dns.RR
 	for _, rr := range core.answer {
@@ -175,7 +175,7 @@ func (r *Resolver) lookasideQuery(lookName dns.Name, depth int) (*dns.DLVData, b
 // the configured DLV trust anchor, once, caching the outcome.
 func (r *Resolver) validateRegistry(depth int) error {
 	lc := r.cfg.Lookaside
-	if _, ok := r.cache.zoneStatus[lc.Zone]; ok {
+	if _, ok := r.cachedOutcome(lc.Zone); ok {
 		return nil
 	}
 	keys, sig, err := r.fetchDNSKEYs(lc.Zone, depth)
@@ -183,7 +183,7 @@ func (r *Resolver) validateRegistry(depth int) error {
 		// The registry may be unreachable (outages were a known DLV
 		// failure mode); record an indeterminate outcome so the resolver
 		// keeps functioning.
-		r.cache.zoneStatus[lc.Zone] = &zoneOutcome{status: StatusIndeterminate}
+		r.cache.storeZoneStatus(lc.Zone, &zoneOutcome{status: StatusIndeterminate})
 		return nil
 	}
 	out := &zoneOutcome{signed: len(keys) > 0, keys: keys}
@@ -195,6 +195,6 @@ func (r *Resolver) validateRegistry(depth int) error {
 	default:
 		out.status = StatusBogus
 	}
-	r.cache.zoneStatus[lc.Zone] = out
+	r.cache.storeZoneStatus(lc.Zone, out)
 	return nil
 }

@@ -162,6 +162,16 @@ type Config struct {
 	// every worker benefits from every other worker's verifications.
 	VerifyCache *dnssec.VerifyCache
 
+	// Limits bounds the per-resolver caches; zero fields take defaults
+	// that match the historical unbounded-in-practice behavior.
+	Limits CacheLimits
+
+	// Infra is a shared, read-mostly cache of infrastructure state
+	// (root/TLD/registry delegations, validated zone outcomes, NSEC
+	// spans), warmed and sealed before a worker pool starts. Nil keeps
+	// the resolver fully self-contained (the legacy behavior).
+	Infra *InfraCache
+
 	// Resilience enables the resilient transport core (attempt budgets,
 	// backoff, per-query deadline, TCP fallback, DLV circuit breaker). Nil
 	// keeps the legacy fixed two-round failover exactly.
@@ -173,6 +183,7 @@ type Resolver struct {
 	cfg    Config
 	cache  *cache
 	vcache *dnssec.VerifyCache
+	infra  *InfraCache
 
 	nextID uint16
 
@@ -268,7 +279,7 @@ func New(cfg Config) (*Resolver, error) {
 	if vcache == nil {
 		vcache = dnssec.NewVerifyCache()
 	}
-	r := &Resolver{cfg: cfg, cache: newCache(), vcache: vcache}
+	r := &Resolver{cfg: cfg, cache: newCache(cfg.Limits), vcache: vcache, infra: cfg.Infra}
 	if cfg.Resilience != nil {
 		res := cfg.Resilience.withDefaults()
 		r.resil = &res

@@ -69,7 +69,7 @@ func (r *Resolver) validateResponse(core *coreResult, qname dns.Name, depth int)
 	if core.status == StatusSecure {
 		core.usedDLV = true
 		viaDLV.viaDLV = true
-		r.cache.zoneStatus[core.zone] = viaDLV
+		r.cache.storeZoneStatus(core.zone, viaDLV)
 	}
 	return nil
 }
@@ -114,7 +114,7 @@ func (r *Resolver) verifyAnswer(core *coreResult, outcome *zoneOutcome) Validati
 // zone, issuing DS and DNSKEY queries exactly as a validating resolver
 // does.
 func (r *Resolver) validateZone(zoneName dns.Name, depth int) (*zoneOutcome, error) {
-	if out, ok := r.cache.zoneStatus[zoneName]; ok {
+	if out, ok := r.cachedOutcome(zoneName); ok {
 		return out, nil
 	}
 	if depth > r.cfg.MaxDepth {
@@ -147,7 +147,7 @@ func (r *Resolver) validateZone(zoneName dns.Name, depth int) (*zoneOutcome, err
 			out = &zoneOutcome{status: StatusBogus}
 		}
 	}
-	r.cache.zoneStatus[zoneName] = out
+	r.cache.storeZoneStatus(zoneName, out)
 	return out, nil
 }
 
@@ -306,9 +306,9 @@ func (r *Resolver) queryAt(zoneName, qname dns.Name, qtype dns.Type, depth int) 
 		return nil, err
 	}
 	if core.rcode == dns.RCodeNoError && len(core.answer) > 0 {
-		r.cache.positive[key] = posEntry{rrs: core.answer, zone: zoneName, expires: now + minTTL(core.answer)}
+		r.cache.storePositive(key, posEntry{rrs: core.answer, zone: zoneName, expires: now + minTTL(core.answer)}, now)
 	} else {
-		r.cache.negative[key] = negEntry{rcode: core.rcode, zone: zoneName, expires: now + negativeTTLFrom(core.authority)}
+		r.cache.storeNegative(key, negEntry{rcode: core.rcode, zone: zoneName, expires: now + negativeTTLFrom(core.authority)}, now)
 	}
 	return core, nil
 }
@@ -318,6 +318,11 @@ func (r *Resolver) queryAt(zoneName, qname dns.Name, qtype dns.Type, depth int) 
 func (r *Resolver) parentZone(zoneName dns.Name) dns.Name {
 	if d, ok := r.cache.delegations[zoneName]; ok {
 		return d.parent
+	}
+	if r.infra != nil {
+		if parent, ok := r.infra.delegationParent(zoneName); ok {
+			return parent
+		}
 	}
 	return zoneName.Parent()
 }

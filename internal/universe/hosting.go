@@ -60,9 +60,16 @@ func (u *Universe) buildHosting() error {
 		}
 	}
 
+	if !u.opts.Eager {
+		// Lazy path: each TLD zone carries a tldSynth that derives its
+		// delegations, DS deposits, and pool glue on first query.
+		return nil
+	}
+
 	// Glue per (tld, pool) pair is added once; delegations reference it.
 	glueAdded := make(map[string]bool)
-	for name, d := range u.domains {
+	return u.eachDomain(func(d *dataset.Domain) error {
+		name := d.Name
 		tz, ok := u.tlds[d.TLD]
 		if !ok {
 			return fmt.Errorf("universe: domain %s references unknown TLD %q", name, d.TLD)
@@ -107,8 +114,8 @@ func (u *Universe) buildHosting() error {
 				return err
 			}
 		}
-	}
-	return nil
+		return nil
+	})
 }
 
 // dsFor computes the DS of a domain's KSK.
@@ -121,26 +128,13 @@ func (u *Universe) dsFor(name dns.Name, k *domainKeys) (*dns.DSData, error) {
 }
 
 // sldZone returns (building lazily) the authoritative zone of a domain.
+// The cache is sharded with singleflight semantics, so a worker pool
+// hammering fresh apexes builds each zone once and never serializes on a
+// global lock.
 func (u *Universe) sldZone(d *dataset.Domain) (*zone.Zone, error) {
-	u.zoneMu.Lock()
-	defer u.zoneMu.Unlock()
-	if z, ok := u.sldZones[d.Name]; ok {
-		return z, nil
-	}
-	z, err := u.buildSLDZone(d)
-	if err != nil {
-		return nil, err
-	}
-	if len(u.sldZones) >= u.zoneCap {
-		// Bounded cache: evict an arbitrary entry (zones rebuild cheaply
-		// and deterministically).
-		for k := range u.sldZones {
-			delete(u.sldZones, k)
-			break
-		}
-	}
-	u.sldZones[d.Name] = z
-	return z, nil
+	return u.sldZones.get(d.Name, func() (*zone.Zone, error) {
+		return u.buildSLDZone(d)
+	})
 }
 
 // buildSLDZone materializes one SLD zone from its spec.
@@ -274,6 +268,5 @@ func (u *Universe) domainOf(qname dns.Name) (*dataset.Domain, bool) {
 	if n.LabelCount() != 2 {
 		return nil, false
 	}
-	d, ok := u.domains[n]
-	return d, ok
+	return u.lookupDomain(n)
 }

@@ -209,12 +209,42 @@ func (u *Universe) ShardStubQueryFrom(sh *simnet.Shard, src netip.Addr, id uint1
 
 // Domain returns the spec of a domain in the universe.
 func (u *Universe) Domain(name dns.Name) (*dataset.Domain, bool) {
-	d, ok := u.domains[name]
-	return d, ok
+	return u.lookupDomain(name)
 }
 
 // DomainCount returns the number of domains the universe serves.
-func (u *Universe) DomainCount() int { return len(u.domains) }
+func (u *Universe) DomainCount() int { return u.domainCount }
+
+// CachedSLDZones returns how many SLD zones are currently materialized
+// (memory introspection for the sweep experiment).
+func (u *Universe) CachedSLDZones() int { return u.sldZones.len() }
+
+// TLDLabels returns the TLD labels of the universe in address order (the
+// order buildTLDs assigned them).
+func (u *Universe) TLDLabels() []string {
+	labels := make([]string, 0, len(u.tlds))
+	for l := range u.tlds {
+		labels = append(labels, l)
+	}
+	sortStrings(labels)
+	return labels
+}
+
+// InfraName reports whether a DNS name belongs to shared infrastructure —
+// the root, a TLD apex, the registry path (isc.org / dlv.isc.org), or the
+// reverse tree — rather than to an individual population domain.
+// core.WarmInfra uses it to filter what may enter the shared, read-mostly
+// infrastructure cache: per-domain state must stay out so worker-local
+// caches remain the only place population answers live.
+func (u *Universe) InfraName(n dns.Name) bool {
+	if n.IsRoot() || n.LabelCount() <= 1 {
+		return true
+	}
+	if u.RegistryZone.IsSubdomainOf(n) || n.IsSubdomainOf(u.RegistryZone) {
+		return true
+	}
+	return n.IsSubdomainOf(dns.MustName("in-addr.arpa"))
+}
 
 // HostPools returns the number of hosting servers.
 func (u *Universe) HostPools() int { return u.hostPools }

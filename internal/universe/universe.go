@@ -90,6 +90,12 @@ type Options struct {
 	// ZoneCacheCap bounds the lazily built SLD zones kept in memory
 	// (default 8192).
 	ZoneCacheCap int
+	// Eager restores the seed-era construction that materializes every TLD
+	// delegation, parent-side DS, pool glue record, and registry deposit at
+	// Build time. The default lazy path derives all of that on first query
+	// and serves byte-identical responses (TestLazyEagerEquivalence); Eager
+	// remains as the reference oracle and for the setup benchmarks.
+	Eager bool
 }
 
 // domainKeys holds the signing keys of a signed SLD.
@@ -110,17 +116,19 @@ type Universe struct {
 	// RegistryZone is the look-aside zone name (dlv.isc.org.).
 	RegistryZone dns.Name
 
-	opts    Options
-	root    *zone.Zone
-	tlds    map[string]*zone.Zone
-	domains map[dns.Name]*dataset.Domain
+	opts Options
+	root *zone.Zone
+	tlds map[string]*zone.Zone
+	// extras are the out-of-population domains, overriding population
+	// entries of the same name; population domains resolve through
+	// Population.Lookup (see lookupDomain).
+	extras      map[dns.Name]*dataset.Domain
+	domainCount int
 
 	keyMu sync.Mutex
 	keys  map[dns.Name]*domainKeys
 
-	zoneMu    sync.Mutex
-	sldZones  map[dns.Name]*zone.Zone
-	zoneCap   int
+	sldZones  *sldCache
 	hostPools int
 	corruptDS map[dns.Name]bool
 
@@ -143,10 +151,9 @@ func Build(opts Options) (*Universe, error) {
 		RegistryZone: dns.MustName("dlv.isc.org"),
 		opts:         opts,
 		tlds:         make(map[string]*zone.Zone),
-		domains:      make(map[dns.Name]*dataset.Domain),
+		extras:       make(map[dns.Name]*dataset.Domain, len(opts.Extra)),
 		keys:         make(map[dns.Name]*domainKeys),
-		sldZones:     make(map[dns.Name]*zone.Zone),
-		zoneCap:      opts.ZoneCacheCap,
+		sldZones:     newSLDCache(opts.ZoneCacheCap),
 		corruptDS:    make(map[dns.Name]bool, len(opts.CorruptDS)),
 		rng:          rand.New(rand.NewSource(opts.Seed)),
 	}
@@ -164,14 +171,18 @@ func Build(opts Options) (*Universe, error) {
 		}
 	}
 
-	// Index all domains (population + extras).
-	for i := range opts.Population.Domains {
-		d := &opts.Population.Domains[i]
-		u.domains[d.Name] = d
-	}
+	// Index only the extras; population domains resolve through the
+	// population's own name index. The count matches the eager-era merged
+	// map: extras colliding with a population name count once.
 	for i := range opts.Extra {
 		d := &opts.Extra[i]
-		u.domains[d.Name] = d
+		u.extras[d.Name] = d
+	}
+	u.domainCount = len(opts.Extra)
+	for i := range opts.Population.Domains {
+		if _, ok := u.extras[opts.Population.Domains[i].Name]; !ok {
+			u.domainCount++
+		}
 	}
 
 	if err := u.buildRegistry(); err != nil {
@@ -255,23 +266,29 @@ func (u *Universe) buildRegistry() error {
 	if u.opts.RegistryEmpty {
 		return nil
 	}
-	for name, d := range u.domains {
-		if !d.InDLV || !d.Signed {
-			continue
-		}
-		k, err := u.genKeys(name)
-		if err != nil {
-			return err
-		}
-		rec, err := dnssec.MakeDLV(name, k.ksk.Public(), dnssec.DigestSHA256)
-		if err != nil {
-			return fmt.Errorf("universe: dlv record for %s: %w", name, err)
-		}
-		if err := reg.Deposit(name, rec); err != nil {
-			return err
-		}
+	if !u.opts.Eager {
+		// Lazy path: the deposit set is derived on first query. One synth
+		// source backs both the registry zone's records and the registry's
+		// deposit-membership index.
+		idx := &regSynth{u: u}
+		reg.Zone().AttachSynth(idx)
+		reg.AttachDepositIndex(idx)
+		return nil
 	}
-	return nil
+	return u.eachDomain(func(d *dataset.Domain) error {
+		if !d.InDLV || !d.Signed {
+			return nil
+		}
+		k, err := u.genKeys(d.Name)
+		if err != nil {
+			return err
+		}
+		rec, err := dnssec.MakeDLV(d.Name, k.ksk.Public(), dnssec.DigestSHA256)
+		if err != nil {
+			return fmt.Errorf("universe: dlv record for %s: %w", d.Name, err)
+		}
+		return reg.Deposit(d.Name, rec)
+	})
 }
 
 // buildRoot creates and signs the root zone and its server.
@@ -358,6 +375,10 @@ func (u *Universe) buildTLDs() error {
 			}
 		}
 		u.tlds[label] = z
+		if !u.opts.Eager {
+			// Delegations, DS deposits, and pool glue derive on first query.
+			z.AttachSynth(&tldSynth{u: u, label: label, signed: signedMap[label]})
+		}
 
 		srv, err := authserver.New(authserver.Config{Name: "ns1." + label}, z)
 		if err != nil {

@@ -60,7 +60,7 @@ func (z *Zone) SignedRecords() ([]dns.RR, error) {
 
 	var out []dns.RR
 	for _, name := range z.names {
-		visible := z.visibleLocked(name)
+		visible := z.mergedVisibleLocked(name)
 		isCut := z.cuts[name]
 		for _, typ := range z.typesByName[name] {
 			key := dns.Key{Name: name, Type: typ, Class: dns.ClassIN}

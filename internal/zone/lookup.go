@@ -87,10 +87,10 @@ func (z *Zone) Lookup(qname dns.Name, qtype dns.Type, dnssecOK bool) (*Result, e
 		return z.referralLocked(cut, withSigs)
 	}
 
-	if z.nameSet[qname] {
+	if z.existsLocked(qname) {
 		return z.answerLocked(qname, qtype, withSigs)
 	}
-	if z.hasDescendantLocked(qname) {
+	if z.hasDescendantLocked(qname) || z.synthHasDescendantLocked(qname) {
 		// Empty non-terminal: the name exists structurally (names live
 		// below it) but owns no records — NODATA, not NXDOMAIN (RFC 4592
 		// §2.2.2), and never wildcard-covered. The denial proof is the
@@ -127,7 +127,7 @@ func (z *Zone) hasDescendantLocked(qname dns.Name) bool {
 
 // findCutLocked returns the shallowest delegation cut at or above qname.
 func (z *Zone) findCutLocked(qname dns.Name) (dns.Name, bool) {
-	if len(z.cuts) == 0 || qname == z.apex {
+	if (len(z.cuts) == 0 && z.synth == nil) || qname == z.apex {
 		return "", false
 	}
 	// Walk ancestors from just below the apex down toward qname so the
@@ -137,7 +137,7 @@ func (z *Zone) findCutLocked(qname dns.Name) (dns.Name, bool) {
 		ancestors = append(ancestors, n)
 	}
 	for i := len(ancestors) - 1; i >= 0; i-- {
-		if z.cuts[ancestors[i]] {
+		if z.isCutLocked(ancestors[i]) {
 			return ancestors[i], true
 		}
 	}
@@ -147,8 +147,11 @@ func (z *Zone) findCutLocked(qname dns.Name) (dns.Name, bool) {
 // answerLocked builds an authoritative answer or NODATA for an existing
 // name.
 func (z *Zone) answerLocked(qname dns.Name, qtype dns.Type, withSigs bool) (*Result, error) {
-	key := dns.Key{Name: qname, Type: qtype, Class: dns.ClassIN}
-	if rrset, ok := z.records[key]; ok {
+	rrset, err := z.rrsetLocked(qname, qtype)
+	if err != nil {
+		return nil, err
+	}
+	if len(rrset) > 0 {
 		res := &Result{Kind: KindAnswer, RCode: dns.RCodeNoError}
 		res.Answer = append(res.Answer, rrset...)
 		if withSigs {
@@ -161,9 +164,12 @@ func (z *Zone) answerLocked(qname dns.Name, qtype dns.Type, withSigs bool) (*Res
 		return res, nil
 	}
 	// CNAME at the name answers any other type.
-	cnameKey := dns.Key{Name: qname, Type: dns.TypeCNAME, Class: dns.ClassIN}
 	if qtype != dns.TypeCNAME {
-		if rrset, ok := z.records[cnameKey]; ok {
+		rrset, err := z.rrsetLocked(qname, dns.TypeCNAME)
+		if err != nil {
+			return nil, err
+		}
+		if len(rrset) > 0 {
 			res := &Result{Kind: KindAnswer, RCode: dns.RCodeNoError}
 			res.Answer = append(res.Answer, rrset...)
 			if withSigs {
@@ -192,13 +198,18 @@ func (z *Zone) answerLocked(qname dns.Name, qtype dns.Type, withSigs bool) (*Res
 // referralLocked builds a delegation response for a cut.
 func (z *Zone) referralLocked(cut dns.Name, withSigs bool) (*Result, error) {
 	res := &Result{Kind: KindReferral, RCode: dns.RCodeNoError}
-	nsKey := dns.Key{Name: cut, Type: dns.TypeNS, Class: dns.ClassIN}
-	nsSet := z.records[nsKey]
+	nsSet, err := z.rrsetLocked(cut, dns.TypeNS)
+	if err != nil {
+		return nil, err
+	}
 	res.Authority = append(res.Authority, nsSet...)
 
 	if withSigs {
-		dsKey := dns.Key{Name: cut, Type: dns.TypeDS, Class: dns.ClassIN}
-		if dsSet, ok := z.records[dsKey]; ok {
+		dsSet, err := z.rrsetLocked(cut, dns.TypeDS)
+		if err != nil {
+			return nil, err
+		}
+		if len(dsSet) > 0 {
 			res.Authority = append(res.Authority, dsSet...)
 			sig, err := z.signSetLocked(dsSet)
 			if err != nil {
@@ -217,8 +228,11 @@ func (z *Zone) referralLocked(cut dns.Name, withSigs bool) (*Result, error) {
 	for _, ns := range nsSet {
 		target := ns.Data.(*dns.NSData).Target
 		for _, t := range []dns.Type{dns.TypeA, dns.TypeAAAA} {
-			gk := dns.Key{Name: target, Type: t, Class: dns.ClassIN}
-			res.Additional = append(res.Additional, z.records[gk]...)
+			glue, err := z.rrsetLocked(target, t)
+			if err != nil {
+				return nil, err
+			}
+			res.Additional = append(res.Additional, glue...)
 		}
 	}
 	return res, nil
@@ -235,7 +249,8 @@ func (z *Zone) wildcardLocked(qname dns.Name, qtype dns.Type, withSigs bool) (*R
 	// structurally).
 	encloser := qname.Parent()
 	for encloser != z.apex && !encloser.IsRoot() {
-		if z.nameSet[encloser] || z.hasDescendantLocked(encloser) {
+		if z.existsLocked(encloser) || z.hasDescendantLocked(encloser) ||
+			z.synthHasDescendantLocked(encloser) {
 			break
 		}
 		encloser = encloser.Parent()
@@ -244,12 +259,14 @@ func (z *Zone) wildcardLocked(qname dns.Name, qtype dns.Type, withSigs bool) (*R
 	if err != nil {
 		return nil, false, err
 	}
-	if !z.nameSet[wildcard] {
+	if !z.existsLocked(wildcard) {
 		return nil, false, nil
 	}
-	key := dns.Key{Name: wildcard, Type: qtype, Class: dns.ClassIN}
-	rrset, ok := z.records[key]
-	if !ok {
+	rrset, err := z.rrsetLocked(wildcard, qtype)
+	if err != nil {
+		return nil, false, err
+	}
+	if len(rrset) == 0 {
 		// Wildcard exists but not for this type: NODATA at the wildcard.
 		res := &Result{Kind: KindNoData, RCode: dns.RCodeNoError}
 		if err := z.attachSOALocked(res, withSigs); err != nil {
@@ -342,11 +359,11 @@ func (z *Zone) attachDenialLocked(res *Result, qname dns.Name, exists bool) erro
 // nsecAtLocked materializes the NSEC record owned by name from the sorted
 // owner index.
 func (z *Zone) nsecAtLocked(owner dns.Name) (dns.RR, error) {
-	if !z.nameSet[owner] {
+	if !z.existsLocked(owner) {
 		return dns.RR{}, fmt.Errorf("zone: nsec owner %s does not exist", owner)
 	}
 	next := z.successorLocked(owner)
-	types := z.typesAtLocked(owner)
+	types := z.mergedTypesAtLocked(owner)
 	types = append(types, dns.TypeRRSIG, dns.TypeNSEC)
 	dns.SortTypes(types)
 	return dns.RR{
@@ -382,14 +399,6 @@ func (z *Zone) attachNSEC3Locked(res *Result, qname dns.Name) error {
 	return nil
 }
 
-// typesAtLocked returns a copy of the record types present at owner.
-func (z *Zone) typesAtLocked(owner dns.Name) []dns.Type {
-	src := z.typesByName[owner]
-	types := make([]dns.Type, len(src))
-	copy(types, src)
-	return types
-}
-
 // ensureSortedLocked restores canonical order of the owner-name index after
 // bulk loading.
 func (z *Zone) ensureSortedLocked() {
@@ -402,43 +411,42 @@ func (z *Zone) ensureSortedLocked() {
 	z.namesDirty = false
 }
 
-// visibleLocked reports whether a name participates in the NSEC chain:
-// authoritative names and cut points yes, glue below cuts no.
-func (z *Zone) visibleLocked(name dns.Name) bool {
-	for n := name.Parent(); n != z.apex && !n.IsRoot(); n = n.Parent() {
-		if z.cuts[n] {
-			return false
-		}
-	}
-	return true
-}
-
 // successorLocked returns the next visible owner name after owner in
-// canonical order, wrapping to the apex at the end of the chain.
+// canonical order — across the static and synthesized indexes — wrapping to
+// the apex at the end of the chain.
 func (z *Zone) successorLocked(owner dns.Name) dns.Name {
-	z.ensureSortedLocked()
-	i := sort.Search(len(z.names), func(i int) bool {
-		return !dns.CanonicalLess(z.names[i], owner)
-	})
-	for j := i + 1; j < len(z.names); j++ {
-		if z.visibleLocked(z.names[j]) {
-			return z.names[j]
+	s, okS := z.staticAfterLocked(owner)
+	y, okY := z.synthAfterLocked(owner)
+	switch {
+	case okS && okY:
+		if dns.CanonicalLess(s, y) {
+			return s
 		}
+		return y
+	case okS:
+		return s
+	case okY:
+		return y
 	}
 	return z.apex
 }
 
 // predecessorLocked returns the closest visible owner name sorting strictly
-// before the (nonexistent) qname; the apex is the floor of the chain.
+// before the (nonexistent) qname — across both indexes — with the apex as
+// the floor of the chain.
 func (z *Zone) predecessorLocked(qname dns.Name) dns.Name {
-	z.ensureSortedLocked()
-	i := sort.Search(len(z.names), func(i int) bool {
-		return !dns.CanonicalLess(z.names[i], qname)
-	})
-	for j := i - 1; j >= 0; j-- {
-		if z.visibleLocked(z.names[j]) {
-			return z.names[j]
+	s, okS := z.staticBeforeLocked(qname)
+	y, okY := z.synthBeforeLocked(qname)
+	switch {
+	case okS && okY:
+		if dns.CanonicalLess(s, y) {
+			return y
 		}
+		return s
+	case okS:
+		return s
+	case okY:
+		return y
 	}
 	return z.apex
 }
@@ -473,15 +481,28 @@ func (z *Zone) signSetLocked(rrset []dns.RR) (dns.RR, error) {
 	return sig, nil
 }
 
-// NSECChainNames returns the visible owner names in canonical order; used
-// by tests to verify chain integrity.
+// NSECChainNames returns the visible owner names in canonical order —
+// static and synthesized alike; used by tests to verify chain integrity.
 func (z *Zone) NSECChainNames() []dns.Name {
 	z.mu.Lock()
 	defer z.mu.Unlock()
 	z.ensureSortedLocked()
+	z.synthEnsureLocked()
 	var out []dns.Name
-	for _, n := range z.names {
-		if z.visibleLocked(n) {
+	i, j := 0, 0
+	for i < len(z.names) || j < len(z.synthIdx) {
+		var n dns.Name
+		switch {
+		case j >= len(z.synthIdx):
+			n, i = z.names[i], i+1
+		case i >= len(z.names):
+			n, j = z.synthIdx[j].Name, j+1
+		case dns.CanonicalLess(z.names[i], z.synthIdx[j].Name):
+			n, i = z.names[i], i+1
+		default:
+			n, j = z.synthIdx[j].Name, j+1
+		}
+		if z.mergedVisibleLocked(n) {
 			out = append(out, n)
 		}
 	}

@@ -74,6 +74,17 @@ type Zone struct {
 	// the DLV registry after a Deposit — is never served stale.
 	gen uint64
 
+	// synth lazily extends the zone with derivable owner names (see
+	// synth.go). synthIdx is the sorted owner index, memoized on first use;
+	// synthRecords/synthDone form the bounded materialized-record overlay.
+	// None of the overlay state affects gen: a synth-backed zone serves the
+	// same bytes whether or not a name has been materialized yet.
+	synth        SynthSource
+	synthReady   bool
+	synthIdx     []SynthEntry
+	synthRecords map[dns.Key][]dns.RR
+	synthDone    map[dns.Name]bool
+
 	signed     bool
 	nsec3      bool
 	nsec3Salt  []byte

@@ -1,0 +1,13 @@
+# Converts `go test -bench` output to a flat JSON summary:
+#   {"BenchmarkName-8": {"ns_per_op": N, "<metric>": V, ...}, ...}
+# Every per-op column after the iteration count is carried over under its
+# unit name (B/op, allocs/op, and any b.ReportMetric custom unit). Shared by
+# the bench-hotpath, bench-faults, and bench-sweep Makefile targets.
+BEGIN { printf "{"; n = 0 }
+/^Benchmark/ {
+    if (n++) printf ","
+    printf "\n  \"%s\": {\"ns_per_op\": %s", $1, $3
+    for (i = 5; i < NF; i += 2) printf ", \"%s\": %s", $(i+1), $i
+    printf "}"
+}
+END { print "\n}" }

@@ -1,0 +1,178 @@
+package lookaside
+
+// Million-domain sweep benchmarks (DESIGN.md §9): universe setup cost lazy
+// vs. eager, end-to-end sweep throughput per population size, and a
+// steady-state allocation budget per audited domain. docs/results-sweep.md
+// records the measured numbers; `make bench-sweep` regenerates them into
+// BENCH_sweep.json.
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/dnsprivacy/lookaside/internal/core"
+	"github.com/dnsprivacy/lookaside/internal/dataset"
+	"github.com/dnsprivacy/lookaside/internal/experiment"
+	"github.com/dnsprivacy/lookaside/internal/universe"
+)
+
+// allocBudgetPerDomain bounds the steady-state allocations of auditing one
+// fresh domain on a warm shard with shared infrastructure: wire exchanges
+// for the delegation walk, signature checks against the verification
+// cache, capture accounting. Measured ~460 allocs/domain; pinned with
+// headroom so a regression (say, a cache that stops hitting) fails here
+// rather than in a profile.
+const allocBudgetPerDomain = 800
+
+// BenchmarkSweepSetup measures universe construction alone — the cost the
+// lazy path removes from every sweep point. Population generation is
+// excluded (identical either way); eager at pop=1000000 is omitted, it
+// takes minutes and ~10 GB, which is exactly the point.
+func BenchmarkSweepSetup(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		eager bool
+		pops  []int
+	}{
+		{"lazy", false, []int{10_000, 100_000, 1_000_000}},
+		{"eager", true, []int{10_000, 100_000}},
+	} {
+		for _, n := range mode.pops {
+			b.Run(fmt.Sprintf("%s/pop=%d", mode.name, n), func(b *testing.B) {
+				pop, err := dataset.AlexaLike(dataset.PopulationConfig{Size: n, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					u, err := universe.Build(universe.Options{
+						Seed: 1, Population: pop, Extra: dataset.SecureDomains(),
+						Eager: mode.eager,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if u.DomainCount() < n {
+						b.Fatalf("universe lost domains: %d < %d", u.DomainCount(), n)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSweepThroughput runs one full sweep point per iteration —
+// population generation, lazy universe, infrastructure warm-up, and the
+// sharded audit of every domain — and reports engine throughput plus the
+// live heap afterwards. Run with -benchtime=1x: one iteration is the
+// measurement (the sweep audits n domains internally).
+func BenchmarkSweepThroughput(b *testing.B) {
+	for _, n := range []int{10_000, 100_000, 1_000_000} {
+		b.Run(fmt.Sprintf("pop=%d", n), func(b *testing.B) {
+			var last experiment.SweepPoint
+			for i := 0; i < b.N; i++ {
+				res, err := experiment.Sweep(experiment.Params{Seed: 1, Scale: 1}, []int{n})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res.Points[0]
+			}
+			if last.Metrics.Servfails != 0 {
+				b.Fatalf("sweep servfailed %d queries", last.Metrics.Servfails)
+			}
+			b.ReportMetric(last.Timing.DomainsPerSec, "domains/sec")
+			b.ReportMetric(last.Timing.HeapAllocMB, "heapMB")
+			b.ReportMetric(float64(last.Metrics.LeakedDomains), "leaked")
+		})
+	}
+}
+
+// BenchmarkSweepBaseline is the pre-sweep path for the same job: eager
+// universe construction and a ShardedAuditor with self-contained resolvers
+// (no shared infrastructure), end to end including setup — what running a
+// population point cost before the sweep engine existed. The ratio of
+// BenchmarkSweepThroughput's domains/sec to this one's is the speedup
+// recorded in docs/results-sweep.md.
+func BenchmarkSweepBaseline(b *testing.B) {
+	for _, n := range []int{10_000, 100_000} {
+		b.Run(fmt.Sprintf("pop=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pop, err := dataset.AlexaLike(dataset.PopulationConfig{Size: n, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				u, err := universe.Build(universe.Options{
+					Seed: 1, Population: pop, Extra: dataset.SecureDomains(),
+					Eager: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cfg := u.ResolverConfig(true, true)
+				cfg.NSCompletionPercent, cfg.PTRSamplePercent = 0, 0
+				a, err := core.NewShardedAuditor(u, core.ShardedOptions{
+					Options: core.Options{Resolver: cfg}, Workers: 8,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := a.QueryDomains(pop.Top(n)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N*n)/b.Elapsed().Seconds(), "domains/sec")
+		})
+	}
+}
+
+// TestSweepAllocationBudget pins the steady-state allocation cost of the
+// sweep's inner loop: with infrastructure warmed and shared, auditing a
+// fresh domain must stay under allocBudgetPerDomain allocations.
+func TestSweepAllocationBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation behavior")
+	}
+	pop, err := dataset.AlexaLike(dataset.PopulationConfig{Size: 2000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := universe.Build(universe.Options{
+		Seed: 1, Population: pop, Extra: dataset.SecureDomains(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := u.ResolverConfig(true, true)
+	cfg.NSCompletionPercent, cfg.PTRSamplePercent = 0, 0
+	ic, err := core.WarmInfra(u, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Infra = ic
+	a, err := core.NewShardAuditor(u, core.Options{Resolver: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	domains := pop.Top(2000)
+	// Warm the shard: TLD glue interning, verification cache, lazy SLD
+	// synthesis machinery all settle over the first block.
+	if err := a.QueryDomains(domains[:500]); err != nil {
+		t.Fatal(err)
+	}
+	// AllocsPerRun(10, f) calls f 11 times (one warm-up run), 100 fresh
+	// domains each.
+	block := domains[500:1600]
+	next := 0
+	got := testing.AllocsPerRun(10, func() {
+		if err := a.QueryDomains(block[next*100 : (next+1)*100]); err != nil {
+			t.Fatal(err)
+		}
+		next++
+	})
+	perDomain := got / 100
+	t.Logf("measured %.0f allocs/domain", perDomain)
+	if perDomain > allocBudgetPerDomain {
+		t.Errorf("steady state = %.0f allocs/domain, budget %d", perDomain, allocBudgetPerDomain)
+	}
+}
