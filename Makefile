@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet cover bench bench-hotpath bench-faults bench-sweep fuzz experiments experiments-full clean
+.PHONY: all build test vet cover bench bench-hotpath bench-faults bench-sweep bench-sweep-baseline benchdiff fuzz experiments experiments-full clean
 
 all: build vet test
 
@@ -57,6 +57,19 @@ bench-sweep:
 		-benchmem -benchtime 1x -timeout 60m . | tee BENCH_sweep.txt
 	@awk -f scripts/bench2json.awk BENCH_sweep.txt > BENCH_sweep.json
 	@cat BENCH_sweep.json
+
+# Regression gate: compare a fresh BENCH_sweep.json (run `make bench-sweep`
+# first) against the committed baseline at the default 10% threshold —
+# meant for before/after runs on the same machine. CI uses the same script
+# with a loose threshold because its hardware differs from the baseline's.
+benchdiff:
+	awk -f scripts/benchdiff.awk BENCH_sweep.baseline.json BENCH_sweep.json
+
+# Refresh the committed baseline after an intentional performance change.
+# The baseline has its own name so `make clean` (which removes the
+# regenerated-on-demand BENCH_*.json artifacts) never deletes it.
+bench-sweep-baseline: bench-sweep
+	cp BENCH_sweep.json BENCH_sweep.baseline.json
 
 # Short fuzzing pass over every Fuzz* target (wire decoder, zone parser,
 # fault schedules). -fuzz accepts a single target per run, so discover and

@@ -60,6 +60,9 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *workers < 1 {
+		return fmt.Errorf("-workers must be >= 1 (got %d); use 1 for a sequential run", *workers)
+	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {

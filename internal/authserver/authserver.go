@@ -85,6 +85,11 @@ type Config struct {
 	// query through response assembly and encoding (the seed behavior;
 	// equivalence tests and baseline benchmarks use it).
 	DisablePacketCache bool
+	// PacketCacheCap bounds the wire-response cache's entry count (the
+	// default cap when zero). Sweep-style workloads set a small cap: they
+	// query each name once, so cached responses are rarely re-served and a
+	// large cache just accretes one entry per audited domain.
+	PacketCacheCap int
 }
 
 // Server is an authoritative DNS server over one or more zone sources.
@@ -108,7 +113,7 @@ func New(cfg Config, sources ...Source) (*Server, error) {
 	}
 	s := &Server{name: cfg.Name, cfg: cfg}
 	if !cfg.DisablePacketCache {
-		s.cache = NewPacketCache()
+		s.cache = NewPacketCacheCap(cfg.PacketCacheCap)
 	}
 	for _, src := range sources {
 		s.AddSource(src)

@@ -31,16 +31,19 @@ const (
 
 // packetEntry stores one fully shaped response: its wire encoding (served
 // on hits by patching the 2-byte message ID, like Unbound's packet cache)
-// and the canonical decoded message (cloned per hit so callers own their
-// copy), pinned to the source generation that produced it.
+// and the canonical decoded message (served by shallow header copy —
+// section slices and RData are shared under the codebase-wide contract
+// that exchanged responses are read-only), pinned to the source generation
+// that produced it.
 type packetEntry struct {
 	wire   []byte
 	msg    *dns.Message
 	srcGen uint64
 }
 
-// packetCacheCap bounds each cache; when full it resets rather than
-// evicting (entries rebuild cheaply and deterministically).
+// packetCacheCap is the default entry bound of each cache; when full it
+// resets rather than evicting (entries rebuild cheaply and
+// deterministically).
 const packetCacheCap = 1 << 16
 
 // PacketCache is an authoritative wire-response cache. A nil *PacketCache
@@ -48,14 +51,27 @@ const packetCacheCap = 1 << 16
 type PacketCache struct {
 	mu      sync.RWMutex
 	entries map[packetKey]*packetEntry
+	cap     int
 
 	hits   atomic.Uint64
 	misses atomic.Uint64
 }
 
-// NewPacketCache creates an empty cache.
+// NewPacketCache creates an empty cache with the default capacity.
 func NewPacketCache() *PacketCache {
-	return &PacketCache{entries: make(map[packetKey]*packetEntry)}
+	return NewPacketCacheCap(packetCacheCap)
+}
+
+// NewPacketCacheCap creates an empty cache bounded at n entries (default
+// capacity when n <= 0). Workloads that query each name exactly once — a
+// population sweep — get almost no hits from an authoritative cache, so a
+// small cap keeps the per-server footprint flat instead of accreting one
+// entry per audited domain until the default cap.
+func NewPacketCacheCap(n int) *PacketCache {
+	if n <= 0 {
+		n = packetCacheCap
+	}
+	return &PacketCache{entries: make(map[packetKey]*packetEntry), cap: n}
 }
 
 // Invalidate drops every entry; AddSource calls it because source routing
@@ -134,9 +150,12 @@ func sourceGeneration(src Source) uint64 {
 }
 
 // Respond answers q for src under cfg through the cache. The returned
-// message is always caller-owned. When wantWire is set, the encoded
-// response (ID already matching q) is appended to dst and returned; on a
-// cache hit that is a copy-and-patch, not an encode.
+// message owns its header but shares section slices with the cache entry:
+// callers may read it freely and must treat the record sections as
+// immutable — the same contract the wire fast path already imposes on
+// every exchanged response. When wantWire is set, the encoded response (ID
+// already matching q) is appended to dst and returned; on a cache hit that
+// is a copy-and-patch, not an encode.
 func (c *PacketCache) Respond(src Source, cfg Config, q *dns.Message, dst []byte, wantWire bool) (*dns.Message, []byte, error) {
 	if c == nil || !cacheableQuery(q) {
 		resp, err := Respond(src, cfg, q)
@@ -159,14 +178,16 @@ func (c *PacketCache) Respond(src Source, cfg Config, q *dns.Message, dst []byte
 	if ok && e.srcGen == gen {
 		c.hits.Add(1)
 		totalHits.Add(1)
-		resp := e.msg.Clone()
-		resp.Header.ID = q.Header.ID
+		// Shallow copy: one allocation for the header the caller owns;
+		// sections stay shared with the entry (read-only by contract).
+		cp := *e.msg
+		cp.Header.ID = q.Header.ID
 		if wantWire {
 			at := len(dst)
 			dst = append(dst, e.wire...)
 			binary.BigEndian.PutUint16(dst[at:], q.Header.ID)
 		}
-		return resp, dst, nil
+		return &cp, dst, nil
 	}
 
 	c.misses.Add(1)
@@ -180,7 +201,7 @@ func (c *PacketCache) Respond(src Source, cfg Config, q *dns.Message, dst []byte
 		return nil, nil, err
 	}
 	c.mu.Lock()
-	if len(c.entries) >= packetCacheCap {
+	if len(c.entries) >= c.cap {
 		clear(c.entries)
 	}
 	c.entries[key] = &packetEntry{wire: wire, msg: resp, srcGen: gen}
@@ -188,5 +209,8 @@ func (c *PacketCache) Respond(src Source, cfg Config, q *dns.Message, dst []byte
 	if wantWire {
 		dst = append(dst, wire...)
 	}
-	return resp.Clone(), dst, nil
+	// Same shallow-copy shape as the hit path, so the miss caller owns the
+	// header too (the ID already mirrors q; Respond copies it).
+	cp := *resp
+	return &cp, dst, nil
 }

@@ -56,20 +56,33 @@ func TestPacketCacheHitsAndIDPatch(t *testing.T) {
 	}
 }
 
-func TestPacketCacheHitIsCallerOwned(t *testing.T) {
+func TestPacketCacheHitHeaderIsCallerOwned(t *testing.T) {
 	srv, err := New(Config{Name: "ns"}, testZone(t, "example.com", false))
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Served responses share section slices with the cache (the read-only
+	// contract every exchanged response already carries — a CNAME-chasing
+	// resolver merges into a fresh slice, never in place). The header,
+	// though, is caller-owned: mutating it must not leak into later hits.
 	r1, _ := queryWire(t, srv, 1, "www.example.com", dns.TypeA)
-	// Simulate a resolver mutating the served response (CNAME chases append
-	// to sections); the cached copy must be unaffected.
-	r1.Answer = append(r1.Answer, r1.Answer[0])
-	r1.Answer[0].TTL = 9999
+	r1.Header.ID = 0xdead
+	r1.Header.RCode = dns.RCodeServFail
 
 	r2, _ := queryWire(t, srv, 2, "www.example.com", dns.TypeA)
-	if len(r2.Answer) != 1 || r2.Answer[0].TTL == 9999 {
-		t.Fatalf("cache entry corrupted by caller mutation: %+v", r2.Answer)
+	if r2.Header.ID != 2 || r2.Header.RCode != dns.RCodeNoError {
+		t.Fatalf("cache header corrupted by caller mutation: %+v", r2.Header)
+	}
+	// The documented merge pattern — append into a fresh slice — must
+	// leave the cached sections intact.
+	merged := make([]dns.RR, 0, len(r2.Answer)+1)
+	merged = append(merged, r2.Answer...)
+	merged = append(merged, r2.Answer[0])
+	merged[0].TTL = 9999
+
+	r3, _ := queryWire(t, srv, 3, "www.example.com", dns.TypeA)
+	if len(r3.Answer) != 1 || r3.Answer[0].TTL == 9999 {
+		t.Fatalf("cache entry corrupted by fresh-slice merge: %+v", r3.Answer)
 	}
 }
 

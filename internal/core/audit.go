@@ -28,6 +28,9 @@ type auditPort interface {
 	Now() time.Duration
 	StubQuery(id uint16, name dns.Name, qtype dns.Type) (*dns.Message, error)
 	StubQueryFrom(src netip.Addr, id uint16, name dns.Name, qtype dns.Type) (*dns.Message, error)
+	// StubExchange sends a caller-built query; the audit hot loop uses it
+	// with a reused scratch message.
+	StubExchange(src netip.Addr, q *dns.Message) (*dns.Message, error)
 }
 
 // netPort drives the global network (the sequential path).
@@ -39,6 +42,9 @@ func (p netPort) StubQuery(id uint16, name dns.Name, qtype dns.Type) (*dns.Messa
 }
 func (p netPort) StubQueryFrom(src netip.Addr, id uint16, name dns.Name, qtype dns.Type) (*dns.Message, error) {
 	return p.u.StubQueryFrom(src, id, name, qtype)
+}
+func (p netPort) StubExchange(src netip.Addr, q *dns.Message) (*dns.Message, error) {
+	return p.u.StubExchange(src, q)
 }
 
 // shardPort drives one shard of the network (the parallel path).
@@ -53,6 +59,9 @@ func (p shardPort) StubQuery(id uint16, name dns.Name, qtype dns.Type) (*dns.Mes
 }
 func (p shardPort) StubQueryFrom(src netip.Addr, id uint16, name dns.Name, qtype dns.Type) (*dns.Message, error) {
 	return p.u.ShardStubQueryFrom(p.sh, src, id, name, qtype)
+}
+func (p shardPort) StubExchange(src netip.Addr, q *dns.Message) (*dns.Message, error) {
+	return p.u.ShardStubExchange(p.sh, src, q)
 }
 
 // Auditor wires a universe, a resolver configuration, and a capture
@@ -79,6 +88,14 @@ type Auditor struct {
 	// aaaaShare controls how many domains also get an AAAA stub query
 	// (percent; the paper's captures show roughly half).
 	aaaaShare int
+	// qscratch is the reusable stub-query message, rebuilt per query. The
+	// network never retains queries (the wire path re-derives the server's
+	// view from the encoded bytes) and each stub exchange is synchronous,
+	// so one scratch per auditor is safe and saves three allocations per
+	// stub query.
+	qscratch  dns.Message
+	qscratchQ [1]dns.Question
+	qscratchE dns.EDNS
 }
 
 // Options configures an audit.
@@ -181,7 +198,7 @@ func (a *Auditor) QueryDomainAs(client netip.Addr, name dns.Name) error {
 	a.stubQueries++
 	a.nextID++
 	start := a.port.Now()
-	resp, err := a.port.StubQueryFrom(client, a.nextID, name, dns.TypeA)
+	resp, err := a.stubQuery(client, a.nextID, name, dns.TypeA)
 	if err != nil {
 		return fmt.Errorf("core: stub query %s/A: %w", name, err)
 	}
@@ -196,7 +213,7 @@ func (a *Auditor) QueryDomainAs(client netip.Addr, name dns.Name) error {
 	if int(hash64(string(name))%100) < a.aaaaShare {
 		a.stubQueries++
 		a.nextID++
-		resp, err := a.port.StubQueryFrom(client, a.nextID, name, dns.TypeAAAA)
+		resp, err := a.stubQuery(client, a.nextID, name, dns.TypeAAAA)
 		if err != nil {
 			return fmt.Errorf("core: stub query %s/AAAA: %w", name, err)
 		}
@@ -205,6 +222,19 @@ func (a *Auditor) QueryDomainAs(client netip.Addr, name dns.Name) error {
 		}
 	}
 	return nil
+}
+
+// stubQuery rebuilds the auditor's scratch message in the NewQuery shape
+// (recursive, EDNS0 + DO) and exchanges it from the client endpoint.
+func (a *Auditor) stubQuery(client netip.Addr, id uint16, name dns.Name, qtype dns.Type) (*dns.Message, error) {
+	q := &a.qscratch
+	q.Header = dns.Header{ID: id, Opcode: dns.OpcodeQuery, RD: true}
+	a.qscratchQ[0] = dns.Question{Name: name, Type: qtype, Class: dns.ClassIN}
+	q.Question = a.qscratchQ[:]
+	q.Answer, q.Authority, q.Additional = nil, nil, nil
+	a.qscratchE = dns.EDNS{UDPSize: dns.DefaultUDPSize, DO: true}
+	q.EDNS = &a.qscratchE
+	return a.port.StubExchange(client, q)
 }
 
 // QueryDomains runs a domain workload in order.

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/dnsprivacy/lookaside/internal/capture"
@@ -17,8 +18,16 @@ import (
 type ShardedOptions struct {
 	Options
 	// Workers is the number of shards the workload is partitioned across;
-	// <= 0 uses GOMAXPROCS.
+	// <= 0 uses GOMAXPROCS. The shard count determines the merged report
+	// (it fixes the workload partition and per-shard clock domains), so
+	// callers that need run-to-run identical output pin it.
 	Workers int
+	// Parallelism bounds how many shards run concurrently; <= 0 runs all
+	// of them at once (the historical behavior). Because each shard owns
+	// its resolver, analyzer, and clock, and shards are merged in fixed
+	// order, the report is identical at any Parallelism — it only changes
+	// how many OS threads the same deterministic work spreads across.
+	Parallelism int
 }
 
 // ShardedAuditor partitions a domain workload across N worker shards and
@@ -34,8 +43,9 @@ type ShardedOptions struct {
 // the report is identical to what the sequential Auditor produces for the
 // same workload.
 type ShardedAuditor struct {
-	u        *universe.Universe
-	auditors []*Auditor
+	u           *universe.Universe
+	auditors    []*Auditor
+	parallelism int
 }
 
 // NewShardedAuditor builds one shard auditor per worker. The resolver
@@ -49,7 +59,15 @@ func NewShardedAuditor(u *universe.Universe, opts ShardedOptions) (*ShardedAudit
 	if opts.Resolver.VerifyCache == nil {
 		opts.Resolver.VerifyCache = dnssec.NewVerifyCache()
 	}
-	s := &ShardedAuditor{u: u, auditors: make([]*Auditor, 0, workers)}
+	parallelism := opts.Parallelism
+	if parallelism <= 0 || parallelism > workers {
+		parallelism = workers
+	}
+	s := &ShardedAuditor{
+		u:           u,
+		auditors:    make([]*Auditor, 0, workers),
+		parallelism: parallelism,
+	}
 	for i := 0; i < workers; i++ {
 		a, err := NewShardAuditor(u, opts.Options)
 		if err != nil {
@@ -78,20 +96,34 @@ func blockBounds(n, c, i int) (lo, hi int) {
 
 // QueryDomains partitions the workload into contiguous blocks (one per
 // shard, preserving the rank order inside each block) and runs the blocks
-// concurrently. Any shard errors are joined.
+// on a pool of at most Parallelism goroutines. The shard→block assignment
+// is fixed by shard index, so which goroutine happens to execute a shard
+// (and in what order shards are picked up) cannot affect the result — only
+// wall-clock. Any shard errors are joined.
 func (s *ShardedAuditor) QueryDomains(domains []dataset.Domain) error {
 	var wg sync.WaitGroup
 	errs := make([]error, len(s.auditors))
-	for i, a := range s.auditors {
-		lo, hi := blockBounds(len(domains), len(s.auditors), i)
-		if lo == hi {
-			continue
-		}
+	var next atomic.Int64
+	pool := s.parallelism
+	if pool <= 0 || pool > len(s.auditors) {
+		pool = len(s.auditors)
+	}
+	for w := 0; w < pool; w++ {
 		wg.Add(1)
-		go func(i int, a *Auditor, block []dataset.Domain) {
+		go func() {
 			defer wg.Done()
-			errs[i] = a.QueryDomains(block)
-		}(i, a, domains[lo:hi])
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(s.auditors) {
+					return
+				}
+				lo, hi := blockBounds(len(domains), len(s.auditors), i)
+				if lo == hi {
+					continue
+				}
+				errs[i] = s.auditors[i].QueryDomains(domains[lo:hi])
+			}
+		}()
 	}
 	wg.Wait()
 	return errors.Join(errs...)

@@ -161,6 +161,13 @@ func (n Name) IsSubdomainOf(zone Name) bool {
 
 // Prepend returns label.n. It validates the new label.
 func (n Name) Prepend(label string) (Name, error) {
+	if !n.IsRoot() && prefixCanonical(label) {
+		s := label + "." + string(n)
+		if len(s) > maxNameLen {
+			return "", fmt.Errorf("%w: %q", ErrNameTooLong, s)
+		}
+		return Name(s), nil
+	}
 	return MakeName(label + "." + string(n))
 }
 
@@ -174,7 +181,43 @@ func Concat(prefix string, suffix Name) (Name, error) {
 	if suffix.IsRoot() {
 		return MakeName(prefix)
 	}
+	// Fast path: a prefix that is already canonical joins the
+	// dot-terminated suffix in one concatenation. Going through MakeName
+	// would trim the suffix's trailing dot and re-add it, paying a second
+	// copy — and this is the look-aside name construction hot path.
+	if prefixCanonical(prefix) {
+		s := prefix + "." + string(suffix)
+		if len(s) > maxNameLen {
+			return "", fmt.Errorf("%w: %q", ErrNameTooLong, s)
+		}
+		return Name(s), nil
+	}
 	return MakeName(prefix + "." + string(suffix))
+}
+
+// prefixCanonical reports whether a relative (no trailing dot) prefix is
+// made of valid lowercase labels, i.e. joining it onto a canonical suffix
+// needs no further normalization. Anything else — uppercase, bad characters,
+// empty or oversized labels — falls back to MakeName for normalization or a
+// precise error.
+func prefixCanonical(prefix string) bool {
+	if prefix == "" {
+		return false
+	}
+	start := 0
+	for i := 0; i <= len(prefix); i++ {
+		if i != len(prefix) && prefix[i] != '.' {
+			if !isNameChar(prefix[i]) {
+				return false
+			}
+			continue
+		}
+		if i == start || i-start > maxLabelLen {
+			return false
+		}
+		start = i + 1
+	}
+	return true
 }
 
 // StripSuffix returns the part of n above zone, as a relative textual name

@@ -4,7 +4,6 @@ import (
 	"encoding/hex"
 	"fmt"
 	"net/netip"
-	"sort"
 	"strings"
 )
 
@@ -320,9 +319,15 @@ func (d *RawData) String() string {
 }
 
 // SortTypes sorts a type list in ascending numeric order, as the NSEC type
-// bitmap requires.
+// bitmap requires. Insertion sort: type lists hold a handful of entries and
+// this runs for every name in every zone build, where sort.Slice's closure
+// and swapper allocations add up.
 func SortTypes(ts []Type) {
-	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && ts[j-1] > ts[j]; j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
 }
 
 // HasType reports whether ts contains t.

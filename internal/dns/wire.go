@@ -421,6 +421,23 @@ func EncodeName(n Name) []byte {
 	return b.buf
 }
 
+// AppendRData appends the canonical wire encoding of an RDATA to dst and
+// returns the extended slice; the allocation-free sibling of EncodeRData.
+func AppendRData(dst []byte, d RData) ([]byte, error) {
+	b := builder{buf: dst, noCompress: true}
+	if err := encodeRData(&b, d); err != nil {
+		return dst, err
+	}
+	return b.buf, nil
+}
+
+// AppendName appends the uncompressed wire form of a name to dst.
+func AppendName(dst []byte, n Name) []byte {
+	b := builder{buf: dst, noCompress: true}
+	b.putName(n, false)
+	return b.buf
+}
+
 // encodeTypeBitmap appends the RFC 4034 §4.1.2 window-block type bitmap.
 func encodeTypeBitmap(b *builder, types []Type) {
 	if len(types) == 0 {

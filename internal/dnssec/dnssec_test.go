@@ -2,6 +2,8 @@ package dnssec
 
 import (
 	"bytes"
+	"crypto/hmac"
+	"crypto/sha256"
 	"errors"
 	"math/rand"
 	"net/netip"
@@ -24,6 +26,28 @@ func testRRSet(owner string) []dns.RR {
 			Data: &dns.AData{Addr: netip.MustParseAddr("192.0.2.1")}},
 		{Name: name, Type: dns.TypeA, Class: dns.ClassIN, TTL: 300,
 			Data: &dns.AData{Addr: netip.MustParseAddr("192.0.2.2")}},
+	}
+}
+
+func TestFastHMACMatchesCryptoHMAC(t *testing.T) {
+	// The pooled manual HMAC must be byte-identical to crypto/hmac for every
+	// key/data shape the signer produces (32-byte keys, arbitrary data),
+	// including back-to-back calls that recycle one scratch.
+	rng := testRNG(77)
+	for trial := 0; trial < 50; trial++ {
+		key := make([]byte, fastKeySize)
+		rng.Read(key)
+		data := make([]byte, rng.Intn(4096))
+		rng.Read(data)
+
+		var got [32]byte
+		fastHMACSum(key, data, &got)
+
+		mac := hmac.New(sha256.New, key)
+		mac.Write(data)
+		if want := mac.Sum(nil); !bytes.Equal(got[:], want) {
+			t.Fatalf("trial %d (len %d): fastHMACSum = %x, crypto/hmac = %x", trial, len(data), got, want)
+		}
 	}
 }
 
@@ -212,6 +236,31 @@ func TestKeyTagStability(t *testing.T) {
 	}
 	if zsk.KeyTag() == key.KeyTag() {
 		t.Fatal("distinct keys produced identical tags (possible but astronomically unlikely)")
+	}
+	// The field-wise accumulation must match the Appendix B definition (the
+	// 16-bit ones-complement-style sum over the encoded RDATA) exactly.
+	for _, alg := range algorithms {
+		kp, err := GenerateKey(alg, dns.DNSKEYFlagZone, testRNG(32))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pub := kp.Public()
+		rdata, err := dns.EncodeRData(pub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var acc uint32
+		for i, b := range rdata {
+			if i&1 == 0 {
+				acc += uint32(b) << 8
+			} else {
+				acc += uint32(b)
+			}
+		}
+		acc += acc >> 16 & 0xFFFF
+		if want := uint16(acc & 0xFFFF); KeyTag(pub) != want {
+			t.Fatalf("alg %d: KeyTag = %d, wire-encoding sum = %d", alg, KeyTag(pub), want)
+		}
 	}
 }
 

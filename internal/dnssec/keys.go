@@ -24,8 +24,10 @@ import (
 	"crypto/sha256"
 	"errors"
 	"fmt"
+	"hash"
 	"io"
 	"math/big"
+	"sync"
 
 	"github.com/dnsprivacy/lookaside/internal/dns"
 )
@@ -127,6 +129,50 @@ func (k *KeyPair) DNSKEYRR(zone dns.Name, ttl uint32) dns.RR {
 	return dns.RR{Name: zone, Type: dns.TypeDNSKEY, Class: dns.ClassIN, TTL: ttl, Data: k.Public()}
 }
 
+// hmacScratch carries the two SHA-256 states and the pad block of one
+// HMAC-SHA256 computation. crypto/hmac.New allocates fresh states on every
+// call; at sweep scale each first-seen domain pays that in the validation
+// hot path, so the states are pooled and re-keyed per use instead. The pool
+// is package-level — KeyPairs are shared across zones and must stay free of
+// unsynchronized mutable state.
+type hmacScratch struct {
+	inner, outer hash.Hash
+	pad          [sha256.BlockSize]byte
+	isum         [sha256.Size]byte
+}
+
+var hmacPool = sync.Pool{New: func() any {
+	return &hmacScratch{inner: sha256.New(), outer: sha256.New()}
+}}
+
+// fastHMACSum writes HMAC-SHA256(key, data) into sum. The key must be at
+// most one SHA-256 block long (AlgFastHMAC keys are a fixed 32 bytes); byte
+// identity with crypto/hmac is pinned by TestFastHMACMatchesCryptoHMAC.
+func fastHMACSum(key, data []byte, sum *[sha256.Size]byte) {
+	s := hmacPool.Get().(*hmacScratch)
+	for i := range s.pad {
+		s.pad[i] = 0x36
+	}
+	for i, b := range key {
+		s.pad[i] ^= b
+	}
+	s.inner.Reset()
+	s.inner.Write(s.pad[:])
+	s.inner.Write(data)
+	inner := s.inner.Sum(s.isum[:0])
+	for i := range s.pad {
+		s.pad[i] = 0x5c
+	}
+	for i, b := range key {
+		s.pad[i] ^= b
+	}
+	s.outer.Reset()
+	s.outer.Write(s.pad[:])
+	s.outer.Write(inner)
+	s.outer.Sum(sum[:0])
+	hmacPool.Put(s)
+}
+
 // sign produces a raw signature over data.
 func (k *KeyPair) sign(data []byte, rng io.Reader) ([]byte, error) {
 	switch k.algorithm {
@@ -141,9 +187,11 @@ func (k *KeyPair) sign(data []byte, rng io.Reader) ([]byte, error) {
 		s.FillBytes(sig[32:])
 		return sig, nil
 	case AlgFastHMAC:
-		mac := hmac.New(sha256.New, k.hmacKey)
-		mac.Write(data)
-		return mac.Sum(nil), nil
+		var sum [sha256.Size]byte
+		fastHMACSum(k.hmacKey, data, &sum)
+		sig := make([]byte, sha256.Size)
+		copy(sig, sum[:])
+		return sig, nil
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownAlgorithm, k.algorithm)
 	}
@@ -171,9 +219,9 @@ func verifyWithKey(key *dns.DNSKEYData, data, sig []byte) error {
 		if len(key.PublicKey) != fastKeySize {
 			return fmt.Errorf("%w: hmac key length %d", ErrBadPublicKey, len(key.PublicKey))
 		}
-		mac := hmac.New(sha256.New, key.PublicKey)
-		mac.Write(data)
-		if !hmac.Equal(mac.Sum(nil), sig) {
+		var sum [sha256.Size]byte
+		fastHMACSum(key.PublicKey, data, &sum)
+		if !hmac.Equal(sum[:], sig) {
 			return ErrBadSignature
 		}
 		return nil
@@ -202,13 +250,13 @@ func unmarshalP256Public(raw []byte) (*ecdsa.PublicKey, error) {
 }
 
 // KeyTag computes the RFC 4034 Appendix B key tag over the DNSKEY RDATA.
+// It runs on every RRSIG structural check, so the sum is accumulated
+// straight off the fields instead of materializing the RDATA: the wire
+// layout is flags(2) protocol(1) algorithm(1) key(n), putting the key bytes
+// at even offsets from index 4 on.
 func KeyTag(key *dns.DNSKEYData) uint16 {
-	rdata, err := dns.EncodeRData(key)
-	if err != nil {
-		return 0
-	}
-	var acc uint32
-	for i, b := range rdata {
+	acc := uint32(key.Flags) + uint32(key.Protocol)<<8 + uint32(key.Algorithm)
+	for i, b := range key.PublicKey {
 		if i&1 == 0 {
 			acc += uint32(b) << 8
 		} else {

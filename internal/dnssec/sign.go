@@ -5,7 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"sort"
+	"sync"
 
 	"github.com/dnsprivacy/lookaside/internal/dns"
 )
@@ -45,11 +45,12 @@ func SignRRSet(key *KeyPair, signer dns.Name, rrset []dns.RR, inception, expirat
 		KeyTag:      key.KeyTag(),
 		SignerName:  signer,
 	}
-	data, err := signedData(sig, rrset)
+	data, sc, err := signedData(sig, rrset)
 	if err != nil {
 		return dns.RR{}, err
 	}
 	raw, err := key.sign(data, rng)
+	sc.release()
 	if err != nil {
 		return dns.RR{}, err
 	}
@@ -85,66 +86,104 @@ func verifyRRSet(c *VerifyCache, key *dns.DNSKEYData, sigRR dns.RR, rrset []dns.
 	if now < sig.Inception || now > sig.Expiration {
 		return fmt.Errorf("%w: now=%d window=[%d,%d]", ErrExpired, now, sig.Inception, sig.Expiration)
 	}
-	data, err := signedData(sig, rrset)
+	data, sc, err := signedData(sig, rrset)
 	if err != nil {
 		return err
 	}
-	if err := c.verify(key, sig, data); err != nil {
+	err = c.verify(key, sig, data)
+	sc.release()
+	if err != nil {
 		return fmt.Errorf("verifying %s: %w", rrset[0].Key(), err)
 	}
 	return nil
 }
 
-// signedData builds the RFC 4034 §3.1.8.1 canonical signing buffer:
-// RRSIG RDATA (with empty signature) followed by the canonical RRset.
-func signedData(sig *dns.RRSIGData, rrset []dns.RR) ([]byte, error) {
-	header := &dns.RRSIGData{
-		TypeCovered: sig.TypeCovered,
-		Algorithm:   sig.Algorithm,
-		Labels:      sig.Labels,
-		OriginalTTL: sig.OriginalTTL,
-		Expiration:  sig.Expiration,
-		Inception:   sig.Inception,
-		KeyTag:      sig.KeyTag,
-		SignerName:  sig.SignerName,
-	}
-	buf, err := dns.EncodeRData(header)
+// signedScratch carries the working buffers of one signedData construction.
+// Every buffer is reused across pool cycles; the data slice handed to the
+// caller aliases buf, so it must be consumed (hashed, MACed, compared)
+// before release returns the scratch to the pool.
+type signedScratch struct {
+	hdr   dns.RRSIGData // sig with the signature cleared, for header encoding
+	buf   []byte        // the canonical signing buffer itself
+	arena []byte        // concatenated RDATA encodings
+	offs  []int         // arena offsets, one past the end per record
+	wires [][]byte      // per-record arena sub-slices, canonically sorted
+	owner []byte        // encoded canonical owner name
+}
+
+var signedPool = sync.Pool{New: func() any { return new(signedScratch) }}
+
+// release returns the scratch to the pool, dropping the record references
+// the header copy holds so pooled scratches never pin caller data.
+func (sc *signedScratch) release() {
+	sc.hdr = dns.RRSIGData{}
+	signedPool.Put(sc)
+}
+
+// signedData builds the RFC 4034 §3.1.8.1 canonical signing buffer — RRSIG
+// RDATA (with empty signature) followed by the canonical RRset — into a
+// pooled scratch. On success the returned bytes alias the scratch; the
+// caller must release it after consuming them.
+func signedData(sig *dns.RRSIGData, rrset []dns.RR) ([]byte, *signedScratch, error) {
+	sc := signedPool.Get().(*signedScratch)
+	sc.hdr = *sig
+	sc.hdr.Signature = nil
+	buf, err := dns.AppendRData(sc.buf[:0], &sc.hdr)
+	sc.buf = buf
 	if err != nil {
-		return nil, fmt.Errorf("dnssec: encoding rrsig header: %w", err)
+		sc.release()
+		return nil, nil, fmt.Errorf("dnssec: encoding rrsig header: %w", err)
 	}
 
-	type wireRR struct {
-		rdata []byte
-	}
-	wires := make([]wireRR, len(rrset))
-	for i, rr := range rrset {
-		rd, err := dns.EncodeRData(rr.Data)
+	// Encode every RDATA into one arena, recording offsets; sub-slices are
+	// carved only after the last append so growth cannot invalidate them.
+	arena, offs := sc.arena[:0], sc.offs[:0]
+	for _, rr := range rrset {
+		offs = append(offs, len(arena))
+		arena, err = dns.AppendRData(arena, rr.Data)
 		if err != nil {
-			return nil, fmt.Errorf("dnssec: encoding rdata of %s: %w", rr.Key(), err)
+			sc.arena, sc.offs = arena, offs
+			sc.release()
+			return nil, nil, fmt.Errorf("dnssec: encoding rdata of %s: %w", rr.Key(), err)
 		}
-		wires[i] = wireRR{rdata: rd}
 	}
+	offs = append(offs, len(arena))
+	wires := sc.wires[:0]
+	for i := 0; i+1 < len(offs); i++ {
+		wires = append(wires, arena[offs[i]:offs[i+1]])
+	}
+	sc.arena, sc.offs, sc.wires = arena, offs, wires
+
 	// Canonical RRset order: ascending RDATA as a left-justified octet
-	// sequence (RFC 4034 §6.3).
-	sort.Slice(wires, func(i, j int) bool { return bytes.Compare(wires[i].rdata, wires[j].rdata) < 0 })
+	// sequence (RFC 4034 §6.3). Insertion sort: RRsets hold a handful of
+	// records, and records with equal RDATA append identical bytes, so the
+	// order among them cannot change the output.
+	for i := 1; i < len(wires); i++ {
+		for j := i; j > 0 && bytes.Compare(wires[j-1], wires[j]) > 0; j-- {
+			wires[j], wires[j-1] = wires[j-1], wires[j]
+		}
+	}
 
 	// RFC 4035 §5.3.2: when the RRSIG Labels field is smaller than the
 	// owner's label count, the RRset was synthesized from a wildcard; the
 	// canonical owner is the wildcard itself ("*." + rightmost labels).
 	ownerName, err := canonicalOwner(rrset[0].Name, sig.Labels)
 	if err != nil {
-		return nil, err
+		sc.release()
+		return nil, nil, err
 	}
-	owner := dns.EncodeName(ownerName)
+	owner := dns.AppendName(sc.owner[:0], ownerName)
+	sc.owner = owner
 	for _, w := range wires {
 		buf = append(buf, owner...)
 		buf = appendUint16(buf, uint16(rrset[0].Type))
 		buf = appendUint16(buf, uint16(rrset[0].Class))
 		buf = appendUint32(buf, sig.OriginalTTL)
-		buf = appendUint16(buf, uint16(len(w.rdata)))
-		buf = append(buf, w.rdata...)
+		buf = appendUint16(buf, uint16(len(w)))
+		buf = append(buf, w...)
 	}
-	return buf, nil
+	sc.buf = buf
+	return buf, sc, nil
 }
 
 // canonicalOwner reconstructs the signing owner name from the RRSIG Labels

@@ -42,30 +42,40 @@ func TestWorkersInvariance(t *testing.T) {
 // TestSweepInvariance extends the Workers contract to the sweep engine:
 // lazy materialization plus the shared infrastructure cache must leave the
 // deterministic metrics of every point identical at workers=1 vs
-// workers=8, and two runs with the same seed must agree exactly. Only
-// Metrics is compared — Timing is wall clock by definition.
+// workers=8, and two runs with the same seed must agree exactly. The
+// rendered leak table — the experiment's user-visible output minus the
+// wall-clock timing lines — must be byte-identical too. Run under -race
+// this also exercises the pooled scratches (query buffers, signing
+// buffers, HMAC states) across concurrently executing shards.
 func TestSweepInvariance(t *testing.T) {
 	populations := []int{60, 120, 250}
-	run := func(workers int) []SweepMetrics {
+	run := func(workers int) ([]SweepMetrics, string) {
 		res, err := Sweep(Params{Seed: 7, Workers: workers}, populations)
 		if err != nil {
 			t.Fatal(err)
 		}
 		out := make([]SweepMetrics, len(res.Points))
+		table := &SweepResult{Points: make([]SweepPoint, len(res.Points))}
 		for i, pt := range res.Points {
 			if pt.Population != populations[i] || pt.Workload != populations[i] {
 				t.Fatalf("point %d: population=%d workload=%d, want %d",
 					i, pt.Population, pt.Workload, populations[i])
 			}
 			out[i] = pt.Metrics
+			// Zeroed Timing: String() then depends on Metrics alone.
+			table.Points[i] = SweepPoint{Population: pt.Population, Workload: pt.Workload, Metrics: pt.Metrics}
 		}
-		return out
+		return out, table.String()
 	}
-	w1, w8 := run(1), run(8)
+	w1, t1 := run(1)
+	w8, t8 := run(8)
 	if !reflect.DeepEqual(w1, w8) {
 		t.Errorf("sweep metrics differ across Workers:\nw=1: %+v\nw=8: %+v", w1, w8)
 	}
-	if again := run(1); !reflect.DeepEqual(w1, again) {
+	if t1 != t8 {
+		t.Errorf("rendered leak table differs across Workers:\nw=1:\n%s\nw=8:\n%s", t1, t8)
+	}
+	if again, _ := run(1); !reflect.DeepEqual(w1, again) {
 		t.Errorf("sweep metrics differ across same-seed runs:\nfirst:  %+v\nsecond: %+v", w1, again)
 	}
 	if w1[0].Servfails != 0 || w1[0].DLVQueries == 0 {

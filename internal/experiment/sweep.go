@@ -9,20 +9,42 @@ import (
 	"github.com/dnsprivacy/lookaside/internal/core"
 	"github.com/dnsprivacy/lookaside/internal/metrics"
 	"github.com/dnsprivacy/lookaside/internal/resolver"
+	"github.com/dnsprivacy/lookaside/internal/universe"
 )
 
-// sweepShards is the FIXED worker count of every sweep point's
-// ShardedAuditor. Params.Workers parallelizes across independent sweep
-// points (each with its own universe and shards), never inside one, so the
-// per-point metrics are a function of (population, seed) alone — the same
-// invariance contract the rest of the experiment package keeps.
+// sweepShards is the FIXED shard count of every sweep point's
+// ShardedAuditor. Params.Workers bounds how many of those shards execute
+// concurrently (ShardedOptions.Parallelism) — it never changes the shard
+// count, the workload partition, or any per-shard clock domain — so the
+// per-point metrics are a function of (population, seed) alone, identical
+// at any -workers value. TestSweepInvariance pins this.
 const sweepShards = 8
 
-// sweepAnswerCap bounds each worker's per-domain answer cache during a
-// sweep. Sweep workloads query every domain exactly once, so a large
-// answer cache is pure memory overhead at the million-domain point; the
-// shared infrastructure cache carries everything that is actually re-used.
-const sweepAnswerCap = 1 << 18
+// Per-worker resolver cache caps during a sweep. Sweep workloads query
+// every domain exactly once, so per-domain cache entries (answers, SLD
+// delegations, SLD zone outcomes) are never re-used across domains; the
+// shared infrastructure cache carries everything that is. Each cap sits
+// far above one domain's working set plus the whole infrastructure set,
+// so FIFO eviction only ever discards entries belonging to finished
+// domains and resolution behavior — hence every metric — is unchanged.
+// The NSEC span store is deliberately NOT capped here: aggressive
+// negative caching accumulates spans across domains (the DLVSuppressed
+// metric), so bounding it would change results, not just memory.
+const (
+	sweepAnswerCap     = 1 << 15
+	sweepDelegationCap = 1 << 14
+	sweepZoneCap       = 1 << 14
+	sweepServerCap     = 1 << 14
+)
+
+// sweepPacketCacheCap bounds every authoritative server's wire-response
+// cache during a sweep. Each cache entry is a full encoded response plus
+// its decoded message (~1 KB) keyed by qname, and a sweep queries each
+// domain exactly once — at the million-domain point the default cap lets
+// the hosting pools accrete gigabytes of never-re-served responses. The
+// cap only bounds memory: a cold cache rebuilds the identical response, so
+// metrics are unchanged at any value (TestSweepInvariance).
+const sweepPacketCacheCap = 64
 
 // SweepMetrics are the deterministic outputs of one sweep point: identical
 // for a given (population size, seed) regardless of Params.Workers, wall
@@ -78,8 +100,12 @@ type SweepResult struct {
 // Sweep runs the million-domain sweep (DESIGN.md §9): for each population
 // size it generates a fresh Alexa-like population, builds a lazy universe
 // over it, warms the shared infrastructure cache once, and audits the full
-// population on a fixed-width ShardedAuditor. An empty populations slice
-// uses the paper-scale ladder 10k / 100k / 1M divided by Params.Scale.
+// population on a fixed-width ShardedAuditor. Points run sequentially —
+// each holds a full universe plus per-shard caches, so overlapping them
+// multiplies peak heap — and Params.Workers instead parallelizes *inside*
+// a point, spreading the fixed shards across cores. An empty populations
+// slice uses the paper-scale ladder 10k / 100k / 1M divided by
+// Params.Scale.
 func Sweep(p Params, populations []int) (*SweepResult, error) {
 	if len(populations) == 0 {
 		populations = []int{
@@ -89,28 +115,27 @@ func Sweep(p Params, populations []int) (*SweepResult, error) {
 		}
 	}
 	res := &SweepResult{Points: make([]SweepPoint, len(populations))}
-	err := forEach(len(populations), p.workers(), func(i int) error {
-		pt, err := sweepPoint(populations[i], p.Seed)
+	for i := range populations {
+		pt, err := sweepPoint(populations[i], p.Seed, p.workers())
 		if err != nil {
-			return fmt.Errorf("sweep at population=%d: %w", populations[i], err)
+			return nil, fmt.Errorf("sweep at population=%d: %w", populations[i], err)
 		}
 		res.Points[i] = pt
-		return nil
-	})
-	if err != nil {
-		return nil, err
 	}
 	return res, nil
 }
 
-// sweepPoint measures one population size.
-func sweepPoint(n int, seed int64) (SweepPoint, error) {
+// sweepPoint measures one population size, running up to workers shards
+// concurrently.
+func sweepPoint(n int, seed int64, workers int) (SweepPoint, error) {
 	setupStart := time.Now()
 	pop, err := buildPopulation(n, seed)
 	if err != nil {
 		return SweepPoint{}, err
 	}
-	u, err := buildUniverse(pop, seed, nil)
+	u, err := buildUniverse(pop, seed, func(o *universe.Options) {
+		o.PacketCacheCap = sweepPacketCacheCap
+	})
 	if err != nil {
 		return SweepPoint{}, err
 	}
@@ -118,7 +143,12 @@ func sweepPoint(n int, seed int64) (SweepPoint, error) {
 
 	cfg := u.ResolverConfig(true, true)
 	cfg.NSCompletionPercent, cfg.PTRSamplePercent = 0, 0
-	cfg.Limits = resolver.CacheLimits{Answers: sweepAnswerCap}
+	cfg.Limits = resolver.CacheLimits{
+		Answers:     sweepAnswerCap,
+		Delegations: sweepDelegationCap,
+		Zones:       sweepZoneCap,
+		Servers:     sweepServerCap,
+	}
 
 	warmStart := time.Now()
 	ic, err := core.WarmInfra(u, cfg)
@@ -129,8 +159,9 @@ func sweepPoint(n int, seed int64) (SweepPoint, error) {
 
 	cfg.Infra = ic
 	auditor, err := core.NewShardedAuditor(u, core.ShardedOptions{
-		Options: core.Options{Resolver: cfg},
-		Workers: sweepShards,
+		Options:     core.Options{Resolver: cfg},
+		Workers:     sweepShards,
+		Parallelism: workers,
 	})
 	if err != nil {
 		return SweepPoint{}, err
@@ -143,6 +174,9 @@ func sweepPoint(n int, seed int64) (SweepPoint, error) {
 	rep := auditor.Report()
 	runWall := time.Since(runStart)
 
+	// Collect before reading so HeapAllocMB is the live heap the point
+	// actually retains, not whatever garbage the last GC cycle left behind.
+	runtime.GC()
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 

@@ -70,26 +70,26 @@ type CacheSizes struct {
 // caches, the delegation (referral) cache, per-zone validation results,
 // and the validated NSEC span store that powers aggressive negative
 // caching of the DLV zone. Each map is paired with an insertion-order
-// queue so eviction is deterministic: expired entries go first (the
-// logical clock is deterministic), then the oldest survivors, down to 3/4
-// of the limit. Overwrites keep an entry's original queue position.
+// queue so eviction is deterministic: expired entries at the queue head go
+// first (the logical clock is deterministic), then the oldest survivors.
+// Overwrites keep an entry's original queue position.
 type cache struct {
 	limits CacheLimits
 
 	positive map[dns.Key]posEntry
-	posOrder []dns.Key
+	posOrder fifoQueue[dns.Key]
 	negative map[dns.Key]negEntry
-	negOrder []dns.Key
+	negOrder fifoQueue[dns.Key]
 
 	delegations map[dns.Name]*delegation
-	delOrder    []dns.Name
+	delOrder    fifoQueue[dns.Name]
 	zoneStatus  map[dns.Name]*zoneOutcome
-	zoneOrder   []dns.Name
+	zoneOrder   fifoQueue[dns.Name]
 	spans       map[dns.Name]*spanStore
 	seenServers map[netip.Addr]bool
-	seenOrder   []netip.Addr
+	seenOrder   fifoQueue[netip.Addr]
 	nsCompleted map[dns.Name]bool
-	nsOrder     []dns.Name
+	nsOrder     fifoQueue[dns.Name]
 }
 
 func newCache(limits CacheLimits) *cache {
@@ -292,45 +292,84 @@ func (s *spanStore) covers(name dns.Name, now uint32) bool {
 // size returns the number of stored spans (for tests).
 func (s *spanStore) size() int { return len(s.sorted) + len(s.tail) }
 
-// evictTo enforces a map's limit before a new key is inserted: expired
-// entries are dropped first (in insertion order), then the oldest survivors
-// until the map holds at most 3/4 of the limit. Both passes depend only on
-// insertion order and the logical clock, so eviction is deterministic. The
-// compacted order queue is returned.
-func evictTo[K comparable, V any](m map[K]V, order []K, limit int, expired func(V) bool) []K {
-	kept := order[:0]
-	for _, k := range order {
-		v, ok := m[k]
+// fifoQueue is the insertion-order eviction queue behind every bounded
+// resolver map. Keys enter once, on first insert (overwrites keep the
+// original position); eviction pops from the head, so enforcing a limit is
+// amortized O(1) per insert — every pop matches one past push — instead of
+// the O(cache) sweep the previous design paid on the hot path at the
+// million-domain scale. The popped prefix is compacted away once it
+// outgrows the live half, keeping total copying linear in pushes.
+type fifoQueue[K comparable] struct {
+	keys []K
+	head int
+}
+
+func (q *fifoQueue[K]) push(k K) {
+	if q.head > 64 && q.head > len(q.keys)/2 {
+		n := copy(q.keys, q.keys[q.head:])
+		q.keys = q.keys[:n]
+		q.head = 0
+	}
+	q.keys = append(q.keys, k)
+}
+
+func (q *fifoQueue[K]) peek() (K, bool) {
+	if q.head >= len(q.keys) {
+		var zero K
+		return zero, false
+	}
+	return q.keys[q.head], true
+}
+
+func (q *fifoQueue[K]) pop() (K, bool) {
+	k, ok := q.peek()
+	if ok {
+		q.head++
+	}
+	return k, ok
+}
+
+// evictForInsert makes room in m for one new entry: consecutive expired
+// entries at the queue head are dropped first, then the oldest entries
+// until the map is under its limit. Both steps depend only on per-resolver
+// insertion order and the logical clock, so eviction is deterministic (and
+// in particular independent of how many sweep shards run concurrently).
+// Expired entries that are not yet at the head survive until they reach
+// it; memory stays bounded by the limit either way.
+func evictForInsert[K comparable, V any](m map[K]V, q *fifoQueue[K], limit int, expired func(V) bool) {
+	if expired != nil {
+		for {
+			k, ok := q.peek()
+			if !ok {
+				break
+			}
+			v, live := m[k]
+			if live && !expired(v) {
+				break
+			}
+			q.pop()
+			if live {
+				delete(m, k)
+			}
+		}
+	}
+	for len(m) >= limit {
+		k, ok := q.pop()
 		if !ok {
-			continue
+			break
 		}
-		if expired != nil && expired(v) {
-			delete(m, k)
-			continue
-		}
-		kept = append(kept, k)
+		delete(m, k)
 	}
-	target := limit - limit/4
-	drop := 0
-	for len(m) > target && drop < len(kept) {
-		delete(m, kept[drop])
-		drop++
-	}
-	if drop > 0 {
-		n := copy(kept, kept[drop:])
-		kept = kept[:n]
-	}
-	return kept
 }
 
 // storePositive writes a positive answer, enforcing the answer bound.
 func (c *cache) storePositive(key dns.Key, e posEntry, now uint32) {
 	if _, ok := c.positive[key]; !ok {
 		if len(c.positive) >= c.limits.Answers {
-			c.posOrder = evictTo(c.positive, c.posOrder, c.limits.Answers,
+			evictForInsert(c.positive, &c.posOrder, c.limits.Answers,
 				func(e posEntry) bool { return e.expires < now })
 		}
-		c.posOrder = append(c.posOrder, key)
+		c.posOrder.push(key)
 	}
 	c.positive[key] = e
 }
@@ -339,10 +378,10 @@ func (c *cache) storePositive(key dns.Key, e posEntry, now uint32) {
 func (c *cache) storeNegative(key dns.Key, e negEntry, now uint32) {
 	if _, ok := c.negative[key]; !ok {
 		if len(c.negative) >= c.limits.Answers {
-			c.negOrder = evictTo(c.negative, c.negOrder, c.limits.Answers,
+			evictForInsert(c.negative, &c.negOrder, c.limits.Answers,
 				func(e negEntry) bool { return e.expires < now })
 		}
-		c.negOrder = append(c.negOrder, key)
+		c.negOrder.push(key)
 	}
 	c.negative[key] = e
 }
@@ -353,9 +392,9 @@ func (c *cache) storeNegative(key dns.Key, e negEntry, now uint32) {
 func (c *cache) storeDelegation(name dns.Name, d *delegation) {
 	if _, ok := c.delegations[name]; !ok {
 		if len(c.delegations) >= c.limits.Delegations {
-			c.delOrder = evictTo(c.delegations, c.delOrder, c.limits.Delegations, nil)
+			evictForInsert(c.delegations, &c.delOrder, c.limits.Delegations, nil)
 		}
-		c.delOrder = append(c.delOrder, name)
+		c.delOrder.push(name)
 	}
 	c.delegations[name] = d
 }
@@ -365,9 +404,9 @@ func (c *cache) storeDelegation(name dns.Name, d *delegation) {
 func (c *cache) storeZoneStatus(name dns.Name, out *zoneOutcome) {
 	if _, ok := c.zoneStatus[name]; !ok {
 		if len(c.zoneStatus) >= c.limits.Zones {
-			c.zoneOrder = evictTo(c.zoneStatus, c.zoneOrder, c.limits.Zones, nil)
+			evictForInsert(c.zoneStatus, &c.zoneOrder, c.limits.Zones, nil)
 		}
-		c.zoneOrder = append(c.zoneOrder, name)
+		c.zoneOrder.push(name)
 	}
 	c.zoneStatus[name] = out
 }
@@ -379,9 +418,9 @@ func (c *cache) noteSeenServer(addr netip.Addr) (seen bool) {
 		return true
 	}
 	if len(c.seenServers) >= c.limits.Servers {
-		c.seenOrder = evictTo(c.seenServers, c.seenOrder, c.limits.Servers, nil)
+		evictForInsert(c.seenServers, &c.seenOrder, c.limits.Servers, nil)
 	}
-	c.seenOrder = append(c.seenOrder, addr)
+	c.seenOrder.push(addr)
 	c.seenServers[addr] = true
 	return false
 }
@@ -393,9 +432,9 @@ func (c *cache) noteNSCompleted(name dns.Name) (done bool) {
 		return true
 	}
 	if len(c.nsCompleted) >= c.limits.Zones {
-		c.nsOrder = evictTo(c.nsCompleted, c.nsOrder, c.limits.Zones, nil)
+		evictForInsert(c.nsCompleted, &c.nsOrder, c.limits.Zones, nil)
 	}
-	c.nsOrder = append(c.nsOrder, name)
+	c.nsOrder.push(name)
 	c.nsCompleted[name] = true
 	return false
 }

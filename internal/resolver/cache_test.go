@@ -191,13 +191,13 @@ func TestCacheEviction(t *testing.T) {
 	key := func(i int) dns.Key {
 		return dns.Key{Name: dns.MustName(fmt.Sprintf("n%d.test", i)), Type: dns.TypeA, Class: dns.ClassIN}
 	}
-	// Expired entries are dropped first: fill to the cap with half the
-	// entries already expired at eviction time, and the live half must all
-	// survive the next store.
+	// An expired run at the queue head is dropped wholesale before any
+	// live entry is touched: fill to the cap with the oldest half expired,
+	// and the next store must reclaim all of them and no live ones.
 	c := newCache(CacheLimits{Answers: 100})
 	for i := 0; i < 100; i++ {
-		expires := uint32(50) // expired at now=60
-		if i%2 == 1 {
+		expires := uint32(50) // entries 0..49 expired at now=60
+		if i >= 50 {
 			expires = 1000
 		}
 		c.storePositive(key(i), posEntry{expires: expires}, 10)
@@ -206,28 +206,28 @@ func TestCacheEviction(t *testing.T) {
 	if len(c.positive) != 51 {
 		t.Fatalf("after expiry-first eviction: %d entries, want 51", len(c.positive))
 	}
-	for i := 1; i < 100; i += 2 {
+	for i := 50; i <= 100; i++ {
 		if _, ok := c.positive[key(i)]; !ok {
-			t.Fatalf("live entry %d evicted while expired entries existed", i)
+			t.Fatalf("live entry %d evicted while expired entries headed the queue", i)
 		}
 	}
 
-	// With nothing expired, the oldest entries go (FIFO) down to 3/4 of
-	// the limit — deterministically, independent of map iteration order.
+	// With nothing expired, each insert past the cap evicts exactly the
+	// oldest entry — deterministic strict FIFO, independent of map
+	// iteration order, and O(1) per insert rather than a full-cache scan.
 	c = newCache(CacheLimits{Answers: 100})
-	for i := 0; i < 100; i++ {
+	for i := 0; i < 103; i++ {
 		c.storePositive(key(i), posEntry{expires: 1000}, 10)
 	}
-	c.storePositive(key(100), posEntry{expires: 1000}, 10)
-	if len(c.positive) != 76 {
-		t.Fatalf("after FIFO eviction: %d entries, want 76", len(c.positive))
+	if len(c.positive) != 100 {
+		t.Fatalf("after FIFO eviction: %d entries, want 100", len(c.positive))
 	}
-	for i := 0; i < 25; i++ {
+	for i := 0; i < 3; i++ {
 		if _, ok := c.positive[key(i)]; ok {
 			t.Fatalf("oldest entry %d survived FIFO eviction", i)
 		}
 	}
-	for i := 25; i <= 100; i++ {
+	for i := 3; i < 103; i++ {
 		if _, ok := c.positive[key(i)]; !ok {
 			t.Fatalf("newer entry %d evicted", i)
 		}
@@ -239,8 +239,19 @@ func TestCacheEviction(t *testing.T) {
 	for i := 0; i < 50; i++ {
 		c.storePositive(key(0), posEntry{expires: uint32(i)}, 10)
 	}
-	if len(c.positive) != 1 || len(c.posOrder) != 1 {
+	if len(c.positive) != 1 || len(c.posOrder.keys)-c.posOrder.head != 1 {
 		t.Fatalf("overwrites grew the cache: %d entries, %d order slots",
-			len(c.positive), len(c.posOrder))
+			len(c.positive), len(c.posOrder.keys)-c.posOrder.head)
+	}
+
+	// The order queue's backing array stays bounded under sustained
+	// insert/evict churn (the popped prefix is compacted away), so
+	// steady-state memory is set by the limit, not the insert count.
+	c = newCache(CacheLimits{Answers: 100})
+	for i := 0; i < 10_000; i++ {
+		c.storePositive(key(i), posEntry{expires: 1000}, 10)
+	}
+	if got := len(c.posOrder.keys); got > 400 {
+		t.Fatalf("order queue grew to %d slots for a 100-entry cache", got)
 	}
 }

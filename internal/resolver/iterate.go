@@ -222,7 +222,14 @@ func (r *Resolver) chaseCNAME(core *coreResult, qname dns.Name, qtype dns.Type, 
 	if err != nil {
 		return nil, fmt.Errorf("resolver: chasing CNAME %s -> %s: %w", qname, target, err)
 	}
-	core.answer = append(core.answer, chased.answer...)
+	// Merge into a fresh slice: core.answer aliases a response that may be
+	// shared with an authoritative packet cache (responses travel by
+	// pointer on the wire fast path), so appending in place could scribble
+	// over a cached message's spare capacity.
+	merged := make([]dns.RR, 0, len(core.answer)+len(chased.answer))
+	merged = append(merged, core.answer...)
+	merged = append(merged, chased.answer...)
+	core.answer = merged
 	core.rcode = chased.rcode
 	return core, nil
 }
@@ -249,26 +256,49 @@ func (r *Resolver) serverAddr(zone dns.Name, depth int) (netip.Addr, error) {
 	if err != nil {
 		return netip.Addr{}, err
 	}
-	return addrs[0], nil
+	addr := addrs[0]
+	r.putAddrBuf(addrs)
+	return addr, nil
+}
+
+// getAddrBuf pops a candidate buffer off the freelist (or makes one).
+func (r *Resolver) getAddrBuf() []netip.Addr {
+	if n := len(r.addrBufs); n > 0 {
+		b := r.addrBufs[n-1]
+		r.addrBufs = r.addrBufs[:n-1]
+		return b[:0]
+	}
+	return make([]netip.Addr, 0, 8)
+}
+
+// putAddrBuf returns a buffer obtained from serverAddrs to the freelist.
+func (r *Resolver) putAddrBuf(b []netip.Addr) {
+	if cap(b) > 0 && len(r.addrBufs) < 8 {
+		r.addrBufs = append(r.addrBufs, b)
+	}
 }
 
 // serverAddrs returns the candidate server addresses of a zone in failover
-// order, resolving a glueless name server when no glue was provided.
+// order, resolving a glueless name server when no glue was provided. The
+// returned slice is a freelist buffer: the caller must hand it back with
+// putAddrBuf once the failover loop is done with it (root hints are copied
+// into the buffer so ownership is uniform).
 func (r *Resolver) serverAddrs(zone dns.Name, depth int) ([]netip.Addr, error) {
+	addrs := r.getAddrBuf()
 	if zone.IsRoot() {
 		for _, addr := range r.cfg.RootHints {
 			r.noteServer(addr, depth)
 		}
-		return r.cfg.RootHints, nil
+		return append(addrs, r.cfg.RootHints...), nil
 	}
 	d, ok := r.cache.delegations[zone]
 	if !ok {
 		if !r.adoptDelegation(zone) {
+			r.putAddrBuf(addrs)
 			return nil, fmt.Errorf("%w: zone %s", ErrNoServers, zone)
 		}
 		d = r.cache.delegations[zone]
 	}
-	var addrs []netip.Addr
 	for i := range d.servers {
 		if d.servers[i].addr.IsValid() {
 			r.noteServer(d.servers[i].addr, depth)
@@ -288,10 +318,11 @@ func (r *Resolver) serverAddrs(zone dns.Name, depth int) ([]netip.Addr, error) {
 			if a, ok := rr.Data.(*dns.AData); ok {
 				d.servers[i].addr = a.Addr
 				r.noteServer(a.Addr, depth)
-				return []netip.Addr{a.Addr}, nil
+				return append(addrs[:0], a.Addr), nil
 			}
 		}
 	}
+	r.putAddrBuf(addrs)
 	return nil, fmt.Errorf("%w: zone %s (glueless, unresolvable)", ErrNoServers, zone)
 }
 
@@ -319,10 +350,13 @@ func (r *Resolver) exchangeWithZone(zone dns.Name, qname dns.Name, qtype dns.Typ
 		// serverAddrs never returns an empty list without an error today;
 		// this guard keeps the accounting below and the round-robin indexing
 		// safe if that ever changes.
+		r.putAddrBuf(addrs)
 		return nil, fmt.Errorf("%w: zone %s (empty candidate list)", ErrNoServers, zone)
 	}
 	if r.resil != nil {
-		return r.exchangeResilient(addrs, qname, qtype)
+		resp, err := r.exchangeResilient(addrs, qname, qtype)
+		r.putAddrBuf(addrs)
+		return resp, err
 	}
 	var lastErr error
 	attempts := 0
@@ -331,6 +365,7 @@ func (r *Resolver) exchangeWithZone(zone dns.Name, qname dns.Name, qtype dns.Typ
 			resp, err := r.exchange(addr, qname, qtype)
 			if err == nil {
 				r.noteFailovers(attempts)
+				r.putAddrBuf(addrs)
 				return resp, nil
 			}
 			lastErr = err
@@ -339,11 +374,13 @@ func (r *Resolver) exchangeWithZone(zone dns.Name, qname dns.Name, qtype dns.Typ
 				// A permanently-classified error (no route, misconfig)
 				// cannot be outwaited or failed over around.
 				r.noteFailovers(attempts - 1)
+				r.putAddrBuf(addrs)
 				return nil, lastErr
 			}
 		}
 	}
 	r.noteFailovers(attempts - 1)
+	r.putAddrBuf(addrs)
 	return nil, lastErr
 }
 
@@ -363,21 +400,24 @@ func (r *Resolver) noteServer(addr netip.Addr, depth int) {
 	}
 }
 
-// cacheDelegation stores the zone cut learned from a referral.
+// cacheDelegation stores the zone cut learned from a referral. Glue lookup
+// is a nested scan rather than a map: referrals carry a handful of records,
+// and this runs once per learned zone cut. The last matching A record wins,
+// as it did when the glue went through a map.
 func (r *Resolver) cacheDelegation(child, parent dns.Name, resp *dns.Message) {
 	d := &delegation{parent: parent}
-	glue := make(map[dns.Name]netip.Addr)
-	for _, rr := range resp.Additional {
-		if a, ok := rr.Data.(*dns.AData); ok {
-			glue[rr.Name] = a.Addr
-		}
-	}
 	for _, rr := range resp.Authority {
 		ns, ok := rr.Data.(*dns.NSData)
 		if !ok || rr.Name != child {
 			continue
 		}
-		d.servers = append(d.servers, nsServer{name: ns.Target, addr: glue[ns.Target]})
+		var addr netip.Addr
+		for _, ad := range resp.Additional {
+			if a, ok := ad.Data.(*dns.AData); ok && ad.Name == ns.Target {
+				addr = a.Addr
+			}
+		}
+		d.servers = append(d.servers, nsServer{name: ns.Target, addr: addr})
 	}
 	r.cache.storeDelegation(child, d)
 }

@@ -143,8 +143,7 @@ func (r *Resolver) noteFailovers(n int) {
 // tcpRetry re-asks a truncated answer over the transport's reliable stream.
 func (r *Resolver) tcpRetry(tcp simnet.TCPExchanger, dst netip.Addr, qname dns.Name, qtype dns.Type) (*dns.Message, error) {
 	r.stats.TCPFallbacks++
-	q := dns.NewQuery(r.id(), qname, qtype, r.cfg.ValidationEnabled)
-	q.Header.RD = false
+	q := r.scratchQuery(qname, qtype)
 	resp, err := tcp.ExchangeTCP(r.cfg.Addr, dst, q)
 	if err != nil {
 		return nil, fmt.Errorf("resolver: tcp retry %s/%s with %s: %w", qname, qtype, dst, err)

@@ -195,6 +195,22 @@ type Resolver struct {
 	dlvBreaker *faults.Breaker
 	deadlineAt time.Duration
 
+	// qscratch is the reusable iterative-query message, rebuilt in place
+	// for every exchange. Safe because Exchange is synchronous and the
+	// simulated network's contract is that handlers treat queries as
+	// read-only and never retain them (the wire fast path re-derives the
+	// server-side question from the encoded bytes); the message is dead
+	// once Exchange returns. Removes three allocations per exchange.
+	qscratch  dns.Message
+	qscratchQ [1]dns.Question
+	qscratchE dns.EDNS
+
+	// addrBufs is a freelist of candidate-address buffers for serverAddrs.
+	// A freelist rather than a single scratch because address lookup can
+	// recurse — glueless server resolution and PTR sampling re-enter the
+	// iterator while an outer failover loop still holds its candidates.
+	addrBufs [][]netip.Addr
+
 	// counters for introspection and tests
 	stats Stats
 }
@@ -343,8 +359,7 @@ func (r *Resolver) Resolve(qname dns.Name, qtype dns.Type) (*Result, error) {
 // resilient core's TCP fallback enabled, a truncated (TC-bit) response is
 // transparently re-asked over the transport's reliable stream.
 func (r *Resolver) exchange(dst netip.Addr, qname dns.Name, qtype dns.Type) (*dns.Message, error) {
-	q := dns.NewQuery(r.id(), qname, qtype, r.cfg.ValidationEnabled)
-	q.Header.RD = false // iterative
+	q := r.scratchQuery(qname, qtype)
 	resp, err := r.cfg.Net.Exchange(r.cfg.Addr, dst, q)
 	if err != nil {
 		return nil, fmt.Errorf("resolver: exchanging %s/%s with %s: %w", qname, qtype, dst, err)
@@ -355,4 +370,21 @@ func (r *Resolver) exchange(dst netip.Addr, qname dns.Name, qtype dns.Type) (*dn
 		}
 	}
 	return resp, nil
+}
+
+// scratchQuery rebuilds the resolver's reusable iterative-query message
+// (RD clear, EDNS+DO per the validation setting).
+func (r *Resolver) scratchQuery(qname dns.Name, qtype dns.Type) *dns.Message {
+	q := &r.qscratch
+	q.Header = dns.Header{ID: r.id(), Opcode: dns.OpcodeQuery}
+	r.qscratchQ[0] = dns.Question{Name: qname, Type: qtype, Class: dns.ClassIN}
+	q.Question = r.qscratchQ[:]
+	q.Answer, q.Authority, q.Additional = nil, nil, nil
+	if r.cfg.ValidationEnabled {
+		r.qscratchE = dns.EDNS{UDPSize: dns.DefaultUDPSize, DO: true}
+		q.EDNS = &r.qscratchE
+	} else {
+		q.EDNS = nil
+	}
+	return q
 }

@@ -51,7 +51,7 @@ func (u *Universe) buildHosting() error {
 				ZBitRemedy: u.opts.ZBitRemedy,
 				Signaler:   u.Registry,
 			},
-			cache: authserver.NewPacketCache(),
+			cache: authserver.NewPacketCacheCap(u.opts.PacketCacheCap),
 		}
 		lat := hostLatency + time.Duration(hash64(fmt.Sprint("pool", p))%25)*time.Millisecond
 		name := fmt.Sprintf("pool%d.hosting.example", p)

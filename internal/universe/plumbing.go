@@ -55,7 +55,7 @@ func (u *Universe) buildRegistryPath() error {
 		return err
 	}
 
-	iscSrv, err := authserver.New(authserver.Config{Name: "ns1.isc.org"}, iscZone)
+	iscSrv, err := authserver.New(authserver.Config{Name: "ns1.isc.org", PacketCacheCap: u.opts.PacketCacheCap}, iscZone)
 	if err != nil {
 		return err
 	}
@@ -63,7 +63,7 @@ func (u *Universe) buildRegistryPath() error {
 		return err
 	}
 
-	regSrv, err := authserver.New(authserver.Config{Name: "dlv.isc.org"}, u.Registry.Zone())
+	regSrv, err := authserver.New(authserver.Config{Name: "dlv.isc.org", PacketCacheCap: u.opts.PacketCacheCap}, u.Registry.Zone())
 	if err != nil {
 		return err
 	}
@@ -109,7 +109,7 @@ func (u *Universe) buildArpa() error {
 	}}); err != nil {
 		return err
 	}
-	srv, err := authserver.New(authserver.Config{Name: "ns.in-addr.arpa"}, &arpaSource{apex: apex})
+	srv, err := authserver.New(authserver.Config{Name: "ns.in-addr.arpa", PacketCacheCap: u.opts.PacketCacheCap}, &arpaSource{apex: apex})
 	if err != nil {
 		return err
 	}
@@ -173,6 +173,13 @@ func (u *Universe) StubQueryFrom(src netip.Addr, id uint16, name dns.Name, qtype
 	return u.Net.Exchange(src, ResolverAddr, q)
 }
 
+// StubExchange sends a caller-built stub query to the recursive resolver.
+// Callers that reuse a scratch message (the audit hot loop) rely on the
+// network's no-retention contract for queries.
+func (u *Universe) StubExchange(src netip.Addr, q *dns.Message) (*dns.Message, error) {
+	return u.Net.Exchange(src, ResolverAddr, q)
+}
+
 // NewShard creates an isolated clock domain over the universe's network;
 // sharded audits give each worker one, with its own resolver.
 func (u *Universe) NewShard() *simnet.Shard {
@@ -204,6 +211,12 @@ func (u *Universe) ShardStubQuery(sh *simnet.Shard, id uint16, name dns.Name, qt
 // client endpoint (the shard analogue of StubQueryFrom).
 func (u *Universe) ShardStubQueryFrom(sh *simnet.Shard, src netip.Addr, id uint16, name dns.Name, qtype dns.Type) (*dns.Message, error) {
 	q := dns.NewQuery(id, name, qtype, true)
+	return sh.Exchange(src, ResolverAddr, q)
+}
+
+// ShardStubExchange sends a caller-built stub query through a shard (the
+// shard analogue of StubExchange).
+func (u *Universe) ShardStubExchange(sh *simnet.Shard, src netip.Addr, q *dns.Message) (*dns.Message, error) {
 	return sh.Exchange(src, ResolverAddr, q)
 }
 

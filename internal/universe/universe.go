@@ -90,6 +90,11 @@ type Options struct {
 	// ZoneCacheCap bounds the lazily built SLD zones kept in memory
 	// (default 8192).
 	ZoneCacheCap int
+	// PacketCacheCap bounds every authoritative server's wire-response
+	// cache (0 keeps the authserver default). Sweep workloads query each
+	// domain exactly once, so per-domain cache entries never pay for
+	// themselves; a small cap keeps the per-server footprint flat.
+	PacketCacheCap int
 	// Eager restores the seed-era construction that materializes every TLD
 	// delegation, parent-side DS, pool glue record, and registry deposit at
 	// Build time. The default lazy path derives all of that on first query
@@ -307,7 +312,7 @@ func (u *Universe) buildRoot() error {
 	}
 	u.RootAnchor = anchor
 
-	srv, err := authserver.New(authserver.Config{Name: "a.root-servers.net"}, root)
+	srv, err := authserver.New(authserver.Config{Name: "a.root-servers.net", PacketCacheCap: u.opts.PacketCacheCap}, root)
 	if err != nil {
 		return err
 	}
@@ -380,7 +385,7 @@ func (u *Universe) buildTLDs() error {
 			z.AttachSynth(&tldSynth{u: u, label: label, signed: signedMap[label]})
 		}
 
-		srv, err := authserver.New(authserver.Config{Name: "ns1." + label}, z)
+		srv, err := authserver.New(authserver.Config{Name: "ns1." + label, PacketCacheCap: u.opts.PacketCacheCap}, z)
 		if err != nil {
 			return err
 		}

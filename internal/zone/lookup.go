@@ -466,7 +466,11 @@ func (z *Zone) signSetLocked(rrset []dns.RR) (dns.RR, error) {
 	if sig, ok := z.sigCache[key]; ok {
 		return sig, nil
 	}
-	if len(z.sigCache) >= sigCacheCap {
+	// The cache is created on the first signature (not at Sign time: most
+	// per-domain zones serve only a couple of RRsets) and reset when full.
+	if z.sigCache == nil {
+		z.sigCache = make(map[dns.Key]dns.RR, 4)
+	} else if len(z.sigCache) >= sigCacheCap {
 		z.sigCache = make(map[dns.Key]dns.RR, sigCacheCap/4)
 	}
 	signer := z.zsk

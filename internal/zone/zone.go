@@ -117,13 +117,15 @@ func New(cfg Config) (*Zone, error) {
 			return nil, fmt.Errorf("zone: deriving primary ns: %w", err)
 		}
 	}
+	// cuts stays nil until the first Delegate call — reads of a nil map are
+	// fine, and leaf zones (the per-domain SLD zones a sweep materializes by
+	// the million) never delegate.
 	z := &Zone{
 		apex:        cfg.Apex,
 		ttl:         ttl,
 		records:     make(map[dns.Key][]dns.RR),
 		typesByName: make(map[dns.Name][]dns.Type),
 		nameSet:     make(map[dns.Name]bool),
-		cuts:        make(map[dns.Name]bool),
 	}
 	rname, err := dns.Concat("hostmaster", cfg.Apex)
 	if err != nil {
@@ -209,6 +211,9 @@ func (z *Zone) Delegate(child dns.Name, servers []dns.Name, glue []dns.RR) error
 	z.mu.Lock()
 	defer z.mu.Unlock()
 	z.gen++
+	if z.cuts == nil {
+		z.cuts = make(map[dns.Name]bool)
+	}
 	z.cuts[child] = true
 	for _, s := range servers {
 		z.insertLocked(dns.RR{
@@ -291,7 +296,7 @@ func (z *Zone) Sign(cfg SignConfig) error {
 	z.ksk, z.zsk = cfg.KSK, cfg.ZSK
 	z.inception, z.expiration = cfg.Inception, cfg.Expiration
 	z.rng = cfg.Rand
-	z.sigCache = make(map[dns.Key]dns.RR)
+	z.sigCache = nil // re-signing invalidates every memoized signature
 	z.nsec3 = cfg.NSEC3
 	z.nsec3Salt = cfg.NSEC3Salt
 	z.nsec3Iter = cfg.NSEC3Iterations

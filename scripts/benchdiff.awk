@@ -1,0 +1,84 @@
+# Compares two BENCH_*.json summaries (the bench2json.awk format) and
+# exits nonzero when the new run regresses past the threshold:
+#
+#   awk -f scripts/benchdiff.awk BENCH_sweep.baseline.json BENCH_sweep.json
+#   awk -v threshold=0.5 -f scripts/benchdiff.awk old.json new.json
+#
+# For each benchmark present in both files, the throughput metric
+# "domains/sec" is compared when the baseline reports one (regression:
+# new < old * (1 - threshold)); otherwise ns_per_op is compared
+# (regression: new > old * (1 + threshold)). The default threshold is 0.10
+# — meant for before/after runs on the same machine. Cross-machine
+# comparisons (CI against a committed baseline) should pass a loose
+# threshold: absolute wall-clock shifts with the hardware, and the gate is
+# there to catch order-of-magnitude collapses, not scheduler noise.
+#
+# Benchmark names are matched with the trailing -GOMAXPROCS suffix
+# stripped, so runs from hosts with different core counts line up.
+# Deterministic metrics ("leaked") must match exactly on any hardware; a
+# mismatch is reported as a regression too.
+
+BEGIN {
+    if (threshold == "") threshold = 0.10
+    bad = 0
+}
+
+function basename(s) { sub(/-[0-9]+"?:?$/, "", s); return s }
+
+# Lines look like:  "BenchmarkName-8": {"ns_per_op": N, "metric": V, ...},
+/^[ \t]*"Benchmark/ {
+    line = $0
+    match(line, /"[^"]+"/)
+    name = basename(substr(line, RSTART + 1, RLENGTH - 2))
+    sub(/^[^{]*\{/, "", line)
+    sub(/\}.*$/, "", line)
+    nmetrics = split(line, parts, /,[ \t]*/)
+    for (i = 1; i <= nmetrics; i++) {
+        split(parts[i], kv, /:[ \t]*/)
+        key = kv[1]; gsub(/"/, "", key)
+        val[FILENAME == first ? "old" : "new", name, key] = kv[2] + 0
+        seen[FILENAME == first ? "old" : "new", name] = 1
+    }
+}
+
+FNR == 1 && first == "" { first = FILENAME }
+
+END {
+    for (k in seen) {
+        if (substr(k, 1, 3) != "old") continue
+        name = substr(k, index(k, SUBSEP) + 1)
+        if (!(("new", name) in seen)) continue
+        compared++
+        if (("old", name, "leaked") in val) {
+            o = val["old", name, "leaked"]; n = val["new", name, "leaked"]
+            if (o != n) {
+                printf "REGRESSION %s: leaked %d -> %d (deterministic metric changed)\n", name, o, n
+                bad = 1
+            }
+        }
+        if (("old", name, "domains/sec") in val) {
+            o = val["old", name, "domains/sec"]; n = val["new", name, "domains/sec"]
+            if (o > 0 && n < o * (1 - threshold)) {
+                printf "REGRESSION %s: %.0f -> %.0f domains/sec (-%.0f%%, threshold %.0f%%)\n",
+                    name, o, n, (1 - n / o) * 100, threshold * 100
+                bad = 1
+            } else {
+                printf "ok %s: %.0f -> %.0f domains/sec\n", name, o, n
+            }
+        } else if (("old", name, "ns_per_op") in val) {
+            o = val["old", name, "ns_per_op"]; n = val["new", name, "ns_per_op"]
+            if (o > 0 && n > o * (1 + threshold)) {
+                printf "REGRESSION %s: %.0f -> %.0f ns/op (+%.0f%%, threshold %.0f%%)\n",
+                    name, o, n, (n / o - 1) * 100, threshold * 100
+                bad = 1
+            } else {
+                printf "ok %s: %.0f -> %.0f ns/op\n", name, o, n
+            }
+        }
+    }
+    if (compared == 0) {
+        print "benchdiff: no common benchmarks between the two files" > "/dev/stderr"
+        exit 2
+    }
+    exit bad
+}
