@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet cover bench bench-hotpath bench-faults bench-sweep bench-sweep-baseline benchdiff fuzz experiments experiments-full clean
+.PHONY: all build test vet cover bench bench-hotpath bench-faults bench-sweep bench-sweep-baseline bench-serve bench-serve-baseline benchdiff benchdiff-serve fuzz experiments experiments-full clean
 
 all: build vet test
 
@@ -58,12 +58,31 @@ bench-sweep:
 	@awk -f scripts/bench2json.awk BENCH_sweep.txt > BENCH_sweep.json
 	@cat BENCH_sweep.json
 
+# Serving-tier benchmark: the full resolved stack (resolver pool, shared
+# sealed infra, loopback UDP+TCP listeners, stats surface) under the
+# trace-replay load generator in closed-loop mode. One iteration replays
+# the whole deterministic schedule, so this target always runs
+# -benchtime=1x. Emits BENCH_serve.txt and BENCH_serve.json.
+bench-serve:
+	$(GO) test -run XXX -bench 'BenchmarkServeReplay' \
+		-benchtime 1x -timeout 20m . | tee BENCH_serve.txt
+	@awk -f scripts/bench2json.awk BENCH_serve.txt > BENCH_serve.json
+	@cat BENCH_serve.json
+
+# Refresh the committed serving-tier baseline after an intentional change.
+bench-serve-baseline: bench-serve
+	cp BENCH_serve.json BENCH_serve.baseline.json
+
 # Regression gate: compare a fresh BENCH_sweep.json (run `make bench-sweep`
 # first) against the committed baseline at the default 10% threshold —
 # meant for before/after runs on the same machine. CI uses the same script
 # with a loose threshold because its hardware differs from the baseline's.
 benchdiff:
 	awk -f scripts/benchdiff.awk BENCH_sweep.baseline.json BENCH_sweep.json
+
+# Same gate for the serving tier (run `make bench-serve` first).
+benchdiff-serve:
+	awk -f scripts/benchdiff.awk BENCH_serve.baseline.json BENCH_serve.json
 
 # Refresh the committed baseline after an intentional performance change.
 # The baseline has its own name so `make clean` (which removes the
@@ -94,4 +113,5 @@ experiments-full:
 clean:
 	$(GO) clean ./...
 	rm -f test_output.txt bench_output.txt BENCH_hotpath.txt BENCH_hotpath.json \
-		BENCH_faults.txt BENCH_faults.json BENCH_sweep.txt BENCH_sweep.json
+		BENCH_faults.txt BENCH_faults.json BENCH_sweep.txt BENCH_sweep.json \
+		BENCH_serve.txt BENCH_serve.json

@@ -1,0 +1,114 @@
+package lookaside
+
+// Serving-tier benchmarks: the full production stack — resolver pool with
+// shared sealed infrastructure, real loopback UDP+TCP listeners, the
+// over-the-wire stats surface — driven by the trace-replay load generator
+// (internal/loadgen) in closed-loop mode. One iteration replays the whole
+// deterministic schedule, so run with -benchtime=1x; ns/op is the replay
+// wall time and the custom metrics carry throughput and tail latency.
+// docs/results-serve.md records the measured numbers; `make bench-serve`
+// regenerates them into BENCH_serve.json.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/dnsprivacy/lookaside/internal/dataset"
+	"github.com/dnsprivacy/lookaside/internal/dns"
+	"github.com/dnsprivacy/lookaside/internal/loadgen"
+	"github.com/dnsprivacy/lookaside/internal/serve"
+	"github.com/dnsprivacy/lookaside/internal/udptransport"
+	"github.com/dnsprivacy/lookaside/internal/universe"
+)
+
+// BenchmarkServeReplay measures end-to-end serving throughput: qps over the
+// wire, p50/p99 completion latency, and the server-side packet-cache hit
+// rate across a Zipf-shaped query stream from 1,000 simulated clients.
+func BenchmarkServeReplay(b *testing.B) {
+	for _, p := range []struct {
+		pop, clients, queries int
+	}{
+		{2_000, 500, 10_000},
+		{10_000, 1_000, 50_000},
+	} {
+		b.Run(fmt.Sprintf("pop=%d/queries=%d", p.pop, p.queries), func(b *testing.B) {
+			benchServeReplay(b, p.pop, p.clients, p.queries)
+		})
+	}
+}
+
+func benchServeReplay(b *testing.B, popSize, clients, queries int) {
+	pop, err := dataset.AlexaLike(dataset.PopulationConfig{Size: popSize, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	u, err := universe.Build(universe.Options{
+		Seed: 1, Population: pop, Extra: dataset.SecureDomains(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const serveWorkers = 4
+	svc, err := serve.Build(u, u.ResolverConfig(true, true), serve.Options{
+		Workers: serveWorkers, SharedInfra: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := udptransport.Listen("127.0.0.1:0", svc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv.SetWorkers(serveWorkers)
+	go func() { _ = srv.Serve() }()
+	defer func() { _ = srv.Close() }()
+	tcpSrv, err := udptransport.ListenTCP(srv.AddrPort().String(), svc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	go func() { _ = tcpSrv.Serve() }()
+	defer func() { _ = tcpSrv.Close() }()
+	svc.AttachTransports(srv, tcpSrv)
+
+	names := make([]dns.Name, len(pop.Domains))
+	for i, d := range pop.Domains {
+		names[i] = d.Name
+	}
+	before := svc.Snapshot()
+
+	b.ResetTimer()
+	var rep *loadgen.Report
+	for i := 0; i < b.N; i++ {
+		runner, err := loadgen.New(loadgen.Config{
+			Server: srv.AddrPort(),
+			Schedule: loadgen.ScheduleConfig{
+				Clients: clients, PopSize: popSize, Seed: 1, MaxQueries: int64(queries),
+			},
+			Source:   loadgen.MinuteSource([]int{queries}),
+			Names:    func(i int) dns.Name { return names[i] },
+			DNSSECOK: true,
+			Mode:     loadgen.ModeClosed,
+			Workers:  128,
+			Timeout:  5 * time.Second,
+			Retries:  1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err = runner.Run(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Completed != int64(queries) {
+			b.Fatalf("completed %d of %d (timeouts %d)", rep.Completed, queries, rep.Timeouts)
+		}
+	}
+	b.StopTimer()
+	delta := svc.Snapshot().Minus(before)
+	b.ReportMetric(rep.QPS, "qps")
+	b.ReportMetric(float64(rep.Latency.Quantile(0.50).Microseconds()), "p50_us")
+	b.ReportMetric(float64(rep.Latency.Quantile(0.99).Microseconds()), "p99_us")
+	b.ReportMetric(delta.PacketCacheHitRate()*100, "pktcache_hit_%")
+}

@@ -1,33 +1,32 @@
 // Command resolved runs the reproduction's validating, DLV-capable
-// recursive resolver as a real DNS server over UDP, resolving against the
-// synthetic internet (root, TLDs, SLD hosting, DLV registry). Point dig at
-// it to watch look-aside behavior live:
+// recursive resolver as a real DNS server over UDP+TCP, resolving against
+// the synthetic internet (root, TLDs, SLD hosting, DLV registry). Point dig
+// at it to watch look-aside behavior live:
 //
 //	resolved -listen 127.0.0.1:5300 -domains 5000 &
 //	dig @127.0.0.1 -p 5300 <some-domain-from-the-population> A +ad
 //
 // Flags select the configuration scenario under test (trust anchor present
 // or missing, look-aside on or off, remedies), so the paper's leakage
-// conditions can be reproduced interactively.
+// conditions can be reproduced interactively. The serving tier exports its
+// scorecard over the wire — `dig TXT _stats.resolved.invalid` — which is
+// what cmd/dlvload scrapes around a trace replay. SIGINT/SIGTERM drains
+// in-flight queries before exiting and prints the final scorecard.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"net/netip"
 	"os"
 	"os/signal"
 	"runtime"
-	"sync"
-	"sync/atomic"
 	"syscall"
+	"time"
 
-	"github.com/dnsprivacy/lookaside/internal/core"
 	"github.com/dnsprivacy/lookaside/internal/dataset"
-	"github.com/dnsprivacy/lookaside/internal/dns"
-	"github.com/dnsprivacy/lookaside/internal/dnssec"
 	"github.com/dnsprivacy/lookaside/internal/faults"
 	"github.com/dnsprivacy/lookaside/internal/resolver"
+	"github.com/dnsprivacy/lookaside/internal/serve"
 	"github.com/dnsprivacy/lookaside/internal/simnet"
 	"github.com/dnsprivacy/lookaside/internal/udptransport"
 	"github.com/dnsprivacy/lookaside/internal/universe"
@@ -42,7 +41,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("resolved", flag.ContinueOnError)
-	listen := fs.String("listen", "127.0.0.1:5300", "UDP listen address")
+	listen := fs.String("listen", "127.0.0.1:5300", "UDP+TCP listen address")
 	domains := fs.Int("domains", 5000, "synthetic population size")
 	domainsFile := fs.String("domains-file", "", "ranked domain list (one per line or rank,domain CSV) to use instead of the synthetic population")
 	seed := fs.Int64("seed", 1, "simulation seed")
@@ -57,6 +56,8 @@ func run(args []string) error {
 		"resolver instances serving queries concurrently (1 = single-threaded)")
 	sharedInfra := fs.Bool("shared-infra", true,
 		"with workers > 1, pre-validate root/TLD/registry state once and share the sealed cache across instances")
+	drain := fs.Duration("drain", 5*time.Second,
+		"graceful-shutdown deadline: how long SIGINT/SIGTERM waits for in-flight queries")
 	verbose := fs.Bool("v", false, "log every query observed at the DLV registry")
 	faultSeed := fs.Int64("faultseed", 0, "fault-schedule seed (0 = -seed)")
 	loss := fs.Float64("loss", 0, "drop probability on the DLV registry link (0 = healthy)")
@@ -138,26 +139,28 @@ func run(args []string) error {
 			Breaker:     &faults.BreakerConfig{},
 		}
 	}
-	handler, stats, err := buildHandler(u, cfg, *workers, *sharedInfra, plan)
+	svc, err := serve.Build(u, cfg, serve.Options{
+		Workers: *workers, SharedInfra: *sharedInfra, Plan: plan,
+	})
 	if err != nil {
 		return err
 	}
 
-	srv, err := udptransport.Listen(*listen, handler)
+	srv, err := udptransport.Listen(*listen, svc)
 	if err != nil {
 		return err
 	}
 	srv.SetWorkers(*workers)
-	tcpSrv, err := udptransport.ListenTCP(srv.AddrPort().String(), handler)
+	tcpSrv, err := udptransport.ListenTCP(srv.AddrPort().String(), svc)
 	if err != nil {
 		return fmt.Errorf("binding tcp: %w", err)
 	}
-	go func() { _ = tcpSrv.Serve() }()
-	defer func() { _ = tcpSrv.Close() }()
+	svc.AttachTransports(srv, tcpSrv)
 	fmt.Printf("resolved: serving on %s udp+tcp (population=%d, dlv=%t, root-anchor=%t, remedy=%q, workers=%d)\n",
 		srv.Addr(), len(pop.Domains), *lookaside, *rootAnchor, *remedy, *workers)
 	fmt.Printf("registry deposits: %d; secured test domains: secure00.edu ... secure44.edu\n",
 		u.Registry.DepositCount())
+	fmt.Printf("stats surface: dig @%s TXT %s\n", srv.Addr(), serve.StatsName)
 	if *printTop > 0 {
 		fmt.Println("sample domains to query:")
 		for _, d := range pop.Top(*printTop) {
@@ -169,101 +172,32 @@ func run(args []string) error {
 		}
 	}
 
-	done := make(chan error, 1)
-	go func() { done <- srv.Serve() }()
+	udpDone := make(chan error, 1)
+	tcpDone := make(chan error, 1)
+	go func() { udpDone <- srv.Serve() }()
+	go func() { tcpDone <- tcpSrv.Serve() }()
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
-	case err := <-done:
+	case err := <-udpDone:
+		_ = tcpSrv.Close()
 		return err
-	case <-sig:
-		fmt.Println("\nresolved: shutting down")
+	case err := <-tcpDone:
 		_ = srv.Close()
-		<-done
-		printStats(stats())
+		return err
+	case s := <-sig:
+		fmt.Printf("\nresolved: %s — draining in-flight queries (deadline %s)\n", s, *drain)
+		// Stop accepting on both transports, then wait for in-flight
+		// handlers to finish; a second deadline overrun is reported, not
+		// waited out twice.
+		udpErr := srv.Shutdown(*drain)
+		tcpErr := tcpSrv.Shutdown(*drain)
+		<-udpDone
+		<-tcpDone
+		if udpErr == udptransport.ErrDrainTimeout || tcpErr == udptransport.ErrDrainTimeout {
+			fmt.Println("resolved: drain deadline exceeded; some queries were cut off")
+		}
+		fmt.Println(svc.Snapshot().Render("final serving-tier scorecard"))
 		return nil
-	}
-}
-
-// buildHandler starts the serving resolver(s). With workers <= 1 it is the
-// classic single resolver on the shared network; with more, N independent
-// resolver instances each run on a private simnet shard (own virtual clock
-// and caches) but share one RRSIG verification cache — and, with
-// sharedInfra, a sealed infrastructure cache warmed once, so instances skip
-// the identical root/TLD/registry validation walks — and incoming queries
-// round-robin across them. The returned stats func merges all instances.
-// A non-nil fault plan is installed on every shard (fault state is per
-// clock domain, so the global network's plan does not reach shards),
-// including the warm-up shard: a fleet warmed during the registry
-// trouble experiences it too, rather than coming up pre-loaded with
-// registry state it could never have fetched.
-func buildHandler(u *universe.Universe, cfg resolver.Config, workers int, sharedInfra bool, plan *faults.Plan) (simnet.Handler, func() resolver.Stats, error) {
-	if workers <= 1 {
-		r, err := u.StartResolver(cfg)
-		if err != nil {
-			return nil, nil, err
-		}
-		return r, r.Stats, nil
-	}
-	cfg.VerifyCache = dnssec.NewVerifyCache()
-	if sharedInfra {
-		ic, err := core.WarmInfraUnder(u, cfg, plan)
-		if err != nil {
-			return nil, nil, fmt.Errorf("warming shared infrastructure: %w", err)
-		}
-		cfg.Infra = ic
-	}
-	pool := &resolverPool{
-		res: make([]*resolver.Resolver, workers),
-		mus: make([]sync.Mutex, workers),
-	}
-	for i := range pool.res {
-		sh := u.NewShard()
-		if plan != nil {
-			sh.SetFaultPlan(universe.RegistryAddr, *plan)
-		}
-		r, err := u.StartShardResolver(sh, cfg)
-		if err != nil {
-			return nil, nil, fmt.Errorf("starting shard resolver %d: %w", i, err)
-		}
-		pool.res[i] = r
-	}
-	return pool, pool.stats, nil
-}
-
-// resolverPool fans queries across resolver instances. The resolver's
-// caches are single-threaded by design, so each instance is guarded by its
-// own mutex; round-robin keeps all instances warm.
-type resolverPool struct {
-	next atomic.Uint64
-	res  []*resolver.Resolver
-	mus  []sync.Mutex
-}
-
-// HandleQuery implements simnet.Handler.
-func (p *resolverPool) HandleQuery(q *dns.Message, from netip.Addr) (*dns.Message, error) {
-	i := int(p.next.Add(1) % uint64(len(p.res)))
-	p.mus[i].Lock()
-	defer p.mus[i].Unlock()
-	return p.res[i].HandleQuery(q, from)
-}
-
-// stats merges the per-instance counters.
-func (p *resolverPool) stats() resolver.Stats {
-	var st resolver.Stats
-	for i, r := range p.res {
-		p.mus[i].Lock()
-		st = st.Plus(r.Stats())
-		p.mus[i].Unlock()
-	}
-	return st
-}
-
-func printStats(st resolver.Stats) {
-	fmt.Printf("resolutions=%d dlv-queries=%d suppressed=%d remedy-skipped=%d cache-hits=%d\n",
-		st.Resolutions, st.DLVQueries, st.DLVSuppressed, st.DLVSkippedByRemedy, st.CacheHits)
-	if st.Retries+st.TCPFallbacks+st.DLVFailures+st.BreakerOpens+st.BreakerSkips > 0 {
-		fmt.Printf("retries=%d tcp-fallbacks=%d dlv-failures=%d breaker-opens=%d breaker-skips=%d\n",
-			st.Retries, st.TCPFallbacks, st.DLVFailures, st.BreakerOpens, st.BreakerSkips)
 	}
 }

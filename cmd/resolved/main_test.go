@@ -1,0 +1,104 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"net/netip"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/dnsprivacy/lookaside/internal/dns"
+	"github.com/dnsprivacy/lookaside/internal/serve"
+	"github.com/dnsprivacy/lookaside/internal/udptransport"
+)
+
+// freePort grabs an ephemeral port and releases it for the server to bind.
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.LocalAddr().String()
+	_ = ln.Close()
+	return addr
+}
+
+// TestServeAndGracefulShutdown boots the real server, resolves over the
+// wire, scrapes the stats surface, and exercises the SIGTERM drain path
+// end to end.
+func TestServeAndGracefulShutdown(t *testing.T) {
+	addr := freePort(t)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-listen", addr, "-domains", "300", "-workers", "2",
+			"-print-top", "0", "-drain", "2s",
+		})
+	}()
+
+	ap := netip.MustParseAddrPort(addr)
+	c := &udptransport.Client{Timeout: time.Second}
+	var snap serve.Snapshot
+	var err error
+	for i := 0; i < 100; i++ {
+		snap, err = serve.FetchSnapshot(c, ap)
+		if err == nil {
+			break
+		}
+		select {
+		case startErr := <-done:
+			t.Fatalf("server exited early: %v", startErr)
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+	if err != nil {
+		t.Fatalf("stats surface never came up: %v", err)
+	}
+
+	q := dns.NewQuery(7, dns.MustName("secure00.edu"), dns.TypeA, true)
+	resp, err := c.QueryWithFallback(ap, q)
+	if err != nil {
+		t.Fatalf("query over wire: %v", err)
+	}
+	if resp.Header.RCode != dns.RCodeNoError {
+		t.Fatalf("rcode %s", resp.Header.RCode)
+	}
+	snap, err = serve.FetchSnapshot(c, ap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Resolver.Resolutions == 0 || snap.UDP.Queries == 0 {
+		t.Fatalf("scorecard empty after a resolution: %+v", snap)
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down on SIGTERM")
+	}
+
+	// The sockets must actually be released.
+	if _, err := serve.FetchSnapshot(c, ap); err == nil {
+		t.Fatal("stats surface still answering after shutdown")
+	}
+}
+
+// TestBadRemedyRejected keeps flag validation honest.
+func TestBadRemedyRejected(t *testing.T) {
+	err := run([]string{"-remedy", "bogus", "-domains", "10", "-print-top", "0",
+		"-listen", freePort(t)})
+	if err == nil {
+		t.Fatal("bogus remedy accepted")
+	}
+	if got := err.Error(); got != fmt.Sprintf("unknown remedy %q", "bogus") {
+		t.Fatalf("unexpected error: %v", got)
+	}
+}

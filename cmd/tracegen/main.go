@@ -1,12 +1,18 @@
 // Command tracegen generates the DITL-like recursive-resolver workload of
-// §6.2.3 as CSV (minute, queries, cumulative), suitable for plotting
-// Fig. 12a/12b or feeding external tools.
+// §6.2.3 (minute, queries, cumulative), suitable for plotting Fig. 12a/12b,
+// feeding external tools, or replaying against a live resolved with
+// cmd/dlvload.
 //
 //	tracegen -minutes 420 -scale 1 > trace.csv
+//	tracegen -minutes 420 -format bin -o trace.dlvt   # compact, streamable
+//
+// The ndjson and bin formats are the streaming inputs dlvload consumes one
+// minute at a time, so a full-scale trace never materializes in the
+// replayer's memory; bin is "DLVT" magic + varint rate deltas (~1 KB for
+// the paper's 7-hour trace).
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
 	"io"
@@ -29,6 +35,8 @@ func run(args []string, stdout io.Writer) error {
 	minRate := fs.Int("min-rate", 160_000, "minimum queries/minute")
 	maxRate := fs.Int("max-rate", 360_000, "maximum queries/minute")
 	scale := fs.Int("scale", 1, "rate divisor for small runs")
+	format := fs.String("format", dataset.FormatCSV, "output format: csv, ndjson, or bin")
+	out := fs.String("o", "", "output file (default stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -39,18 +47,19 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	w := bufio.NewWriter(stdout)
-	defer func() { _ = w.Flush() }()
-	if _, err := fmt.Fprintln(w, "minute,queries,cumulative"); err != nil {
-		return err
-	}
-	var cum int64
-	for i, q := range trace.PerMinute {
-		cum += int64(q)
-		if _, err := fmt.Fprintf(w, "%d,%d,%d\n", i, q, cum); err != nil {
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
 			return err
 		}
+		defer func() { _ = f.Close() }()
+		w = f
 	}
-	fmt.Fprintf(os.Stderr, "tracegen: %d minutes, %d total queries\n", *minutes, trace.Total())
+	if err := dataset.WriteTrace(w, *format, trace); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: %d minutes, %d total queries (%s)\n",
+		*minutes, trace.Total(), *format)
 	return nil
 }

@@ -1,8 +1,11 @@
 package main
 
 import (
+	"os"
 	"strings"
 	"testing"
+
+	"github.com/dnsprivacy/lookaside/internal/dataset"
 )
 
 func TestRunProducesCSV(t *testing.T) {
@@ -32,6 +35,60 @@ func TestRunRejectsBadBand(t *testing.T) {
 	}
 	if err := run([]string{"-minutes", "0"}, &buf); err == nil {
 		t.Fatal("zero minutes accepted")
+	}
+}
+
+func TestRunFormatsRoundTrip(t *testing.T) {
+	// Whatever format tracegen writes, dataset.ReadTrace must stream back
+	// the identical per-minute series.
+	var ref *dataset.Trace
+	for _, format := range []string{"csv", "ndjson", "bin"} {
+		var buf strings.Builder
+		err := run([]string{"-minutes", "30", "-seed", "9", "-min-rate", "1000",
+			"-max-rate", "2000", "-format", format}, &buf)
+		if err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+		got, err := dataset.ReadTrace(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("%s: reading back: %v", format, err)
+		}
+		if ref == nil {
+			ref = got
+			continue
+		}
+		if len(got.PerMinute) != len(ref.PerMinute) {
+			t.Fatalf("%s: %d minutes != %d", format, len(got.PerMinute), len(ref.PerMinute))
+		}
+		for i := range got.PerMinute {
+			if got.PerMinute[i] != ref.PerMinute[i] {
+				t.Fatalf("%s minute %d: %d != %d", format, i, got.PerMinute[i], ref.PerMinute[i])
+			}
+		}
+	}
+}
+
+func TestRunWritesFile(t *testing.T) {
+	path := t.TempDir() + "/trace.dlvt"
+	var buf strings.Builder
+	err := run([]string{"-minutes", "10", "-format", "bin", "-o", path}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("wrote %d bytes to stdout despite -o", buf.Len())
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, err := dataset.ReadTrace(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.PerMinute) != 10 {
+		t.Errorf("minutes = %d", len(got.PerMinute))
 	}
 }
 

@@ -1,0 +1,65 @@
+package loadgen
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/dnsprivacy/lookaside/internal/metrics"
+)
+
+// Report is the client half of the serving-tier scorecard for one replay
+// run; cmd/dlvload pairs it with the server-side serve.Snapshot delta.
+type Report struct {
+	Mode    Mode
+	Clients int
+	Workers int
+	Seed    int64
+
+	Counters
+	// Wall is the run duration; QPS is Completed / Wall.
+	Wall time.Duration
+	QPS  float64
+	// Latency holds end-to-end completion latencies (a fallback's total
+	// spans both legs); Fallback holds the TCP leg alone, so truncation
+	// cost is attributable separately.
+	Latency  *metrics.Histogram
+	Fallback *metrics.Histogram
+	// MaxLateness is the worst schedule slip in open-loop mode: how far
+	// behind its scheduled launch time a query actually started.
+	MaxLateness time.Duration
+}
+
+// Render formats the client-side scorecard table.
+func (r *Report) Render() string {
+	t := metrics.Table{
+		Title:  fmt.Sprintf("trace replay (%s loop, %d clients, %d workers, seed %d)", r.Mode, r.Clients, r.Workers, r.Seed),
+		Header: []string{"metric", "value"},
+	}
+	t.AddRow("queries sent", r.Sent)
+	t.AddRow("completed", fmt.Sprintf("%d (%s)", r.Completed, metrics.Percent(ratio(r.Completed, r.Sent))))
+	t.AddRow("wall time", r.Wall.Round(time.Millisecond))
+	t.AddRow("throughput", fmt.Sprintf("%.0f q/s", r.QPS))
+	t.AddRow("latency p50", r.Latency.Quantile(0.50))
+	t.AddRow("latency p95", r.Latency.Quantile(0.95))
+	t.AddRow("latency p99", r.Latency.Quantile(0.99))
+	t.AddRow("latency p99.9", r.Latency.Quantile(0.999))
+	t.AddRow("latency max", r.Latency.Max())
+	t.AddRow("timeouts", r.Timeouts)
+	t.AddRow("retries", r.Retries)
+	t.AddRow("servfails", r.ServFails)
+	t.AddRow("truncated (TC)", r.Truncated)
+	t.AddRow("tcp fallbacks", fmt.Sprintf("%d (p50 %s)", r.TCPFallbacks, r.Fallback.Quantile(0.50)))
+	t.AddRow("tcp errors", r.TCPErrors)
+	t.AddRow("stale datagrams", r.Stale)
+	if r.Mode == ModeOpen {
+		t.AddRow("max schedule lateness", r.MaxLateness.Round(time.Microsecond))
+	}
+	return t.String()
+}
+
+func ratio(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}

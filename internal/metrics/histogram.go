@@ -1,0 +1,163 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Histogram is a streaming log-bucketed latency histogram: constant memory
+// regardless of sample count, ~3% relative quantile error. The serving-tier
+// load generator records one per worker and merges them at the end, so the
+// hot path needs no locking.
+//
+// Buckets are geometric: bucket i covers [min*growth^i, min*growth^(i+1)).
+// The zero value is not usable; call NewHistogram.
+type Histogram struct {
+	min    float64 // lower bound of bucket 0, in seconds
+	growth float64
+	logG   float64
+
+	counts  []uint64
+	count   uint64
+	sum     float64 // seconds
+	max     float64
+	minSeen float64
+}
+
+// histBuckets spans 1µs..~5min at 5% growth (~400 buckets of 8 bytes).
+const (
+	histMin     = 1e-6
+	histGrowth  = 1.05
+	histBuckets = 400
+)
+
+// NewHistogram returns an empty latency histogram covering 1µs to ~5
+// minutes with 5% bucket growth.
+func NewHistogram() *Histogram {
+	return &Histogram{
+		min:    histMin,
+		growth: histGrowth,
+		logG:   math.Log(histGrowth),
+		counts: make([]uint64, histBuckets),
+	}
+}
+
+// bucket maps a sample in seconds to its bucket index, clamped to range.
+func (h *Histogram) bucket(s float64) int {
+	if s <= h.min {
+		return 0
+	}
+	i := int(math.Log(s/h.min) / h.logG)
+	if i >= len(h.counts) {
+		return len(h.counts) - 1
+	}
+	return i
+}
+
+// Record adds one duration sample.
+func (h *Histogram) Record(d time.Duration) {
+	s := d.Seconds()
+	if s < 0 {
+		s = 0
+	}
+	h.counts[h.bucket(s)]++
+	h.count++
+	h.sum += s
+	if s > h.max {
+		h.max = s
+	}
+	if h.count == 1 || s < h.minSeen {
+		h.minSeen = s
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the arithmetic mean of the samples.
+func (h *Histogram) Mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / float64(h.count) * float64(time.Second))
+}
+
+// Max returns the largest sample seen (exact, not bucketed).
+func (h *Histogram) Max() time.Duration {
+	return time.Duration(h.max * float64(time.Second))
+}
+
+// Min returns the smallest sample seen (exact, not bucketed).
+func (h *Histogram) Min() time.Duration {
+	return time.Duration(h.minSeen * float64(time.Second))
+}
+
+// Quantile returns the q-quantile (0 < q <= 1) as the upper edge of the
+// bucket holding the q*count-th sample — nearest-rank on buckets, biased
+// at most one growth factor high. Returns 0 on an empty histogram.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.count {
+		rank = h.count
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			upper := h.min * math.Pow(h.growth, float64(i+1))
+			if upper > h.max && h.max > 0 {
+				upper = h.max
+			}
+			return time.Duration(upper * float64(time.Second))
+		}
+	}
+	return h.Max()
+}
+
+// Merge folds o into h; both must come from NewHistogram.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.count == 0 {
+		return
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	if h.count == 0 || o.minSeen < h.minSeen {
+		h.minSeen = o.minSeen
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// Summary renders the histogram's headline percentiles on one line.
+func (h *Histogram) Summary() string {
+	if h.count == 0 {
+		return "no samples"
+	}
+	return fmt.Sprintf("n=%d mean=%s p50=%s p95=%s p99=%s p999=%s max=%s",
+		h.count, roundDur(h.Mean()), roundDur(h.Quantile(0.50)),
+		roundDur(h.Quantile(0.95)), roundDur(h.Quantile(0.99)),
+		roundDur(h.Quantile(0.999)), roundDur(h.Max()))
+}
+
+// roundDur trims a duration to 3 significant-ish digits for display.
+func roundDur(d time.Duration) time.Duration {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond)
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond)
+	default:
+		return d.Round(100 * time.Nanosecond)
+	}
+}

@@ -1,0 +1,87 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	h := NewHistogram()
+	rng := rand.New(rand.NewSource(1))
+	samples := make([]float64, 0, 50_000)
+	for i := 0; i < 50_000; i++ {
+		// Log-normal latencies centered near 2ms with a heavy tail.
+		s := 0.002 * math.Exp(rng.NormFloat64())
+		samples = append(samples, s)
+		h.Record(time.Duration(s * float64(time.Second)))
+	}
+	sort.Float64s(samples)
+	for _, q := range []float64{0.50, 0.95, 0.99, 0.999} {
+		exact := samples[int(q*float64(len(samples)))-1]
+		got := h.Quantile(q).Seconds()
+		// The bucket growth factor bounds the relative error.
+		if got < exact/1.08 || got > exact*1.08 {
+			t.Errorf("q=%.3f: histogram %.6fs vs exact %.6fs (>8%% off)", q, got, exact)
+		}
+	}
+	if h.Count() != 50_000 {
+		t.Errorf("count = %d", h.Count())
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b, whole := NewHistogram(), NewHistogram(), NewHistogram()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 10_000; i++ {
+		d := time.Duration(rng.Intn(20_000_000)) // up to 20ms
+		whole.Record(d)
+		if i%2 == 0 {
+			a.Record(d)
+		} else {
+			b.Record(d)
+		}
+	}
+	a.Merge(b)
+	if a.Count() != whole.Count() {
+		t.Fatalf("merged count %d != %d", a.Count(), whole.Count())
+	}
+	for _, q := range []float64{0.5, 0.99} {
+		if a.Quantile(q) != whole.Quantile(q) {
+			t.Errorf("q=%.2f: merged %s != whole %s", q, a.Quantile(q), whole.Quantile(q))
+		}
+	}
+	if a.Max() != whole.Max() || a.Min() != whole.Min() {
+		t.Errorf("merged min/max %s/%s != whole %s/%s", a.Min(), a.Max(), whole.Min(), whole.Max())
+	}
+	if a.Mean() != whole.Mean() {
+		t.Errorf("merged mean %s != whole %s", a.Mean(), whole.Mean())
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	h := NewHistogram()
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Summary() != "no samples" {
+		t.Error("empty histogram should report zeros")
+	}
+	h.Record(0)                // below range: clamps to bucket 0
+	h.Record(10 * time.Minute) // above range: clamps to the last bucket
+	if h.Count() != 2 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Max() != 10*time.Minute {
+		t.Errorf("max = %s (exact max should survive clamping)", h.Max())
+	}
+	// Quantile upper edges never exceed the observed max.
+	if q := h.Quantile(1.0); q > 10*time.Minute {
+		t.Errorf("p100 = %s > max", q)
+	}
+	mergedInto := NewHistogram()
+	mergedInto.Merge(h)
+	mergedInto.Merge(nil)
+	if mergedInto.Count() != 2 {
+		t.Errorf("merge count = %d", mergedInto.Count())
+	}
+}

@@ -198,8 +198,10 @@ func (r *Resolver) adoptDelegation(n dns.Name) bool {
 	}
 	d, ok := r.infra.delegation(n)
 	if !ok {
+		r.stats.InfraMisses++
 		return false
 	}
+	r.stats.InfraHits++
 	r.cache.storeDelegation(n, d.clone())
 	return true
 }
@@ -213,9 +215,11 @@ func (r *Resolver) cachedOutcome(n dns.Name) (*zoneOutcome, bool) {
 	}
 	if r.infra != nil {
 		if out, ok := r.infra.outcome(n); ok {
+			r.stats.InfraHits++
 			r.cache.storeZoneStatus(n, out)
 			return out, true
 		}
+		r.stats.InfraMisses++
 	}
 	return nil, false
 }

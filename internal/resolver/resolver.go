@@ -248,6 +248,12 @@ type Stats struct {
 	// sent); BreakerOpens counts circuit-open transitions.
 	BreakerSkips int
 	BreakerOpens int
+	// InfraHits counts lookups served by the shared infrastructure cache
+	// (delegations adopted, zone outcomes reused); InfraMisses counts
+	// lookups that fell through to a live walk. Both stay 0 without
+	// Config.Infra; their ratio is the serving tier's infra-cache hit rate.
+	InfraHits   int
+	InfraMisses int
 }
 
 // Plus returns the field-wise sum of two Stats; sharded audits use it to
@@ -266,6 +272,8 @@ func (s Stats) Plus(o Stats) Stats {
 		DeadlineExceeded:   s.DeadlineExceeded + o.DeadlineExceeded,
 		BreakerSkips:       s.BreakerSkips + o.BreakerSkips,
 		BreakerOpens:       s.BreakerOpens + o.BreakerOpens,
+		InfraHits:          s.InfraHits + o.InfraHits,
+		InfraMisses:        s.InfraMisses + o.InfraMisses,
 	}
 }
 

@@ -1,0 +1,159 @@
+// Package serve assembles the production serving tier: a pool of resolver
+// instances fronted by the real UDP/TCP listeners (cmd/resolved), plus the
+// observability surface the trace-replay load generator (cmd/dlvload)
+// scrapes — a combined serving-tier Snapshot of resolver, packet-cache,
+// infra-cache, and transport counters, exported in-process and over the
+// wire as a TXT record on a reserved name.
+package serve
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+
+	"github.com/dnsprivacy/lookaside/internal/authserver"
+	"github.com/dnsprivacy/lookaside/internal/core"
+	"github.com/dnsprivacy/lookaside/internal/dns"
+	"github.com/dnsprivacy/lookaside/internal/dnssec"
+	"github.com/dnsprivacy/lookaside/internal/faults"
+	"github.com/dnsprivacy/lookaside/internal/resolver"
+	"github.com/dnsprivacy/lookaside/internal/simnet"
+	"github.com/dnsprivacy/lookaside/internal/udptransport"
+	"github.com/dnsprivacy/lookaside/internal/universe"
+)
+
+// Options configures the serving tier built over a universe.
+type Options struct {
+	// Workers is the number of resolver instances serving concurrently;
+	// <= 1 runs the classic single resolver on the shared network.
+	Workers int
+	// SharedInfra pre-validates root/TLD/registry state once and shares
+	// the sealed cache across instances (workers > 1 only).
+	SharedInfra bool
+	// Plan, when non-nil, is installed on the registry link of every
+	// shard, including the warm-up shard — a fleet warmed during registry
+	// trouble experiences it too.
+	Plan *faults.Plan
+}
+
+// Service is the serving tier: a handler for the transport listeners plus
+// the merged observability state behind the stats surface.
+type Service struct {
+	handler simnet.Handler
+	stats   func() resolver.Stats
+
+	// udp/tcp are the attached listeners whose transport counters join
+	// the snapshot; set after the listeners bind (atomics: the stats
+	// surface reads them from handler goroutines).
+	udp atomic.Pointer[udptransport.Server]
+	tcp atomic.Pointer[udptransport.TCPServer]
+}
+
+// Build starts the serving resolver(s) over the universe. With workers <= 1
+// it is the classic single resolver on the shared network; with more, N
+// independent resolver instances each run on a private simnet shard (own
+// virtual clock and caches) but share one RRSIG verification cache — and,
+// with SharedInfra, a sealed infrastructure cache warmed once — and
+// incoming queries round-robin across them.
+func Build(u *universe.Universe, cfg resolver.Config, opts Options) (*Service, error) {
+	if opts.Workers <= 1 {
+		r, err := u.StartResolver(cfg)
+		if err != nil {
+			return nil, err
+		}
+		single := &pool{res: []*resolver.Resolver{r}, mus: make([]sync.Mutex, 1)}
+		return &Service{handler: single, stats: single.stats}, nil
+	}
+	cfg.VerifyCache = dnssec.NewVerifyCache()
+	if opts.SharedInfra {
+		ic, err := core.WarmInfraUnder(u, cfg, opts.Plan)
+		if err != nil {
+			return nil, fmt.Errorf("warming shared infrastructure: %w", err)
+		}
+		cfg.Infra = ic
+	}
+	p := &pool{
+		res: make([]*resolver.Resolver, opts.Workers),
+		mus: make([]sync.Mutex, opts.Workers),
+	}
+	for i := range p.res {
+		sh := u.NewShard()
+		if opts.Plan != nil {
+			sh.SetFaultPlan(universe.RegistryAddr, *opts.Plan)
+		}
+		r, err := u.StartShardResolver(sh, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("starting shard resolver %d: %w", i, err)
+		}
+		p.res[i] = r
+	}
+	return &Service{handler: p, stats: p.stats}, nil
+}
+
+// AttachTransports hands the Service its listeners so transport counters
+// join the snapshot; call once the sockets are bound.
+func (s *Service) AttachTransports(udp *udptransport.Server, tcp *udptransport.TCPServer) {
+	if udp != nil {
+		s.udp.Store(udp)
+	}
+	if tcp != nil {
+		s.tcp.Store(tcp)
+	}
+}
+
+// HandleQuery implements simnet.Handler: TXT queries for StatsName are
+// answered from the snapshot (the over-the-wire observability surface);
+// everything else goes to the resolver pool.
+func (s *Service) HandleQuery(q *dns.Message, from netip.Addr) (*dns.Message, error) {
+	if len(q.Question) == 1 && q.Question[0].Name == StatsName && q.Question[0].Type == dns.TypeTXT {
+		return statsResponse(q, s.Snapshot()), nil
+	}
+	return s.handler.HandleQuery(q, from)
+}
+
+// ResolverStats merges the per-instance resolver counters.
+func (s *Service) ResolverStats() resolver.Stats { return s.stats() }
+
+// Snapshot assembles the full serving-tier scorecard: merged resolver
+// counters, the process-wide authoritative packet-cache totals, and the
+// transport counters of the attached listeners.
+func (s *Service) Snapshot() Snapshot {
+	snap := Snapshot{Resolver: s.stats()}
+	snap.PacketCacheHits, snap.PacketCacheMisses = authserver.CacheTotals()
+	if udp := s.udp.Load(); udp != nil {
+		snap.UDP = udp.Stats()
+	}
+	if tcp := s.tcp.Load(); tcp != nil {
+		snap.TCP = tcp.Stats()
+	}
+	return snap
+}
+
+// pool fans queries across resolver instances. The resolver's caches are
+// single-threaded by design, so each instance is guarded by its own mutex;
+// round-robin keeps all instances warm.
+type pool struct {
+	next atomic.Uint64
+	res  []*resolver.Resolver
+	mus  []sync.Mutex
+}
+
+// HandleQuery implements simnet.Handler.
+func (p *pool) HandleQuery(q *dns.Message, from netip.Addr) (*dns.Message, error) {
+	i := int(p.next.Add(1) % uint64(len(p.res)))
+	p.mus[i].Lock()
+	defer p.mus[i].Unlock()
+	return p.res[i].HandleQuery(q, from)
+}
+
+// stats merges the per-instance counters.
+func (p *pool) stats() resolver.Stats {
+	var st resolver.Stats
+	for i, r := range p.res {
+		p.mus[i].Lock()
+		st = st.Plus(r.Stats())
+		p.mus[i].Unlock()
+	}
+	return st
+}

@@ -1,0 +1,180 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"github.com/dnsprivacy/lookaside/internal/dataset"
+	"github.com/dnsprivacy/lookaside/internal/dns"
+	"github.com/dnsprivacy/lookaside/internal/resolver"
+	"github.com/dnsprivacy/lookaside/internal/udptransport"
+	"github.com/dnsprivacy/lookaside/internal/universe"
+)
+
+func buildService(t *testing.T, workers int) (*universe.Universe, *Service) {
+	t.Helper()
+	pop, err := dataset.AlexaLike(dataset.PopulationConfig{Size: 300, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := universe.Build(universe.Options{
+		Seed: 1, Population: pop, Extra: dataset.SecureDomains(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := Build(u, u.ResolverConfig(true, true), Options{
+		Workers: workers, SharedInfra: workers > 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u, svc
+}
+
+func TestServiceResolvesAndCounts(t *testing.T) {
+	_, svc := buildService(t, 2)
+	for i, d := range []string{"secure00.edu", "secure01.net", "secure00.edu"} {
+		q := dns.NewQuery(uint16(i+1), dns.MustName(d), dns.TypeA, true)
+		resp, err := svc.HandleQuery(q, universe.StubAddr)
+		if err != nil {
+			t.Fatalf("query %s: %v", d, err)
+		}
+		if resp.Header.RCode != dns.RCodeNoError {
+			t.Fatalf("query %s: rcode %s", d, resp.Header.RCode)
+		}
+	}
+	st := svc.ResolverStats()
+	if st.Resolutions != 3 {
+		t.Fatalf("resolutions = %d", st.Resolutions)
+	}
+	if st.InfraHits == 0 {
+		t.Error("shared-infra service recorded no infra-cache hits")
+	}
+}
+
+func TestStatsSurfaceOverWire(t *testing.T) {
+	_, svc := buildService(t, 2)
+	// Resolve something so the counters are non-zero.
+	q := dns.NewQuery(1, dns.MustName("secure00.edu"), dns.TypeA, true)
+	if _, err := svc.HandleQuery(q, universe.StubAddr); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := udptransport.Listen("127.0.0.1:0", svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve() }()
+	defer srv.Close()
+	tcpSrv, err := udptransport.ListenTCP(srv.AddrPort().String(), svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = tcpSrv.Serve() }()
+	defer tcpSrv.Close()
+	svc.AttachTransports(srv, tcpSrv)
+
+	c := &udptransport.Client{Timeout: 2 * time.Second}
+	snap, err := FetchSnapshot(c, srv.AddrPort())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Resolver.Resolutions != 1 {
+		t.Errorf("scraped resolutions = %d", snap.Resolver.Resolutions)
+	}
+	if snap.Resolver.InfraHits == 0 {
+		t.Error("scraped snapshot lost infra hits")
+	}
+	// The stats query itself crossed the UDP listener.
+	if snap.UDP.Queries == 0 {
+		t.Error("scraped snapshot has no UDP transport counters")
+	}
+	// A stats query must not count as a resolution.
+	snap2, err := FetchSnapshot(c, srv.AddrPort())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap2.Resolver.Resolutions != 1 {
+		t.Errorf("stats scrape incremented resolutions: %d", snap2.Resolver.Resolutions)
+	}
+	if snap2.UDP.Queries <= snap.UDP.Queries {
+		t.Errorf("udp counter did not advance: %d -> %d", snap.UDP.Queries, snap2.UDP.Queries)
+	}
+}
+
+func TestSnapshotTXTRoundTrip(t *testing.T) {
+	// Distinct values in every field so a swapped key would show.
+	want := Snapshot{
+		Resolver: resolver.Stats{
+			Resolutions: 1, DLVQueries: 2, DLVSuppressed: 3, DLVSkippedByRemedy: 4,
+			DLVFailures: 5, Failovers: 6, CacheHits: 7, Retries: 8, TCPFallbacks: 9,
+			DeadlineExceeded: 10, BreakerSkips: 11, BreakerOpens: 12,
+			InfraHits: 13, InfraMisses: 14,
+		},
+		PacketCacheHits:   15,
+		PacketCacheMisses: 16,
+		UDP: udptransport.Stats{Queries: 17, Malformed: 18, Responses: 19,
+			Truncated: 20, ServFails: 21, InFlight: 22, MaxInFlight: 23},
+		TCP: udptransport.Stats{Queries: 24, Responses: 25, ServFails: 26, Conns: 27},
+	}
+	q := dns.NewQuery(9, StatsName, dns.TypeTXT, false)
+	got, err := ParseSnapshot(statsResponse(q, want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestSnapshotMinus(t *testing.T) {
+	later := Snapshot{
+		Resolver:        resolver.Stats{Resolutions: 10, CacheHits: 6, InfraHits: 4, InfraMisses: 4},
+		PacketCacheHits: 20, PacketCacheMisses: 10,
+		UDP: udptransport.Stats{Queries: 30, MaxInFlight: 5},
+	}
+	earlier := Snapshot{
+		Resolver:        resolver.Stats{Resolutions: 4, CacheHits: 2, InfraHits: 2, InfraMisses: 2},
+		PacketCacheHits: 5, PacketCacheMisses: 5,
+		UDP: udptransport.Stats{Queries: 10, MaxInFlight: 3},
+	}
+	d := later.Minus(earlier)
+	if d.Resolver.Resolutions != 6 || d.PacketCacheHits != 15 || d.UDP.Queries != 20 {
+		t.Fatalf("delta = %+v", d)
+	}
+	if d.UDP.MaxInFlight != 5 {
+		t.Errorf("watermark should keep the later value, got %d", d.UDP.MaxInFlight)
+	}
+	if rate := d.PacketCacheHitRate(); rate < 0.74 || rate > 0.76 {
+		t.Errorf("hit rate = %f", rate)
+	}
+	if rate := d.InfraHitRate(); rate != 0.5 {
+		t.Errorf("infra rate = %f", rate)
+	}
+	if rate := d.AnswerCacheHitRate(); rate < 0.66 || rate > 0.67 {
+		t.Errorf("answer rate = %f", rate)
+	}
+}
+
+func TestParseSnapshotErrors(t *testing.T) {
+	if _, err := ParseSnapshot(nil); err == nil {
+		t.Error("nil response accepted")
+	}
+	q := dns.NewQuery(9, StatsName, dns.TypeTXT, false)
+	resp := dns.NewResponse(q)
+	resp.Answer = []dns.RR{{Name: StatsName, Type: dns.TypeTXT, Class: dns.ClassIN,
+		Data: &dns.TXTData{Strings: []string{"no-equals-sign"}}}}
+	if _, err := ParseSnapshot(resp); err == nil {
+		t.Error("malformed string accepted")
+	}
+	resp.Answer[0].Data = &dns.TXTData{Strings: []string{"resolutions=NaN"}}
+	if _, err := ParseSnapshot(resp); err == nil {
+		t.Error("non-numeric value accepted")
+	}
+	// Unknown keys are forward-compatible noise, not errors.
+	resp.Answer[0].Data = &dns.TXTData{Strings: []string{"future_counter=5"}}
+	if _, err := ParseSnapshot(resp); err != nil {
+		t.Errorf("unknown key rejected: %v", err)
+	}
+}

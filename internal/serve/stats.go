@@ -1,0 +1,287 @@
+package serve
+
+import (
+	"fmt"
+	"net/netip"
+	"strconv"
+	"strings"
+
+	"github.com/dnsprivacy/lookaside/internal/dns"
+	"github.com/dnsprivacy/lookaside/internal/metrics"
+	"github.com/dnsprivacy/lookaside/internal/resolver"
+	"github.com/dnsprivacy/lookaside/internal/udptransport"
+)
+
+// StatsName is the reserved qname of the over-the-wire stats surface: a
+// TXT query for it returns the serving-tier Snapshot as key=value strings.
+// The name sits under the reserved "invalid." TLD (RFC 2606), which no
+// population domain can ever occupy.
+var StatsName = dns.MustName("_stats.resolved.invalid")
+
+// Snapshot is the serving-tier scorecard at one instant: resolver-core
+// counters (merged across pool instances), authoritative packet-cache
+// totals, and the per-transport listener counters.
+type Snapshot struct {
+	Resolver          resolver.Stats
+	PacketCacheHits   uint64
+	PacketCacheMisses uint64
+	UDP               udptransport.Stats
+	TCP               udptransport.Stats
+}
+
+// Minus subtracts an earlier snapshot field-wise, so a load run can report
+// the rates of exactly its own window. Watermarks (MaxInFlight) and gauges
+// (InFlight) keep the later value.
+func (s Snapshot) Minus(o Snapshot) Snapshot {
+	out := Snapshot{
+		Resolver:          subStats(s.Resolver, o.Resolver),
+		PacketCacheHits:   s.PacketCacheHits - o.PacketCacheHits,
+		PacketCacheMisses: s.PacketCacheMisses - o.PacketCacheMisses,
+		UDP:               subTransport(s.UDP, o.UDP),
+		TCP:               subTransport(s.TCP, o.TCP),
+	}
+	return out
+}
+
+func subStats(a, b resolver.Stats) resolver.Stats {
+	return resolver.Stats{
+		Resolutions:        a.Resolutions - b.Resolutions,
+		DLVQueries:         a.DLVQueries - b.DLVQueries,
+		DLVSuppressed:      a.DLVSuppressed - b.DLVSuppressed,
+		DLVSkippedByRemedy: a.DLVSkippedByRemedy - b.DLVSkippedByRemedy,
+		DLVFailures:        a.DLVFailures - b.DLVFailures,
+		Failovers:          a.Failovers - b.Failovers,
+		CacheHits:          a.CacheHits - b.CacheHits,
+		Retries:            a.Retries - b.Retries,
+		TCPFallbacks:       a.TCPFallbacks - b.TCPFallbacks,
+		DeadlineExceeded:   a.DeadlineExceeded - b.DeadlineExceeded,
+		BreakerSkips:       a.BreakerSkips - b.BreakerSkips,
+		BreakerOpens:       a.BreakerOpens - b.BreakerOpens,
+		InfraHits:          a.InfraHits - b.InfraHits,
+		InfraMisses:        a.InfraMisses - b.InfraMisses,
+	}
+}
+
+func subTransport(a, b udptransport.Stats) udptransport.Stats {
+	return udptransport.Stats{
+		Queries:     a.Queries - b.Queries,
+		Malformed:   a.Malformed - b.Malformed,
+		Responses:   a.Responses - b.Responses,
+		Truncated:   a.Truncated - b.Truncated,
+		ServFails:   a.ServFails - b.ServFails,
+		InFlight:    a.InFlight,
+		MaxInFlight: a.MaxInFlight,
+		Conns:       a.Conns - b.Conns,
+	}
+}
+
+// PacketCacheHitRate returns the authoritative packet-cache hit ratio, or
+// 0 with no lookups.
+func (s Snapshot) PacketCacheHitRate() float64 {
+	total := s.PacketCacheHits + s.PacketCacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.PacketCacheHits) / float64(total)
+}
+
+// InfraHitRate returns the shared infrastructure-cache hit ratio, or 0
+// with no lookups.
+func (s Snapshot) InfraHitRate() float64 {
+	total := s.Resolver.InfraHits + s.Resolver.InfraMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Resolver.InfraHits) / float64(total)
+}
+
+// AnswerCacheHitRate returns the per-resolver answer-cache hit ratio over
+// top-level resolutions, or 0 with none.
+func (s Snapshot) AnswerCacheHitRate() float64 {
+	if s.Resolver.Resolutions == 0 {
+		return 0
+	}
+	return float64(s.Resolver.CacheHits) / float64(s.Resolver.Resolutions)
+}
+
+// pairs flattens the snapshot into its wire key=value form. parseField is
+// its inverse; keep the two in sync.
+func (s *Snapshot) pairs() []struct {
+	key string
+	val uint64
+} {
+	r := &s.Resolver
+	return []struct {
+		key string
+		val uint64
+	}{
+		{"resolutions", uint64(r.Resolutions)},
+		{"cache_hits", uint64(r.CacheHits)},
+		{"dlv_queries", uint64(r.DLVQueries)},
+		{"dlv_suppressed", uint64(r.DLVSuppressed)},
+		{"dlv_skipped", uint64(r.DLVSkippedByRemedy)},
+		{"dlv_failures", uint64(r.DLVFailures)},
+		{"failovers", uint64(r.Failovers)},
+		{"retries", uint64(r.Retries)},
+		{"tcp_fallbacks", uint64(r.TCPFallbacks)},
+		{"deadline_exceeded", uint64(r.DeadlineExceeded)},
+		{"breaker_opens", uint64(r.BreakerOpens)},
+		{"breaker_skips", uint64(r.BreakerSkips)},
+		{"infra_hits", uint64(r.InfraHits)},
+		{"infra_misses", uint64(r.InfraMisses)},
+		{"pkt_hits", s.PacketCacheHits},
+		{"pkt_misses", s.PacketCacheMisses},
+		{"udp_queries", s.UDP.Queries},
+		{"udp_malformed", s.UDP.Malformed},
+		{"udp_responses", s.UDP.Responses},
+		{"udp_truncated", s.UDP.Truncated},
+		{"udp_servfails", s.UDP.ServFails},
+		{"udp_inflight", uint64(s.UDP.InFlight)},
+		{"udp_max_inflight", uint64(s.UDP.MaxInFlight)},
+		{"tcp_queries", s.TCP.Queries},
+		{"tcp_conns", s.TCP.Conns},
+		{"tcp_responses", s.TCP.Responses},
+		{"tcp_servfails", s.TCP.ServFails},
+	}
+}
+
+// setField assigns one parsed key=value into the snapshot; unknown keys are
+// ignored so old clients survive new counters.
+func (s *Snapshot) setField(key string, v uint64) {
+	r := &s.Resolver
+	switch key {
+	case "resolutions":
+		r.Resolutions = int(v)
+	case "cache_hits":
+		r.CacheHits = int(v)
+	case "dlv_queries":
+		r.DLVQueries = int(v)
+	case "dlv_suppressed":
+		r.DLVSuppressed = int(v)
+	case "dlv_skipped":
+		r.DLVSkippedByRemedy = int(v)
+	case "dlv_failures":
+		r.DLVFailures = int(v)
+	case "failovers":
+		r.Failovers = int(v)
+	case "retries":
+		r.Retries = int(v)
+	case "tcp_fallbacks":
+		r.TCPFallbacks = int(v)
+	case "deadline_exceeded":
+		r.DeadlineExceeded = int(v)
+	case "breaker_opens":
+		r.BreakerOpens = int(v)
+	case "breaker_skips":
+		r.BreakerSkips = int(v)
+	case "infra_hits":
+		r.InfraHits = int(v)
+	case "infra_misses":
+		r.InfraMisses = int(v)
+	case "pkt_hits":
+		s.PacketCacheHits = v
+	case "pkt_misses":
+		s.PacketCacheMisses = v
+	case "udp_queries":
+		s.UDP.Queries = v
+	case "udp_malformed":
+		s.UDP.Malformed = v
+	case "udp_responses":
+		s.UDP.Responses = v
+	case "udp_truncated":
+		s.UDP.Truncated = v
+	case "udp_servfails":
+		s.UDP.ServFails = v
+	case "udp_inflight":
+		s.UDP.InFlight = int64(v)
+	case "udp_max_inflight":
+		s.UDP.MaxInFlight = int64(v)
+	case "tcp_queries":
+		s.TCP.Queries = v
+	case "tcp_conns":
+		s.TCP.Conns = v
+	case "tcp_responses":
+		s.TCP.Responses = v
+	case "tcp_servfails":
+		s.TCP.ServFails = v
+	}
+}
+
+// statsResponse renders a snapshot as one TXT record of key=value strings
+// (each well under the 255-octet string limit).
+func statsResponse(q *dns.Message, snap Snapshot) *dns.Message {
+	pairs := snap.pairs()
+	strs := make([]string, len(pairs))
+	for i, p := range pairs {
+		strs[i] = p.key + "=" + strconv.FormatUint(p.val, 10)
+	}
+	resp := dns.NewResponse(q)
+	resp.Header.RCode = dns.RCodeNoError
+	resp.Header.AA = true
+	resp.Answer = []dns.RR{{
+		Name: StatsName, Type: dns.TypeTXT, Class: dns.ClassIN, TTL: 0,
+		Data: &dns.TXTData{Strings: strs},
+	}}
+	return resp
+}
+
+// ParseSnapshot rebuilds a Snapshot from a stats-surface TXT response.
+func ParseSnapshot(resp *dns.Message) (Snapshot, error) {
+	var snap Snapshot
+	if resp == nil || resp.Header.RCode != dns.RCodeNoError || len(resp.Answer) == 0 {
+		return snap, fmt.Errorf("serve: stats response missing answer")
+	}
+	txt, ok := resp.Answer[0].Data.(*dns.TXTData)
+	if !ok {
+		return snap, fmt.Errorf("serve: stats answer is %s, not TXT", resp.Answer[0].Type)
+	}
+	for _, kv := range txt.Strings {
+		key, val, found := strings.Cut(kv, "=")
+		if !found {
+			return snap, fmt.Errorf("serve: malformed stats string %q", kv)
+		}
+		v, err := strconv.ParseUint(val, 10, 64)
+		if err != nil {
+			return snap, fmt.Errorf("serve: stats string %q: %w", kv, err)
+		}
+		snap.setField(key, v)
+	}
+	return snap, nil
+}
+
+// FetchSnapshot scrapes a live server's stats surface over UDP.
+func FetchSnapshot(c *udptransport.Client, server netip.AddrPort) (Snapshot, error) {
+	q := dns.NewQuery(0xda7a, StatsName, dns.TypeTXT, false)
+	resp, err := c.Query(server, q)
+	if err != nil {
+		return Snapshot{}, fmt.Errorf("serve: fetching stats: %w", err)
+	}
+	return ParseSnapshot(resp)
+}
+
+// Render formats the snapshot as the serving-tier scorecard table.
+func (s Snapshot) Render(title string) string {
+	t := metrics.Table{
+		Title:  title,
+		Header: []string{"counter", "value"},
+	}
+	t.AddRow("resolutions", s.Resolver.Resolutions)
+	t.AddRow("answer-cache hits", fmt.Sprintf("%d (%s)", s.Resolver.CacheHits, metrics.Percent(s.AnswerCacheHitRate())))
+	t.AddRow("packet-cache hits", fmt.Sprintf("%d/%d (%s)", s.PacketCacheHits,
+		s.PacketCacheHits+s.PacketCacheMisses, metrics.Percent(s.PacketCacheHitRate())))
+	t.AddRow("infra-cache hits", fmt.Sprintf("%d/%d (%s)", s.Resolver.InfraHits,
+		s.Resolver.InfraHits+s.Resolver.InfraMisses, metrics.Percent(s.InfraHitRate())))
+	t.AddRow("dlv queries", s.Resolver.DLVQueries)
+	t.AddRow("dlv suppressed", s.Resolver.DLVSuppressed)
+	t.AddRow("dlv failures", s.Resolver.DLVFailures)
+	t.AddRow("retries", s.Resolver.Retries)
+	t.AddRow("upstream tcp fallbacks", s.Resolver.TCPFallbacks)
+	t.AddRow("breaker opens/skips", fmt.Sprintf("%d/%d", s.Resolver.BreakerOpens, s.Resolver.BreakerSkips))
+	t.AddRow("udp queries", s.UDP.Queries)
+	t.AddRow("udp truncated (TC)", s.UDP.Truncated)
+	t.AddRow("udp servfails", s.UDP.ServFails)
+	t.AddRow("udp max in-flight", s.UDP.MaxInFlight)
+	t.AddRow("tcp conns", s.TCP.Conns)
+	t.AddRow("tcp queries", s.TCP.Queries)
+	return t.String()
+}

@@ -24,9 +24,12 @@ type TCPServer struct {
 	ln      net.Listener
 	handler simnet.Handler
 
-	mu     sync.Mutex
-	closed bool
-	conns  map[net.Conn]bool
+	stats counters
+
+	mu       sync.Mutex
+	closed   bool
+	draining bool
+	conns    map[net.Conn]bool
 }
 
 // ListenTCP binds a TCP socket and prepares to serve h.
@@ -68,6 +71,7 @@ func (s *TCPServer) Serve() error {
 			}
 			return fmt.Errorf("udptransport: accept: %w", err)
 		}
+		s.stats.conns.Add(1)
 		s.track(conn, true)
 		wg.Add(1)
 		go func() {
@@ -78,6 +82,9 @@ func (s *TCPServer) Serve() error {
 		}()
 	}
 }
+
+// Stats snapshots the transport counters.
+func (s *TCPServer) Stats() Stats { return s.stats.snapshot() }
 
 func (s *TCPServer) track(conn net.Conn, add bool) {
 	s.mu.Lock()
@@ -103,18 +110,30 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		if err != nil {
 			return // EOF, timeout, or garbage: drop the connection
 		}
+		s.mu.Lock()
+		draining := s.draining
+		s.mu.Unlock()
+		if draining {
+			return // stop accepting new queries on a draining server
+		}
 		q, err := dns.DecodeMessage(pkt)
 		if err != nil {
+			s.stats.malformed.Add(1)
 			return
 		}
+		s.stats.queries.Add(1)
+		s.stats.enter()
 		resp, err := s.handler.HandleQuery(q, src)
 		if err != nil {
 			resp = dns.NewResponse(q)
 			resp.Header.RCode = dns.RCodeServFail
+			s.stats.servfails.Add(1)
 		}
+		s.stats.leave()
 		if err := writeFrame(conn, resp); err != nil {
 			return
 		}
+		s.stats.responses.Add(1)
 	}
 }
 
@@ -127,6 +146,47 @@ func (s *TCPServer) Close() error {
 	}
 	s.mu.Unlock()
 	return s.ln.Close()
+}
+
+// Shutdown gracefully drains the server: the listener closes (no new
+// connections), established connections may finish the query currently
+// being handled but accept no further ones, and idle connections are given
+// a short read window before being torn down. Returns ErrDrainTimeout when
+// live connections outlast the deadline.
+func (s *TCPServer) Shutdown(timeout time.Duration) error {
+	s.mu.Lock()
+	s.closed = true
+	s.draining = true
+	// Cap how long an idle connection can sit blocked in readFrame; the
+	// draining flag makes any frame that does arrive a no-op.
+	deadline := time.Now().Add(timeout)
+	for conn := range s.conns {
+		_ = conn.SetReadDeadline(deadline)
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+
+	drained := func() bool {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return len(s.conns) == 0
+	}
+	for end := time.Now().Add(timeout); time.Now().Before(end); {
+		if drained() {
+			return err
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Deadline passed: tear down whatever is left.
+	s.mu.Lock()
+	for conn := range s.conns {
+		_ = conn.Close()
+	}
+	s.mu.Unlock()
+	if !drained() {
+		return ErrDrainTimeout
+	}
+	return err
 }
 
 // readFrame reads one length-prefixed message.

@@ -10,6 +10,7 @@ import (
 	"net"
 	"net/netip"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/dnsprivacy/lookaside/internal/dns"
@@ -22,12 +23,101 @@ const maxPacket = 4096
 // ErrClosed is returned by Serve after Close.
 var ErrClosed = errors.New("udptransport: server closed")
 
+// ErrDrainTimeout is returned by Shutdown when in-flight queries did not
+// complete within the drain deadline.
+var ErrDrainTimeout = errors.New("udptransport: drain deadline exceeded")
+
+// Stats are the serving-side transport counters one listener accumulates —
+// half of the serving-tier scorecard (the resolver's Stats are the other).
+// All fields are monotonic except InFlight.
+type Stats struct {
+	// Queries counts well-formed queries handed to the handler; Malformed
+	// counts datagrams (or TCP frames) dropped undecodable.
+	Queries   uint64
+	Malformed uint64
+	// Responses counts responses written; Truncated counts UDP responses
+	// sent with TC set because the full answer exceeded the datagram
+	// ceiling; ServFails counts handler errors surfaced as SERVFAIL.
+	Responses uint64
+	Truncated uint64
+	ServFails uint64
+	// InFlight is the current number of queries being handled;
+	// MaxInFlight is its high-water mark.
+	InFlight    int64
+	MaxInFlight int64
+	// Conns counts TCP connections accepted (0 on UDP servers).
+	Conns uint64
+}
+
+// counters is the shared atomic implementation behind Stats.
+type counters struct {
+	queries   atomic.Uint64
+	malformed atomic.Uint64
+	responses atomic.Uint64
+	truncated atomic.Uint64
+	servfails atomic.Uint64
+	conns     atomic.Uint64
+	inflight  atomic.Int64
+	maxInFl   atomic.Int64
+}
+
+// enter tracks one query entering the handler, updating the in-flight
+// high-water mark.
+func (c *counters) enter() {
+	cur := c.inflight.Add(1)
+	for {
+		max := c.maxInFl.Load()
+		if cur <= max || c.maxInFl.CompareAndSwap(max, cur) {
+			return
+		}
+	}
+}
+
+func (c *counters) leave() { c.inflight.Add(-1) }
+
+// snapshot copies the counters into an exported Stats.
+func (c *counters) snapshot() Stats {
+	return Stats{
+		Queries:     c.queries.Load(),
+		Malformed:   c.malformed.Load(),
+		Responses:   c.responses.Load(),
+		Truncated:   c.truncated.Load(),
+		ServFails:   c.servfails.Load(),
+		InFlight:    c.inflight.Load(),
+		MaxInFlight: c.maxInFl.Load(),
+		Conns:       c.conns.Load(),
+	}
+}
+
+// Plus returns the field-wise sum of two Stats (max of the watermarks), so
+// the UDP and TCP listeners of one service can report a combined scorecard.
+func (s Stats) Plus(o Stats) Stats {
+	out := Stats{
+		Queries:     s.Queries + o.Queries,
+		Malformed:   s.Malformed + o.Malformed,
+		Responses:   s.Responses + o.Responses,
+		Truncated:   s.Truncated + o.Truncated,
+		ServFails:   s.ServFails + o.ServFails,
+		InFlight:    s.InFlight + o.InFlight,
+		MaxInFlight: s.MaxInFlight,
+		Conns:       s.Conns + o.Conns,
+	}
+	if o.MaxInFlight > out.MaxInFlight {
+		out.MaxInFlight = o.MaxInFlight
+	}
+	return out
+}
+
 // Server pumps UDP packets through a simnet.Handler.
 type Server struct {
 	conn    net.PacketConn
 	handler simnet.Handler
 	// sem bounds in-flight packet handlers; nil means synchronous.
 	sem chan struct{}
+	// wg tracks in-flight handlers so Shutdown can drain them.
+	wg sync.WaitGroup
+
+	stats counters
 
 	mu     sync.Mutex
 	closed bool
@@ -57,6 +147,9 @@ func (s *Server) AddrPort() netip.AddrPort {
 	return netip.AddrPort{}
 }
 
+// Stats snapshots the transport counters.
+func (s *Server) Stats() Stats { return s.stats.snapshot() }
+
 // SetWorkers lets up to n datagrams be handled concurrently; the handler
 // must then be safe for concurrent use (e.g. a resolver pool). n <= 1
 // keeps the default synchronous loop. Must be called before Serve.
@@ -85,6 +178,17 @@ func (s *Server) Serve() error {
 		}
 		pkt := make([]byte, n)
 		copy(pkt, buf[:n])
+		// wg.Add is gated on closed under the mutex so Shutdown's
+		// wg.Wait never races a late Add: once closed is set, no new
+		// handler starts (a packet read in that window is dropped —
+		// shutdown stops accepting).
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return ErrClosed
+		}
+		s.wg.Add(1)
+		s.mu.Unlock()
 		if s.sem == nil {
 			s.handle(pkt, from)
 			continue
@@ -99,11 +203,17 @@ func (s *Server) Serve() error {
 
 // handle processes one datagram. Responses go out via conn.WriteTo, which
 // is safe for concurrent use when SetWorkers enabled parallel handling.
+// The caller must have added the handler to s.wg.
 func (s *Server) handle(pkt []byte, from net.Addr) {
+	defer s.wg.Done()
 	q, err := dns.DecodeMessage(pkt)
 	if err != nil {
+		s.stats.malformed.Add(1)
 		return // drop garbage
 	}
+	s.stats.queries.Add(1)
+	s.stats.enter()
+	defer s.stats.leave()
 	var src netip.Addr
 	if ua, ok := from.(*net.UDPAddr); ok {
 		src = ua.AddrPort().Addr()
@@ -112,6 +222,7 @@ func (s *Server) handle(pkt []byte, from net.Addr) {
 	if err != nil {
 		resp = dns.NewResponse(q)
 		resp.Header.RCode = dns.RCodeServFail
+		s.stats.servfails.Add(1)
 	}
 	wire, err := resp.Encode()
 	if err != nil {
@@ -125,16 +236,37 @@ func (s *Server) handle(pkt []byte, from net.Addr) {
 		if wire, err = trunc.Encode(); err != nil {
 			return
 		}
+		s.stats.truncated.Add(1)
 	}
-	_, _ = s.conn.WriteTo(wire, from)
+	if _, err := s.conn.WriteTo(wire, from); err == nil {
+		s.stats.responses.Add(1)
+	}
 }
 
-// Close stops the server.
+// Close stops the server immediately; in-flight handlers finish on their
+// own time but nothing waits for them. Use Shutdown to drain.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
 	s.mu.Unlock()
 	return s.conn.Close()
+}
+
+// Shutdown stops accepting datagrams (closing the socket unblocks Serve)
+// and waits up to timeout for in-flight queries to finish. In-flight
+// responses race the socket close and may be dropped — the queries still
+// complete, which is what draining protects. Returns ErrDrainTimeout when
+// the deadline passes first.
+func (s *Server) Shutdown(timeout time.Duration) error {
+	err := s.Close()
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return err
+	case <-time.After(timeout):
+		return ErrDrainTimeout
+	}
 }
 
 // Client sends queries over UDP.
