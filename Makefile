@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet cover bench bench-hotpath bench-faults bench-sweep bench-sweep-baseline bench-serve bench-serve-baseline benchdiff benchdiff-serve fuzz experiments experiments-full clean
+.PHONY: all build test vet cover bench bench-hotpath bench-faults bench-sweep bench-sweep-baseline bench-serve bench-serve-baseline bench-snapshot bench-snapshot-baseline benchdiff benchdiff-serve benchdiff-snapshot fuzz experiments experiments-full clean
 
 all: build vet test
 
@@ -73,6 +73,21 @@ bench-serve:
 bench-serve-baseline: bench-serve
 	cp BENCH_serve.json BENCH_serve.baseline.json
 
+# Warm-state snapshot benchmark (DESIGN.md §12): cold-boot-to-ready via
+# snapshot restore at 10k/100k/1M, with the live warm-up it replaces
+# reported as speedup_x. The setup warms each population once (the 1M
+# point takes minutes — that is the cost being measured), so one timed
+# iteration is plenty. Emits BENCH_snapshot.txt and BENCH_snapshot.json.
+bench-snapshot:
+	$(GO) test -run XXX -bench 'BenchmarkSnapshotLoad' \
+		-benchmem -benchtime 1x -timeout 30m . | tee BENCH_snapshot.txt
+	@awk -f scripts/bench2json.awk BENCH_snapshot.txt > BENCH_snapshot.json
+	@cat BENCH_snapshot.json
+
+# Refresh the committed snapshot-boot baseline after an intentional change.
+bench-snapshot-baseline: bench-snapshot
+	cp BENCH_snapshot.json BENCH_snapshot.baseline.json
+
 # Regression gate: compare a fresh BENCH_sweep.json (run `make bench-sweep`
 # first) against the committed baseline at the default 10% threshold —
 # meant for before/after runs on the same machine. CI uses the same script
@@ -84,6 +99,10 @@ benchdiff:
 benchdiff-serve:
 	awk -f scripts/benchdiff.awk BENCH_serve.baseline.json BENCH_serve.json
 
+# Same gate for snapshot boot (run `make bench-snapshot` first).
+benchdiff-snapshot:
+	awk -f scripts/benchdiff.awk BENCH_snapshot.baseline.json BENCH_snapshot.json
+
 # Refresh the committed baseline after an intentional performance change.
 # The baseline has its own name so `make clean` (which removes the
 # regenerated-on-demand BENCH_*.json artifacts) never deletes it.
@@ -93,7 +112,7 @@ bench-sweep-baseline: bench-sweep
 # Short fuzzing pass over every Fuzz* target (wire decoder, zone parser,
 # fault schedules). -fuzz accepts a single target per run, so discover and
 # loop.
-FUZZ_PKGS = ./internal/dns ./internal/zonefile ./internal/faults
+FUZZ_PKGS = ./internal/dns ./internal/zonefile ./internal/faults ./internal/snapshot ./internal/core
 
 fuzz:
 	@set -e; for pkg in $(FUZZ_PKGS); do \
@@ -114,4 +133,4 @@ clean:
 	$(GO) clean ./...
 	rm -f test_output.txt bench_output.txt BENCH_hotpath.txt BENCH_hotpath.json \
 		BENCH_faults.txt BENCH_faults.json BENCH_sweep.txt BENCH_sweep.json \
-		BENCH_serve.txt BENCH_serve.json
+		BENCH_serve.txt BENCH_serve.json BENCH_snapshot.txt BENCH_snapshot.json

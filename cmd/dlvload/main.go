@@ -115,6 +115,11 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("scraping server stats (rerun with -stats=false against servers without the surface): %w", err)
 		}
+		mode := "live-warm"
+		if before.BootMode == 1 {
+			mode = "snapshot"
+		}
+		fmt.Fprintf(out, "dlvload: server booted in %dms (%s)\n", before.BootMS, mode)
 	}
 
 	m, err := loadgen.ParseMode(*mode)

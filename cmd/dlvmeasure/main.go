@@ -49,6 +49,12 @@ func run(args []string) error {
 	traceMinutes := fs.Int("trace-minutes", 0, "override Fig. 12 trace length (0 = 7h/scale)")
 	population := fs.Int("population", 0,
 		"single population size for -exp sweep, up to 1M (0 = the 10k/100k/1M ladder divided by -scale)")
+	snapLoad := fs.String("snapshot-load", "",
+		"-exp sweep: boot each point's infra cache from this warm-state snapshot (multi-point sweeps suffix .pop<N>; stale/corrupt/mismatched snapshots fall back to live warm-up)")
+	snapSave := fs.String("snapshot-save", "",
+		"-exp sweep: write each point's warmed infra cache to this snapshot file")
+	checkpoint := fs.String("checkpoint", "",
+		"-exp sweep: persist per-shard progress to this file after every finished shard and resume from it on restart")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0),
 		"concurrent experiments and sweep points; results are identical at any setting")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -95,6 +101,16 @@ func run(args []string) error {
 		OutageFraction: *dlvOutage,
 		DisableBreaker: !*breaker,
 	}
+	// Snapshot/checkpoint fallbacks log to stderr so experiment stdout
+	// stays byte-comparable across runs.
+	sweepOpts := experiment.SweepOpts{
+		SnapshotLoad: *snapLoad,
+		SnapshotSave: *snapSave,
+		Checkpoint:   *checkpoint,
+		Log: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "dlvmeasure: "+format+"\n", args...)
+		},
+	}
 
 	selected := map[string]bool{}
 	if *exp == "all" {
@@ -130,7 +146,7 @@ func run(args []string) error {
 		name := name
 		jobs = append(jobs, experiment.Job{
 			Name: name,
-			Run:  func() (fmt.Stringer, error) { return dispatch(name, p, *traceMinutes, *population, knobs) },
+			Run:  func() (fmt.Stringer, error) { return dispatch(name, p, *traceMinutes, *population, knobs, sweepOpts) },
 		})
 	}
 	if len(selected) > 0 {
@@ -158,7 +174,7 @@ func run(args []string) error {
 
 // dispatch runs one named experiment. fig8/fig9 share a sweep but are
 // dispatched separately so either can be regenerated alone.
-func dispatch(name string, p experiment.Params, traceMinutes, population int, knobs experiment.FaultKnobs) (fmt.Stringer, error) {
+func dispatch(name string, p experiment.Params, traceMinutes, population int, knobs experiment.FaultKnobs, sweepOpts experiment.SweepOpts) (fmt.Stringer, error) {
 	switch name {
 	case "table1":
 		return experiment.Table1(), nil
@@ -232,7 +248,7 @@ func dispatch(name string, p experiment.Params, traceMinutes, population int, kn
 		if population > 0 {
 			populations = []int{population}
 		}
-		return experiment.Sweep(p, populations)
+		return experiment.SweepWithOpts(p, populations, sweepOpts)
 	default:
 		return nil, fmt.Errorf("no such experiment")
 	}

@@ -38,11 +38,11 @@ func TestDispatchCoversAllNames(t *testing.T) {
 			// slow ones here keeps this a smoke test of the wiring only.
 			continue
 		}
-		if _, err := dispatch(name, p, 2, 0, experiment.FaultKnobs{}); err != nil {
+		if _, err := dispatch(name, p, 2, 0, experiment.FaultKnobs{}, experiment.SweepOpts{}); err != nil {
 			t.Errorf("dispatch(%s): %v", name, err)
 		}
 	}
-	if _, err := dispatch("bogus", p, 0, 0, experiment.FaultKnobs{}); err == nil {
+	if _, err := dispatch("bogus", p, 0, 0, experiment.FaultKnobs{}, experiment.SweepOpts{}); err == nil {
 		t.Error("bogus experiment dispatched")
 	}
 }

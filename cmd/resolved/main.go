@@ -56,6 +56,10 @@ func run(args []string) error {
 		"resolver instances serving queries concurrently (1 = single-threaded)")
 	sharedInfra := fs.Bool("shared-infra", true,
 		"with workers > 1, pre-validate root/TLD/registry state once and share the sealed cache across instances")
+	snapLoad := fs.String("snapshot-load", "",
+		"boot the shared infra cache from this warm-state snapshot (falls back to live warm-up if stale/corrupt/mismatched)")
+	snapSave := fs.String("snapshot-save", "",
+		"write the warmed shared infra cache (plus signed-zone state) to this snapshot file")
 	drain := fs.Duration("drain", 5*time.Second,
 		"graceful-shutdown deadline: how long SIGINT/SIGTERM waits for in-flight queries")
 	verbose := fs.Bool("v", false, "log every query observed at the DLV registry")
@@ -141,10 +145,16 @@ func run(args []string) error {
 	}
 	svc, err := serve.Build(u, cfg, serve.Options{
 		Workers: *workers, SharedInfra: *sharedInfra, Plan: plan,
+		SnapshotLoad: *snapLoad, SnapshotSave: *snapSave,
+		Log: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "resolved: "+format+"\n", args...)
+		},
 	})
 	if err != nil {
 		return err
 	}
+	fmt.Printf("resolved: serving tier ready in %v (boot=%s)\n",
+		svc.BootWall().Round(time.Millisecond), svc.BootMode())
 
 	srv, err := udptransport.Listen(*listen, svc)
 	if err != nil {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -28,6 +29,10 @@ type ShardedOptions struct {
 	// order, the report is identical at any Parallelism — it only changes
 	// how many OS threads the same deterministic work spreads across.
 	Parallelism int
+	// OnShardDone, when non-nil, is called after each shard finishes its
+	// workload block without error (from that shard's worker goroutine;
+	// the callback synchronizes itself). Sweeps use it to checkpoint.
+	OnShardDone func(shard int)
 }
 
 // ShardedAuditor partitions a domain workload across N worker shards and
@@ -46,6 +51,12 @@ type ShardedAuditor struct {
 	u           *universe.Universe
 	auditors    []*Auditor
 	parallelism int
+	// restored[i], when non-nil, is shard i's imported checkpoint state:
+	// QueryDomains skips the shard's block and Report substitutes the
+	// state, so a resumed sweep merges to the same report as an
+	// uninterrupted one.
+	restored    []*ShardState
+	onShardDone func(int)
 }
 
 // NewShardedAuditor builds one shard auditor per worker. The resolver
@@ -67,6 +78,8 @@ func NewShardedAuditor(u *universe.Universe, opts ShardedOptions) (*ShardedAudit
 		u:           u,
 		auditors:    make([]*Auditor, 0, workers),
 		parallelism: parallelism,
+		restored:    make([]*ShardState, workers),
+		onShardDone: opts.OnShardDone,
 	}
 	for i := 0; i < workers; i++ {
 		a, err := NewShardAuditor(u, opts.Options)
@@ -80,6 +93,41 @@ func NewShardedAuditor(u *universe.Universe, opts ShardedOptions) (*ShardedAudit
 
 // Workers returns the shard count.
 func (s *ShardedAuditor) Workers() int { return len(s.auditors) }
+
+// RestoreShardState marks shard i as already complete with the given
+// checkpointed state: QueryDomains will skip its block and Report will
+// merge the state in the shard's fixed position.
+func (s *ShardedAuditor) RestoreShardState(i int, st *ShardState) error {
+	if i < 0 || i >= len(s.auditors) {
+		return fmt.Errorf("core: restoring shard %d of %d", i, len(s.auditors))
+	}
+	if st == nil || st.Capture == nil {
+		return fmt.Errorf("core: restoring shard %d: empty state", i)
+	}
+	s.restored[i] = st
+	return nil
+}
+
+// ExportShardState returns shard i's contribution: the imported checkpoint
+// state if the shard was restored, else an export of its live auditor.
+// Call it only when the shard is quiescent (its block finished).
+func (s *ShardedAuditor) ExportShardState(i int) *ShardState {
+	if st := s.restored[i]; st != nil {
+		return st
+	}
+	return s.auditors[i].ExportState()
+}
+
+// RestoredShards returns how many shards were restored from a checkpoint.
+func (s *ShardedAuditor) RestoredShards() int {
+	n := 0
+	for _, st := range s.restored {
+		if st != nil {
+			n++
+		}
+	}
+	return n
+}
 
 // blockBounds returns the [lo, hi) slice of an n-item workload owned by
 // shard i of c: contiguous blocks, sizes differing by at most one, the
@@ -117,11 +165,18 @@ func (s *ShardedAuditor) QueryDomains(domains []dataset.Domain) error {
 				if i >= len(s.auditors) {
 					return
 				}
-				lo, hi := blockBounds(len(domains), len(s.auditors), i)
-				if lo == hi {
+				// A restored shard's block already ran (in the run that
+				// wrote the checkpoint); re-running it would double-count.
+				if s.restored[i] != nil {
 					continue
 				}
-				errs[i] = s.auditors[i].QueryDomains(domains[lo:hi])
+				lo, hi := blockBounds(len(domains), len(s.auditors), i)
+				if lo != hi {
+					errs[i] = s.auditors[i].QueryDomains(domains[lo:hi])
+				}
+				if errs[i] == nil && s.onShardDone != nil {
+					s.onShardDone(i)
+				}
 			}
 		}()
 	}
@@ -143,7 +198,23 @@ func (s *ShardedAuditor) Report() Report {
 	var elapsed time.Duration
 	hist := make(map[time.Duration]int)
 	count := 0
-	for _, a := range s.auditors {
+	for i, a := range s.auditors {
+		if st := s.restored[i]; st != nil {
+			merged.ImportState(st.Capture)
+			stats = stats.Plus(st.Stats)
+			queried += st.Queried
+			stubQueries += st.StubQueries
+			secure += st.SecureAnswers
+			servfails += st.Servfails
+			for _, bin := range st.Lat {
+				hist[bin.Value] += bin.Count
+			}
+			count += st.LatCount
+			if st.Elapsed > elapsed {
+				elapsed = st.Elapsed
+			}
+			continue
+		}
 		merged.Merge(a.analyzer)
 		stats = stats.Plus(a.r.Stats())
 		queried += a.queried
@@ -177,7 +248,11 @@ func (s *ShardedAuditor) Report() Report {
 // building a full report.
 func (s *ShardedAuditor) ResolverStats() resolver.Stats {
 	var stats resolver.Stats
-	for _, a := range s.auditors {
+	for i, a := range s.auditors {
+		if st := s.restored[i]; st != nil {
+			stats = stats.Plus(st.Stats)
+			continue
+		}
 		stats = stats.Plus(a.r.Stats())
 	}
 	return stats

@@ -2,8 +2,10 @@ package experiment
 
 import (
 	"fmt"
+	"os"
 	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/dnsprivacy/lookaside/internal/core"
@@ -65,7 +67,11 @@ type SweepMetrics struct {
 	LatencyP50, LatencyP95 time.Duration
 	// MaterializedSLDs is how many SLD zones the lazy universe held at the
 	// end of the run — bounded by its internal zone cache, so it stops
-	// tracking the population size once the cache cap is reached.
+	// tracking the population size once the cache cap is reached. It
+	// measures work done by THIS process: a checkpoint-resumed point only
+	// materializes the zones its remaining shards touch, so it is the one
+	// cell of the leak table that legitimately differs from an
+	// uninterrupted run.
 	MaterializedSLDs int
 }
 
@@ -80,6 +86,14 @@ type SweepTiming struct {
 	// HeapAllocMB is the live heap after the run (runtime.ReadMemStats),
 	// a coarse peak-footprint proxy.
 	HeapAllocMB float64
+	// BootMode reports how the point's infrastructure state came up
+	// (live warm-up or snapshot restore); ResumedShards how many of the
+	// point's shards were restored from a checkpoint instead of run.
+	// Both live here — in the bracketed timing line, outside the
+	// deterministic leak table — because they describe provenance, and
+	// snapshot/checkpoint boots are pinned to produce identical metrics.
+	BootMode      core.BootMode
+	ResumedShards int
 }
 
 // SweepPoint is one population size of the sweep.
@@ -107,6 +121,47 @@ type SweepResult struct {
 // slice uses the paper-scale ladder 10k / 100k / 1M divided by
 // Params.Scale.
 func Sweep(p Params, populations []int) (*SweepResult, error) {
+	return SweepWithOpts(p, populations, SweepOpts{})
+}
+
+// SweepOpts adds warm-state persistence to a sweep. All fields are
+// optional; the zero value reproduces Sweep's behavior exactly.
+type SweepOpts struct {
+	// SnapshotLoad, when set, boots each point's infrastructure cache from
+	// this warm-state snapshot instead of a live warm-up. A snapshot that
+	// is missing, corrupt, or built for a different universe/configuration
+	// is refused: the point logs why (via Log) and warms live — it never
+	// silently serves mismatched state.
+	SnapshotLoad string
+	// SnapshotSave, when set, writes each point's sealed infrastructure
+	// cache (plus signed-zone signature state) to this path after warm-up.
+	SnapshotSave string
+	// Checkpoint, when set, persists per-shard progress to this path after
+	// every finished shard, and resumes from it when a matching checkpoint
+	// exists: restored shards are not re-run, and the merged leak
+	// accounting is identical to an uninterrupted run (only the
+	// MaterializedSLDs diagnostic reflects the smaller amount of work
+	// actually performed). A checkpoint for a different
+	// universe, configuration, population, or shard count starts fresh.
+	// The file is removed when the point completes.
+	Checkpoint string
+	// Log receives fallback and refusal reasons (nil discards them).
+	// Callers route it to stderr so experiment stdout stays deterministic.
+	Log func(format string, args ...any)
+}
+
+// pointPath derives the per-point file path: multi-point sweeps suffix the
+// population size so points don't clobber each other's files.
+func pointPath(base string, n int, multi bool) string {
+	if base == "" || !multi {
+		return base
+	}
+	return fmt.Sprintf("%s.pop%d", base, n)
+}
+
+// SweepWithOpts is Sweep with snapshot boot, snapshot save, and
+// checkpoint/resume wired in (see SweepOpts).
+func SweepWithOpts(p Params, populations []int, opts SweepOpts) (*SweepResult, error) {
 	if len(populations) == 0 {
 		populations = []int{
 			p.scaled(10_000, 50),
@@ -114,9 +169,14 @@ func Sweep(p Params, populations []int) (*SweepResult, error) {
 			p.scaled(1_000_000, 200),
 		}
 	}
+	multi := len(populations) > 1
 	res := &SweepResult{Points: make([]SweepPoint, len(populations))}
 	for i := range populations {
-		pt, err := sweepPoint(populations[i], p.Seed, p.workers())
+		ptOpts := opts
+		ptOpts.SnapshotLoad = pointPath(opts.SnapshotLoad, populations[i], multi)
+		ptOpts.SnapshotSave = pointPath(opts.SnapshotSave, populations[i], multi)
+		ptOpts.Checkpoint = pointPath(opts.Checkpoint, populations[i], multi)
+		pt, err := sweepPoint(populations[i], p.Seed, p.workers(), ptOpts)
 		if err != nil {
 			return nil, fmt.Errorf("sweep at population=%d: %w", populations[i], err)
 		}
@@ -127,7 +187,11 @@ func Sweep(p Params, populations []int) (*SweepResult, error) {
 
 // sweepPoint measures one population size, running up to workers shards
 // concurrently.
-func sweepPoint(n int, seed int64, workers int) (SweepPoint, error) {
+func sweepPoint(n int, seed int64, workers int, opts SweepOpts) (SweepPoint, error) {
+	logf := opts.Log
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
 	setupStart := time.Now()
 	pop, err := buildPopulation(n, seed)
 	if err != nil {
@@ -151,20 +215,72 @@ func sweepPoint(n int, seed int64, workers int) (SweepPoint, error) {
 	}
 
 	warmStart := time.Now()
-	ic, err := core.WarmInfra(u, cfg)
+	ic, bootMode, err := core.LoadOrWarm(u, cfg, nil, opts.SnapshotLoad, logf)
 	if err != nil {
 		return SweepPoint{}, err
+	}
+	if opts.SnapshotSave != "" {
+		if err := core.SaveWarmState(opts.SnapshotSave, u, cfg, ic); err != nil {
+			return SweepPoint{}, fmt.Errorf("saving snapshot %s: %w", opts.SnapshotSave, err)
+		}
 	}
 	warmWall := time.Since(warmStart)
 
 	cfg.Infra = ic
-	auditor, err := core.NewShardedAuditor(u, core.ShardedOptions{
+	shardedOpts := core.ShardedOptions{
 		Options:     core.Options{Resolver: cfg},
 		Workers:     sweepShards,
 		Parallelism: workers,
-	})
+	}
+
+	// Checkpoint plumbing: load a matching checkpoint (or start a fresh
+	// one) and rewrite the file after every finished shard. The auditor
+	// variable is captured by the OnShardDone closure before it is built;
+	// QueryDomains only fires the hook once shards finish, long after
+	// NewShardedAuditor assigned it.
+	var auditor *core.ShardedAuditor
+	var ck *core.Checkpoint
+	var ckMu sync.Mutex
+	resumed := 0
+	if opts.Checkpoint != "" {
+		uFP, cFP := u.Fingerprint(), cfg.WarmFingerprint()
+		if loaded, err := core.LoadCheckpoint(opts.Checkpoint); err == nil {
+			if merr := loaded.Matches(uFP, cFP, n, sweepShards); merr == nil {
+				ck = loaded
+				resumed = len(ck.States)
+			} else {
+				logf("checkpoint %s refused, starting fresh: %v", opts.Checkpoint, merr)
+			}
+		} else if !os.IsNotExist(err) {
+			logf("checkpoint %s unreadable, starting fresh: %v", opts.Checkpoint, err)
+		}
+		if ck == nil {
+			ck = &core.Checkpoint{
+				UniverseFP: uFP, ConfigFP: cFP,
+				Population: n, Shards: sweepShards,
+				States: make(map[int]*core.ShardState),
+			}
+		}
+		shardedOpts.OnShardDone = func(i int) {
+			ckMu.Lock()
+			defer ckMu.Unlock()
+			ck.States[i] = auditor.ExportShardState(i)
+			if err := core.SaveCheckpoint(opts.Checkpoint, ck); err != nil {
+				logf("checkpoint %s not written: %v", opts.Checkpoint, err)
+			}
+		}
+	}
+
+	auditor, err = core.NewShardedAuditor(u, shardedOpts)
 	if err != nil {
 		return SweepPoint{}, err
+	}
+	if ck != nil {
+		for i, st := range ck.States {
+			if err := auditor.RestoreShardState(i, st); err != nil {
+				return SweepPoint{}, fmt.Errorf("restoring checkpoint %s: %w", opts.Checkpoint, err)
+			}
+		}
 	}
 	workload := pop.Top(n)
 	runStart := time.Now()
@@ -173,6 +289,13 @@ func sweepPoint(n int, seed int64, workers int) (SweepPoint, error) {
 	}
 	rep := auditor.Report()
 	runWall := time.Since(runStart)
+	// The point is complete; its checkpoint has served its purpose and
+	// would make a future run at the same parameters an instant no-op.
+	if opts.Checkpoint != "" {
+		if err := os.Remove(opts.Checkpoint); err != nil && !os.IsNotExist(err) {
+			logf("checkpoint %s not removed: %v", opts.Checkpoint, err)
+		}
+	}
 
 	// Collect before reading so HeapAllocMB is the live heap the point
 	// actually retains, not whatever garbage the last GC cycle left behind.
@@ -205,6 +328,8 @@ func sweepPoint(n int, seed int64, workers int) (SweepPoint, error) {
 			RunWall:       runWall,
 			DomainsPerSec: perSec,
 			HeapAllocMB:   float64(ms.HeapAlloc) / (1 << 20),
+			BootMode:      bootMode,
+			ResumedShards: resumed,
 		},
 	}, nil
 }
@@ -229,12 +354,13 @@ func (r *SweepResult) String() string {
 	for _, pt := range r.Points {
 		total := pt.Timing.SetupWall + pt.Timing.WarmWall + pt.Timing.RunWall
 		fmt.Fprintf(&b,
-			"[sweep population=%d finished in %v: setup=%v warm=%v run=%v %.0f domains/sec heap=%.1fMB]\n",
+			"[sweep population=%d finished in %v: setup=%v warm=%v run=%v %.0f domains/sec heap=%.1fMB boot=%s resumed=%d/%d]\n",
 			pt.Population, total.Round(time.Millisecond),
 			pt.Timing.SetupWall.Round(time.Millisecond),
 			pt.Timing.WarmWall.Round(time.Millisecond),
 			pt.Timing.RunWall.Round(time.Millisecond),
-			pt.Timing.DomainsPerSec, pt.Timing.HeapAllocMB)
+			pt.Timing.DomainsPerSec, pt.Timing.HeapAllocMB,
+			pt.Timing.BootMode, pt.Timing.ResumedShards, sweepShards)
 	}
 	b.WriteString("\n")
 	return b.String()

@@ -1,0 +1,173 @@
+package resolver
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+
+	"github.com/dnsprivacy/lookaside/internal/dns"
+)
+
+// InfraState is the serializable form of a sealed InfraCache: plain
+// exported structs in deterministic (canonical-name) order, so the
+// snapshot bytes are a function of the cache contents alone. The snapshot
+// package encodes it; RestoreInfra rebuilds a sealed cache from it.
+type InfraState struct {
+	Delegations []InfraDelegation
+	Outcomes    []InfraOutcome
+	Spans       []InfraSpanSet
+}
+
+// InfraDelegation is one shared zone cut.
+type InfraDelegation struct {
+	Name    dns.Name
+	Parent  dns.Name
+	Servers []InfraServer
+}
+
+// InfraServer is one name server of a delegation; a zero Addr means no
+// glue (the address resolves on demand).
+type InfraServer struct {
+	Name dns.Name
+	Addr netip.Addr
+}
+
+// InfraOutcome is one shared per-zone validation outcome.
+type InfraOutcome struct {
+	Name   dns.Name
+	Status ValidationStatus
+	Keys   []*dns.DNSKEYData
+	Signed bool
+	ViaDLV bool
+}
+
+// InfraSpanSet is one zone's validated NSEC span store, fully merged: the
+// spans are in strictly increasing canonical owner order.
+type InfraSpanSet struct {
+	Zone  dns.Name
+	Limit int
+	Spans []InfraSpan
+}
+
+// InfraSpan is one validated NSEC interval.
+type InfraSpan struct {
+	Owner, Next dns.Name
+	Expires     uint32
+}
+
+// WarmFingerprint summarizes the configuration fields that shape what a
+// warm-up walk learns — validation state, anchors, look-aside mode, probe
+// percentages, minimization. A snapshot saved under one fingerprint must
+// not load under another: an InfraCache warmed with NS completion off (a
+// sweep) holds different delegations than one warmed with it on (the
+// serving default), and serving the wrong one would silently change
+// behavior rather than fail.
+func (c Config) WarmFingerprint() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "validation=%t root-anchor=%t nscomp=%d ptr=%d qmin=%t",
+		c.ValidationEnabled, c.RootAnchor != nil,
+		c.NSCompletionPercent, c.PTRSamplePercent, c.QNameMinimization)
+	if la := c.Lookaside; la != nil {
+		// Canonicalize zero-valued knobs to the defaults New applies (it
+		// writes them back through the shared Lookaside pointer), so a
+		// config fingerprints identically before and after a resolver has
+		// been constructed from it.
+		policy, remedy := la.Policy, la.Remedy
+		if policy == 0 {
+			policy = PolicyOnFailure
+		}
+		if remedy == 0 {
+			remedy = RemedyNone
+		}
+		fmt.Fprintf(&b, " dlv=%s dlv-anchor=%t policy=%d hashed=%t remedy=%d noaggro=%t",
+			la.Zone, la.Anchor != nil, policy, la.Hashed, remedy,
+			la.DisableAggressiveNegCache)
+	} else {
+		b.WriteString(" dlv=off")
+	}
+	return b.String()
+}
+
+// Export snapshots the cache contents as an InfraState. Call it on a
+// sealed cache (core.WarmInfra seals before saving); exporting an unsealed
+// cache is an error because span tails would not be merged yet.
+func (ic *InfraCache) Export() (*InfraState, error) {
+	if !ic.sealed.Load() {
+		return nil, fmt.Errorf("resolver: exporting unsealed infra cache")
+	}
+	st := &InfraState{}
+	for i := range ic.shards {
+		sh := &ic.shards[i]
+		for n, d := range sh.delegations {
+			servers := make([]InfraServer, len(d.servers))
+			for j, s := range d.servers {
+				servers[j] = InfraServer{Name: s.name, Addr: s.addr}
+			}
+			st.Delegations = append(st.Delegations, InfraDelegation{
+				Name: n, Parent: d.parent, Servers: servers,
+			})
+		}
+		for n, out := range sh.zoneStatus {
+			st.Outcomes = append(st.Outcomes, InfraOutcome{
+				Name: n, Status: out.status, Keys: out.keys,
+				Signed: out.signed, ViaDLV: out.viaDLV,
+			})
+		}
+		for n, store := range sh.spans {
+			set := InfraSpanSet{Zone: n, Limit: store.limit,
+				Spans: make([]InfraSpan, len(store.sorted))}
+			for j, sp := range store.sorted {
+				set.Spans[j] = InfraSpan{Owner: sp.owner, Next: sp.next, Expires: sp.expires}
+			}
+			st.Spans = append(st.Spans, set)
+		}
+	}
+	sort.Slice(st.Delegations, func(i, j int) bool {
+		return dns.CanonicalLess(st.Delegations[i].Name, st.Delegations[j].Name)
+	})
+	sort.Slice(st.Outcomes, func(i, j int) bool {
+		return dns.CanonicalLess(st.Outcomes[i].Name, st.Outcomes[j].Name)
+	})
+	sort.Slice(st.Spans, func(i, j int) bool {
+		return dns.CanonicalLess(st.Spans[i].Zone, st.Spans[j].Zone)
+	})
+	return st, nil
+}
+
+// RestoreInfra rebuilds a sealed InfraCache from an exported state. Span
+// sets are validated to be in strictly increasing canonical owner order —
+// the lookup path binary-searches the sorted body, so accepting an
+// unsorted store would produce silently wrong coverage answers rather
+// than an error.
+func RestoreInfra(st *InfraState) (*InfraCache, error) {
+	ic := NewInfraCache()
+	for _, d := range st.Delegations {
+		servers := make([]nsServer, len(d.Servers))
+		for j, s := range d.Servers {
+			servers[j] = nsServer{name: s.Name, addr: s.Addr}
+		}
+		ic.putDelegation(d.Name, &delegation{parent: d.Parent, servers: servers})
+	}
+	for _, out := range st.Outcomes {
+		if out.Status < StatusSecure || out.Status > StatusIndeterminate {
+			return nil, fmt.Errorf("resolver: restoring %s: invalid validation status %d", out.Name, out.Status)
+		}
+		ic.putOutcome(out.Name, &zoneOutcome{
+			status: out.Status, keys: out.Keys,
+			signed: out.Signed, viaDLV: out.ViaDLV,
+		})
+	}
+	for _, set := range st.Spans {
+		store := &spanStore{limit: set.Limit, sorted: make([]span, len(set.Spans))}
+		for j, sp := range set.Spans {
+			if j > 0 && dns.CanonicalCompare(set.Spans[j-1].Owner, sp.Owner) >= 0 {
+				return nil, fmt.Errorf("resolver: restoring spans of %s: owners out of order at %d", set.Zone, j)
+			}
+			store.sorted[j] = span{owner: sp.Owner, next: sp.Next, expires: sp.Expires}
+		}
+		ic.putSpans(set.Zone, store)
+	}
+	ic.Seal()
+	return ic, nil
+}

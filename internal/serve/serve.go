@@ -11,6 +11,7 @@ import (
 	"net/netip"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/dnsprivacy/lookaside/internal/authserver"
 	"github.com/dnsprivacy/lookaside/internal/core"
@@ -35,6 +36,20 @@ type Options struct {
 	// shard, including the warm-up shard — a fleet warmed during registry
 	// trouble experiences it too.
 	Plan *faults.Plan
+	// SnapshotLoad, when set, boots the shared infrastructure cache from
+	// this warm-state snapshot file instead of a live warm-up. A missing,
+	// corrupt, or mismatched snapshot is refused — the reason goes to Log
+	// and the fleet warms live. Requires SharedInfra and Workers > 1, and
+	// is itself refused (never silently ignored) when Plan is set: a fleet
+	// booting into a registry outage must experience it, not restore
+	// around it.
+	SnapshotLoad string
+	// SnapshotSave, when set, writes the warmed (or restored) shared
+	// infrastructure cache to this path once the fleet is ready. Requires
+	// SharedInfra and Workers > 1.
+	SnapshotSave string
+	// Log receives snapshot fallback/refusal reasons; nil discards them.
+	Log func(format string, args ...any)
 }
 
 // Service is the serving tier: a handler for the transport listeners plus
@@ -43,12 +58,23 @@ type Service struct {
 	handler simnet.Handler
 	stats   func() resolver.Stats
 
+	// bootWall and bootMode record how long Build took to bring the tier
+	// to ready and whether warm state came from a live warm-up or a
+	// snapshot; both surface in the Snapshot (boot_ms / boot_mode) so the
+	// load generator can report startup provenance next to throughput.
+	bootWall time.Duration
+	bootMode core.BootMode
+
 	// udp/tcp are the attached listeners whose transport counters join
 	// the snapshot; set after the listeners bind (atomics: the stats
 	// surface reads them from handler goroutines).
 	udp atomic.Pointer[udptransport.Server]
 	tcp atomic.Pointer[udptransport.TCPServer]
 }
+
+// BootWall returns how long Build took; BootMode how the warm state booted.
+func (s *Service) BootWall() time.Duration { return s.bootWall }
+func (s *Service) BootMode() core.BootMode { return s.bootMode }
 
 // Build starts the serving resolver(s) over the universe. With workers <= 1
 // it is the classic single resolver on the shared network; with more, N
@@ -57,19 +83,33 @@ type Service struct {
 // with SharedInfra, a sealed infrastructure cache warmed once — and
 // incoming queries round-robin across them.
 func Build(u *universe.Universe, cfg resolver.Config, opts Options) (*Service, error) {
+	start := time.Now()
+	if (opts.SnapshotLoad != "" || opts.SnapshotSave != "") && (!opts.SharedInfra || opts.Workers <= 1) {
+		return nil, fmt.Errorf("serve: snapshots require shared infra and workers > 1")
+	}
+	if opts.SnapshotLoad != "" && opts.Plan != nil {
+		return nil, fmt.Errorf("serve: refusing snapshot load under a fault plan — the fleet must warm through the outage")
+	}
 	if opts.Workers <= 1 {
 		r, err := u.StartResolver(cfg)
 		if err != nil {
 			return nil, err
 		}
 		single := &pool{res: []*resolver.Resolver{r}, mus: make([]sync.Mutex, 1)}
-		return &Service{handler: single, stats: single.stats}, nil
+		return &Service{handler: single, stats: single.stats, bootWall: time.Since(start)}, nil
 	}
 	cfg.VerifyCache = dnssec.NewVerifyCache()
+	bootMode := core.BootLiveWarm
 	if opts.SharedInfra {
-		ic, err := core.WarmInfraUnder(u, cfg, opts.Plan)
+		ic, mode, err := core.LoadOrWarm(u, cfg, opts.Plan, opts.SnapshotLoad, opts.Log)
 		if err != nil {
 			return nil, fmt.Errorf("warming shared infrastructure: %w", err)
+		}
+		bootMode = mode
+		if opts.SnapshotSave != "" {
+			if err := core.SaveWarmState(opts.SnapshotSave, u, cfg, ic); err != nil {
+				return nil, fmt.Errorf("saving snapshot %s: %w", opts.SnapshotSave, err)
+			}
 		}
 		cfg.Infra = ic
 	}
@@ -88,7 +128,7 @@ func Build(u *universe.Universe, cfg resolver.Config, opts Options) (*Service, e
 		}
 		p.res[i] = r
 	}
-	return &Service{handler: p, stats: p.stats}, nil
+	return &Service{handler: p, stats: p.stats, bootWall: time.Since(start), bootMode: bootMode}, nil
 }
 
 // AttachTransports hands the Service its listeners so transport counters
@@ -119,7 +159,11 @@ func (s *Service) ResolverStats() resolver.Stats { return s.stats() }
 // counters, the process-wide authoritative packet-cache totals, and the
 // transport counters of the attached listeners.
 func (s *Service) Snapshot() Snapshot {
-	snap := Snapshot{Resolver: s.stats()}
+	snap := Snapshot{
+		Resolver: s.stats(),
+		BootMS:   uint64(s.bootWall.Milliseconds()),
+		BootMode: uint64(s.bootMode),
+	}
 	snap.PacketCacheHits, snap.PacketCacheMisses = authserver.CacheTotals()
 	if udp := s.udp.Load(); udp != nil {
 		snap.UDP = udp.Stats()

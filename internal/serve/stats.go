@@ -27,6 +27,12 @@ type Snapshot struct {
 	PacketCacheMisses uint64
 	UDP               udptransport.Stats
 	TCP               udptransport.Stats
+	// BootMS is how long the serving tier took to come up (wall
+	// milliseconds); BootMode is how its warm state booted (0 live-warm,
+	// 1 snapshot — core.BootMode values). Both are startup facts, not
+	// window counters: Minus keeps the later value.
+	BootMS   uint64
+	BootMode uint64
 }
 
 // Minus subtracts an earlier snapshot field-wise, so a load run can report
@@ -39,6 +45,8 @@ func (s Snapshot) Minus(o Snapshot) Snapshot {
 		PacketCacheMisses: s.PacketCacheMisses - o.PacketCacheMisses,
 		UDP:               subTransport(s.UDP, o.UDP),
 		TCP:               subTransport(s.TCP, o.TCP),
+		BootMS:            s.BootMS,
+		BootMode:          s.BootMode,
 	}
 	return out
 }
@@ -142,6 +150,8 @@ func (s *Snapshot) pairs() []struct {
 		{"tcp_conns", s.TCP.Conns},
 		{"tcp_responses", s.TCP.Responses},
 		{"tcp_servfails", s.TCP.ServFails},
+		{"boot_ms", s.BootMS},
+		{"boot_mode", s.BootMode},
 	}
 }
 
@@ -204,6 +214,10 @@ func (s *Snapshot) setField(key string, v uint64) {
 		s.TCP.Responses = v
 	case "tcp_servfails":
 		s.TCP.ServFails = v
+	case "boot_ms":
+		s.BootMS = v
+	case "boot_mode":
+		s.BootMode = v
 	}
 }
 
@@ -265,6 +279,11 @@ func (s Snapshot) Render(title string) string {
 		Title:  title,
 		Header: []string{"counter", "value"},
 	}
+	mode := "live-warm"
+	if s.BootMode == 1 {
+		mode = "snapshot"
+	}
+	t.AddRow("boot", fmt.Sprintf("%dms (%s)", s.BootMS, mode))
 	t.AddRow("resolutions", s.Resolver.Resolutions)
 	t.AddRow("answer-cache hits", fmt.Sprintf("%d (%s)", s.Resolver.CacheHits, metrics.Percent(s.AnswerCacheHitRate())))
 	t.AddRow("packet-cache hits", fmt.Sprintf("%d/%d (%s)", s.PacketCacheHits,

@@ -1,0 +1,355 @@
+// Package snapshot implements the warm-state snapshot: a versioned,
+// checksummed binary serialization of the sealed resolver.InfraCache plus
+// the signed-zone signature state, written after core.WarmInfra seals and
+// loaded back by a fleet member or a resumed sweep in milliseconds with
+// zero re-signing.
+//
+// The wire layout follows the DLVT trace conventions
+// (internal/dataset/traceio.go): a 4-byte magic, a version byte, then
+// length-prefixed sections of uvarint/varint fields, with all DNS names
+// factored into one front-coded name table (each name stores only the
+// prefix length it shares with its predecessor plus the differing suffix).
+// A crc64 trailer covers the whole file, so load is a validate-and-index
+// pass over one contiguous buffer — no per-entry parsing surprises, no
+// partial state on error.
+//
+// Every decode path is bounds-checked and returns an error; corrupted,
+// truncated, or bit-flipped input must never panic or yield partial state
+// (FuzzSnapshotDecode pins this).
+package snapshot
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc64"
+
+	"github.com/dnsprivacy/lookaside/internal/dns"
+)
+
+// Decode/refusal errors. Load wraps these so callers can distinguish "not a
+// snapshot" from "a snapshot for a different world" when logging fallbacks.
+var (
+	// ErrMagic: the file does not start with the expected magic bytes.
+	ErrMagic = errors.New("snapshot: bad magic (not a snapshot file)")
+	// ErrVersion: the format version is not one this build understands.
+	ErrVersion = errors.New("snapshot: unsupported format version")
+	// ErrChecksum: the crc64 trailer does not match the file contents.
+	ErrChecksum = errors.New("snapshot: checksum mismatch (file corrupted)")
+	// ErrTruncated: the file ends before its declared contents do.
+	ErrTruncated = errors.New("snapshot: truncated")
+	// ErrCorrupt: a structurally malformed section (bad name, bad varint,
+	// out-of-range index, trailing garbage).
+	ErrCorrupt = errors.New("snapshot: corrupt section")
+	// ErrMismatch: a well-formed snapshot for a different universe,
+	// resolver configuration, or zone generation — stale state that must
+	// not be served.
+	ErrMismatch = errors.New("snapshot: state mismatch")
+)
+
+// crcTable is the ECMA polynomial table shared by writer and reader.
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// Enc accumulates one section's payload.
+type Enc struct {
+	buf []byte
+}
+
+// Uvarint appends an unsigned varint.
+func (e *Enc) Uvarint(v uint64) {
+	e.buf = binary.AppendUvarint(e.buf, v)
+}
+
+// Varint appends a signed (zigzag) varint.
+func (e *Enc) Varint(v int64) {
+	e.buf = binary.AppendVarint(e.buf, v)
+}
+
+// Bytes appends a length-prefixed byte string.
+func (e *Enc) Bytes(p []byte) {
+	e.Uvarint(uint64(len(p)))
+	e.buf = append(e.buf, p...)
+}
+
+// String appends a length-prefixed string.
+func (e *Enc) String(s string) {
+	e.Uvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Builder assembles a snapshot-family file: magic, version, tagged
+// length-prefixed sections, crc64 trailer. The sweep checkpoint reuses it
+// with its own magic.
+type Builder struct {
+	magic   [4]byte
+	version uint8
+	tags    []uint32
+	secs    []*Enc
+}
+
+// NewBuilder starts a file with the given magic and version.
+func NewBuilder(magic [4]byte, version uint8) *Builder {
+	return &Builder{magic: magic, version: version}
+}
+
+// Section starts a new tagged section and returns its payload encoder.
+func (b *Builder) Section(tag uint32) *Enc {
+	e := &Enc{}
+	b.tags = append(b.tags, tag)
+	b.secs = append(b.secs, e)
+	return e
+}
+
+// Finish serializes the file.
+func (b *Builder) Finish() []byte {
+	size := 4 + 1 + binary.MaxVarintLen64
+	for _, e := range b.secs {
+		size += 2*binary.MaxVarintLen64 + len(e.buf)
+	}
+	out := make([]byte, 0, size+8)
+	out = append(out, b.magic[:]...)
+	out = append(out, b.version)
+	out = binary.AppendUvarint(out, uint64(len(b.secs)))
+	for i, e := range b.secs {
+		out = binary.AppendUvarint(out, uint64(b.tags[i]))
+		out = binary.AppendUvarint(out, uint64(len(e.buf)))
+		out = append(out, e.buf...)
+	}
+	sum := crc64.Checksum(out, crcTable)
+	out = binary.LittleEndian.AppendUint64(out, sum)
+	return out
+}
+
+// section is one parsed section: a tag and a view into the file buffer.
+type section struct {
+	tag     uint32
+	payload []byte
+}
+
+// Reader indexes a parsed file's sections.
+type Reader struct {
+	secs []section
+}
+
+// Parse validates the envelope of a snapshot-family file — magic, version,
+// checksum, section framing — and indexes the sections. Payloads are views
+// into data; nothing is copied or interpreted yet.
+func Parse(data []byte, magic [4]byte, version uint8) (*Reader, error) {
+	if len(data) < 4 {
+		return nil, ErrTruncated
+	}
+	if [4]byte(data[:4]) != magic {
+		return nil, ErrMagic
+	}
+	if len(data) < 4+1+8 {
+		return nil, ErrTruncated
+	}
+	if data[4] != version {
+		return nil, fmt.Errorf("%w: have %d, want %d", ErrVersion, data[4], version)
+	}
+	body, trailer := data[:len(data)-8], data[len(data)-8:]
+	if crc64.Checksum(body, crcTable) != binary.LittleEndian.Uint64(trailer) {
+		return nil, ErrChecksum
+	}
+	d := &Dec{buf: body, off: 5}
+	count, err := d.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if count > uint64(d.Remaining()) {
+		return nil, fmt.Errorf("%w: %d sections in %d bytes", ErrCorrupt, count, d.Remaining())
+	}
+	r := &Reader{secs: make([]section, 0, count)}
+	for i := uint64(0); i < count; i++ {
+		tag, err := d.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if tag > 1<<31 {
+			return nil, fmt.Errorf("%w: section tag %d", ErrCorrupt, tag)
+		}
+		payload, err := d.Bytes()
+		if err != nil {
+			return nil, err
+		}
+		r.secs = append(r.secs, section{tag: uint32(tag), payload: payload})
+	}
+	if err := d.Done(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Section returns a decoder over the payload of the first section with the
+// given tag; a missing section is an error (sections are not optional in
+// any format built on this envelope).
+func (r *Reader) Section(tag uint32) (*Dec, error) {
+	for _, s := range r.secs {
+		if s.tag == tag {
+			return &Dec{buf: s.payload}, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: missing section %d", ErrCorrupt, tag)
+}
+
+// Dec decodes one section payload with full bounds checking.
+type Dec struct {
+	buf []byte
+	off int
+}
+
+// Remaining returns the undecoded byte count.
+func (d *Dec) Remaining() int { return len(d.buf) - d.off }
+
+// Uvarint reads an unsigned varint.
+func (d *Dec) Uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		return 0, ErrTruncated
+	}
+	d.off += n
+	return v, nil
+}
+
+// Varint reads a signed varint.
+func (d *Dec) Varint() (int64, error) {
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		return 0, ErrTruncated
+	}
+	d.off += n
+	return v, nil
+}
+
+// Count reads an element count that the following entries must account for
+// at a minimum of one byte each — rejecting absurd counts before any
+// allocation is sized from them.
+func (d *Dec) Count() (int, error) {
+	v, err := d.Uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(d.Remaining()) {
+		return 0, fmt.Errorf("%w: count %d exceeds %d remaining bytes", ErrCorrupt, v, d.Remaining())
+	}
+	return int(v), nil
+}
+
+// Bytes reads a length-prefixed byte string as a view into the buffer.
+func (d *Dec) Bytes() ([]byte, error) {
+	n, err := d.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(d.Remaining()) {
+		return nil, ErrTruncated
+	}
+	p := d.buf[d.off : d.off+int(n)]
+	d.off += int(n)
+	return p, nil
+}
+
+// String reads a length-prefixed string (copied out of the buffer).
+func (d *Dec) String() (string, error) {
+	p, err := d.Bytes()
+	if err != nil {
+		return "", err
+	}
+	return string(p), nil
+}
+
+// Done verifies the payload was consumed exactly.
+func (d *Dec) Done() error {
+	if d.Remaining() != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, d.Remaining())
+	}
+	return nil
+}
+
+// NameTable interns every DNS name of a snapshot once; sections reference
+// names by table index. Encoding is front-coded in insertion order: each
+// name stores the byte length it shares with its predecessor plus the raw
+// suffix. Exports insert in sorted order, so prefixes compress well without
+// the decoder needing to re-sort anything.
+type NameTable struct {
+	names []dns.Name
+	index map[dns.Name]uint64
+}
+
+// NewNameTable returns an empty table.
+func NewNameTable() *NameTable {
+	return &NameTable{index: make(map[dns.Name]uint64)}
+}
+
+// Ref interns n and returns its table index.
+func (t *NameTable) Ref(n dns.Name) uint64 {
+	if i, ok := t.index[n]; ok {
+		return i
+	}
+	i := uint64(len(t.names))
+	t.names = append(t.names, n)
+	t.index[n] = i
+	return i
+}
+
+// Encode writes the table as one section payload.
+func (t *NameTable) Encode(e *Enc) {
+	e.Uvarint(uint64(len(t.names)))
+	prev := ""
+	for _, n := range t.names {
+		s := string(n)
+		shared := 0
+		for shared < len(prev) && shared < len(s) && prev[shared] == s[shared] {
+			shared++
+		}
+		e.Uvarint(uint64(shared))
+		e.String(s[shared:])
+		prev = s
+	}
+}
+
+// DecodeNames reads a front-coded name table, validating that every entry
+// is a canonical DNS name (lowercase, trailing dot, legal labels) — the
+// names feed map keys across the resolver, so a corrupted table must be
+// refused here, not discovered at lookup time.
+func DecodeNames(d *Dec) ([]dns.Name, error) {
+	count, err := d.Count()
+	if err != nil {
+		return nil, err
+	}
+	names := make([]dns.Name, 0, count)
+	prev := ""
+	for i := 0; i < count; i++ {
+		shared, err := d.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if shared > uint64(len(prev)) {
+			return nil, fmt.Errorf("%w: name %d shares %d bytes of a %d-byte predecessor",
+				ErrCorrupt, i, shared, len(prev))
+		}
+		suffix, err := d.String()
+		if err != nil {
+			return nil, err
+		}
+		s := prev[:shared] + suffix
+		canon, err := dns.MakeName(s)
+		if err != nil {
+			return nil, fmt.Errorf("%w: name %d: %v", ErrCorrupt, i, err)
+		}
+		if string(canon) != s {
+			return nil, fmt.Errorf("%w: name %d %q is not canonical", ErrCorrupt, i, s)
+		}
+		names = append(names, canon)
+		prev = s
+	}
+	return names, nil
+}
+
+// NameAt resolves a decoded name reference, rejecting out-of-range indexes.
+func NameAt(names []dns.Name, ref uint64) (dns.Name, error) {
+	if ref >= uint64(len(names)) {
+		return "", fmt.Errorf("%w: name ref %d of %d", ErrCorrupt, ref, len(names))
+	}
+	return names[ref], nil
+}

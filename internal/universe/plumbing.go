@@ -27,6 +27,7 @@ func (u *Universe) buildRegistryPath() error {
 	if err := u.signZone(iscZone); err != nil {
 		return err
 	}
+	u.isc = iscZone
 
 	// org → isc.org, with DS (isc.org chains to the root).
 	iscNS := dns.MustName("ns1.isc.org")

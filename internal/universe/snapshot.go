@@ -1,0 +1,45 @@
+package universe
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/dnsprivacy/lookaside/internal/zone"
+)
+
+// InfraZones returns the universe's infrastructure zones — root, every
+// TLD in label order, isc.org, and the registry zone — the zones whose
+// signature state a warm-state snapshot carries. Population SLD zones are
+// deliberately absent: they materialize lazily per query and their
+// signatures are per-domain state, exactly what must stay out of shared
+// warm state.
+func (u *Universe) InfraZones() []*zone.Zone {
+	zones := make([]*zone.Zone, 0, len(u.tlds)+3)
+	zones = append(zones, u.root)
+	for _, label := range u.TLDLabels() {
+		zones = append(zones, u.tlds[label])
+	}
+	if u.isc != nil {
+		zones = append(zones, u.isc)
+	}
+	zones = append(zones, u.Registry.Zone())
+	return zones
+}
+
+// Fingerprint summarizes everything about the universe's construction that
+// shapes warm infrastructure state: the seed and algorithm behind every
+// key, the population and extra-domain counts behind the TLD set and
+// deposits, and the registry/remedy modes that change served records. Two
+// universes with equal fingerprints and equal per-zone generations serve
+// identical infrastructure bytes, so a snapshot taken under one loads
+// safely under the other; any difference must refuse.
+func (u *Universe) Fingerprint() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed=%d alg=%d domains=%d pop=%d hostpools=%d tlds=%d registry=%s",
+		u.opts.Seed, u.opts.Algorithm, u.domainCount,
+		len(u.opts.Population.Domains), u.hostPools, len(u.tlds), u.RegistryZone)
+	fmt.Fprintf(&b, " nsec3=%t hashed=%t empty=%t txt=%t zbit=%t corrupt=%d",
+		u.opts.RegistryNSEC3, u.opts.RegistryHashed, u.opts.RegistryEmpty,
+		u.opts.TXTRemedy, u.opts.ZBitRemedy, len(u.corruptDS))
+	return b.String()
+}

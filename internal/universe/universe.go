@@ -124,6 +124,10 @@ type Universe struct {
 	opts Options
 	root *zone.Zone
 	tlds map[string]*zone.Zone
+	// isc is the isc.org zone that delegates the registry; retained so the
+	// warm-state snapshot can carry its signature state alongside the root,
+	// TLD, and registry zones (see InfraZones).
+	isc *zone.Zone
 	// extras are the out-of-population domains, overriding population
 	// entries of the same name; population domains resolve through
 	// Population.Lookup (see lookupDomain).

@@ -1,0 +1,104 @@
+package zone
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/dnsprivacy/lookaside/internal/dns"
+)
+
+// SigState is the serializable signature state of one signed zone: its
+// generation counter and the memoized RRSIGs the zone has produced so far.
+// Warm-state snapshots carry it so a loaded fleet member serves the warm
+// shard's RRsets with zero re-signing; the generation pins the state to
+// the exact zone contents it was derived from.
+type SigState struct {
+	// Apex identifies the zone.
+	Apex dns.Name
+	// Generation is the zone's mutation counter at export time. Import
+	// refuses a mismatch: a signature memoized against different zone
+	// contents must never be served.
+	Generation uint64
+	// Entries maps RRset keys to their RRSIGs, in sorted key order.
+	Entries []SigEntry
+}
+
+// SigEntry is one memoized signature.
+type SigEntry struct {
+	// Key is the signed RRset.
+	Key dns.Key
+	// Sig is the covering RRSIG record.
+	Sig dns.RR
+}
+
+// ExportSigState snapshots the zone's memoized signatures. Returns nil for
+// an unsigned zone (nothing to carry) and an empty state for a signed zone
+// that has not served anything yet.
+func (z *Zone) ExportSigState() *SigState {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	if !z.signed {
+		return nil
+	}
+	st := &SigState{Apex: z.apex, Generation: z.gen,
+		Entries: make([]SigEntry, 0, len(z.sigCache))}
+	for key, sig := range z.sigCache {
+		st.Entries = append(st.Entries, SigEntry{Key: key, Sig: sig})
+	}
+	sort.Slice(st.Entries, func(i, j int) bool {
+		a, b := st.Entries[i].Key, st.Entries[j].Key
+		if a.Name != b.Name {
+			return dns.CanonicalLess(a.Name, b.Name)
+		}
+		if a.Type != b.Type {
+			return a.Type < b.Type
+		}
+		return a.Class < b.Class
+	})
+	return st
+}
+
+// ImportSigState installs previously exported signatures into the zone's
+// memo cache. It refuses — with no partial installation — when the zone is
+// unsigned, the apex differs, the generation differs (the zone mutated
+// since export, so the signatures cover stale contents), or any entry is
+// structurally unsound. Importing does not bump the generation: the memo
+// cache never affects served bytes, only whether serving them re-signs.
+func (z *Zone) ImportSigState(st *SigState) error {
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	if !z.signed {
+		return fmt.Errorf("%w: cannot import signatures into %s", ErrNotSigned, z.apex)
+	}
+	if st.Apex != z.apex {
+		return fmt.Errorf("zone %s: signature state belongs to %s", z.apex, st.Apex)
+	}
+	if st.Generation != z.gen {
+		return fmt.Errorf("zone %s: signature state at generation %d, zone at %d (stale)",
+			z.apex, st.Generation, z.gen)
+	}
+	if len(st.Entries) > sigCacheCap {
+		return fmt.Errorf("zone %s: %d imported signatures exceed cache cap %d",
+			z.apex, len(st.Entries), sigCacheCap)
+	}
+	for i := range st.Entries {
+		e := &st.Entries[i]
+		if !e.Key.Name.IsSubdomainOf(z.apex) {
+			return fmt.Errorf("zone %s: imported signature for out-of-zone %s", z.apex, e.Key.Name)
+		}
+		data, ok := e.Sig.Data.(*dns.RRSIGData)
+		if !ok || e.Sig.Type != dns.TypeRRSIG {
+			return fmt.Errorf("zone %s: imported entry for %s is not an RRSIG", z.apex, e.Key)
+		}
+		if e.Sig.Name != e.Key.Name || data.TypeCovered != e.Key.Type {
+			return fmt.Errorf("zone %s: imported RRSIG does not cover its key %s", z.apex, e.Key)
+		}
+	}
+	if z.sigCache == nil {
+		z.sigCache = make(map[dns.Key]dns.RR, len(st.Entries))
+	}
+	for i := range st.Entries {
+		z.sigCache[st.Entries[i].Key] = st.Entries[i].Sig
+	}
+	return nil
+}

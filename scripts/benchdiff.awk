@@ -4,10 +4,13 @@
 #   awk -f scripts/benchdiff.awk BENCH_sweep.baseline.json BENCH_sweep.json
 #   awk -v threshold=0.5 -f scripts/benchdiff.awk old.json new.json
 #
-# For each benchmark present in both files, the throughput metric
-# "domains/sec" is compared when the baseline reports one (regression:
-# new < old * (1 - threshold)); otherwise ns_per_op is compared
-# (regression: new > old * (1 + threshold)). The default threshold is 0.10
+# For each benchmark present in both files, the higher-is-better metrics
+# "domains/sec" and "speedup_x" are compared when the baseline reports one
+# (regression: new < old * (1 - threshold)); otherwise ns_per_op is
+# compared (regression: new > old * (1 + threshold)). A benchmark present
+# in the new run but absent from the baseline is an error, not a silent
+# pass — an ungated benchmark would otherwise look green forever; refresh
+# the baseline to admit it. The default threshold is 0.10
 # — meant for before/after runs on the same machine. Cross-machine
 # comparisons (CI against a committed baseline) should pass a loose
 # threshold: absolute wall-clock shifts with the hardware, and the gate is
@@ -65,6 +68,15 @@ END {
             } else {
                 printf "ok %s: %.0f -> %.0f domains/sec\n", name, o, n
             }
+        } else if (("old", name, "speedup_x") in val) {
+            o = val["old", name, "speedup_x"]; n = val["new", name, "speedup_x"]
+            if (o > 0 && n < o * (1 - threshold)) {
+                printf "REGRESSION %s: %.1fx -> %.1fx speedup (-%.0f%%, threshold %.0f%%)\n",
+                    name, o, n, (1 - n / o) * 100, threshold * 100
+                bad = 1
+            } else {
+                printf "ok %s: %.1fx -> %.1fx speedup\n", name, o, n
+            }
         } else if (("old", name, "ns_per_op") in val) {
             o = val["old", name, "ns_per_op"]; n = val["new", name, "ns_per_op"]
             if (o > 0 && n > o * (1 + threshold)) {
@@ -74,6 +86,17 @@ END {
             } else {
                 printf "ok %s: %.0f -> %.0f ns/op\n", name, o, n
             }
+        }
+    }
+    # A benchmark only the new run reports has no baseline to gate it:
+    # fail loudly instead of silently passing an ungated benchmark.
+    for (k in seen) {
+        if (substr(k, 1, 3) != "new") continue
+        name = substr(k, index(k, SUBSEP) + 1)
+        if (!(("old", name) in seen)) {
+            printf "MISSING BASELINE %s: present in new run but not in %s — refresh the baseline\n",
+                name, first
+            bad = 1
         }
     }
     if (compared == 0) {

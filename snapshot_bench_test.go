@@ -1,0 +1,74 @@
+package lookaside
+
+// Warm-state snapshot benchmarks (DESIGN.md §12): cold-boot-to-ready via
+// snapshot restore vs. the live warm-up it replaces. `make bench-snapshot`
+// regenerates BENCH_snapshot.json; BENCH_snapshot.baseline.json pins the
+// committed numbers and scripts/benchdiff.awk gates regressions.
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/dnsprivacy/lookaside/internal/core"
+	"github.com/dnsprivacy/lookaside/internal/dataset"
+	"github.com/dnsprivacy/lookaside/internal/universe"
+)
+
+// BenchmarkSnapshotLoad measures restoring the sealed infrastructure cache
+// plus signed-zone signature state from a warm-state snapshot file — the
+// whole LoadOrWarm fast path including read, checksum, decode, staleness
+// verification, install, and seal. The setup performs the one live warm-up
+// the snapshot replaces and reports the ratio as speedup_x: at pop=1000000
+// the acceptance floor is 100x (gated in CI).
+func BenchmarkSnapshotLoad(b *testing.B) {
+	for _, n := range []int{10_000, 100_000, 1_000_000} {
+		b.Run(fmt.Sprintf("pop=%d", n), func(b *testing.B) {
+			pop, err := dataset.AlexaLike(dataset.PopulationConfig{Size: n, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			u, err := universe.Build(universe.Options{
+				Seed: 1, Population: pop, Extra: dataset.SecureDomains(),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := u.ResolverConfig(true, true)
+			cfg.NSCompletionPercent, cfg.PTRSamplePercent = 0, 0
+
+			warmStart := time.Now()
+			ic, err := core.WarmInfra(u, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			warm := time.Since(warmStart)
+
+			path := filepath.Join(b.TempDir(), "warm.snap")
+			if err := core.SaveWarmState(path, u, cfg, ic); err != nil {
+				b.Fatal(err)
+			}
+
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				got, mode, err := core.LoadOrWarm(u, cfg, nil, path, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if mode != core.BootSnapshot {
+					b.Fatal("snapshot refused, benchmark measured a live warm-up")
+				}
+				if !got.Sealed() {
+					b.Fatal("loaded cache is not sealed")
+				}
+			}
+			b.StopTimer()
+			load := b.Elapsed() / time.Duration(b.N)
+			if load > 0 {
+				b.ReportMetric(float64(warm)/float64(load), "speedup_x")
+			}
+		})
+	}
+}
