@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet cover bench bench-hotpath bench-faults bench-sweep bench-sweep-baseline bench-serve bench-serve-baseline bench-snapshot bench-snapshot-baseline benchdiff benchdiff-serve benchdiff-snapshot fuzz experiments experiments-full clean
+.PHONY: all build test vet cover bench bench-hotpath bench-faults bench-sweep bench-sweep-baseline bench-serve bench-serve-baseline bench-snapshot bench-snapshot-baseline bench-overload bench-overload-baseline benchdiff benchdiff-serve benchdiff-snapshot benchdiff-overload soak fuzz experiments experiments-full clean
 
 all: build vet test
 
@@ -88,6 +88,32 @@ bench-snapshot:
 bench-snapshot-baseline: bench-snapshot
 	cp BENCH_snapshot.json BENCH_snapshot.baseline.json
 
+# Overload-protection benchmarks (DESIGN.md §13): the per-packet cost of
+# the shed path, and the E18 goodput experiment end to end — goodput_pct
+# is the share of its plateau the shedding rig keeps at 2x offered load.
+# One goodput iteration runs the whole experiment over real sockets, so
+# this target always runs -benchtime=1x. Emits BENCH_overload.txt and
+# BENCH_overload.json.
+bench-overload:
+	$(GO) test -run XXX -bench 'BenchmarkOverloadShedPath|BenchmarkOverloadGoodput' \
+		-benchtime 1x -timeout 20m . | tee BENCH_overload.txt
+	@awk -f scripts/bench2json.awk BENCH_overload.txt > BENCH_overload.json
+	@cat BENCH_overload.json
+
+# Refresh the committed overload baseline after an intentional change.
+bench-overload-baseline: bench-overload
+	cp BENCH_overload.json BENCH_overload.baseline.json
+
+# The deterministic chaos soak (internal/soak): full UDP/TCP stack, seeded
+# registry faults, admission control under a cache-busting storm, run
+# under the race detector. SOAK_SEED picks the fault plan; the seed is in
+# the test log, so a CI failure reproduces with `make soak SOAK_SEED=n`.
+SOAK_SEED ?= 1
+
+soak:
+	@echo "chaos soak: seed $(SOAK_SEED)"
+	SOAK_SEED=$(SOAK_SEED) $(GO) test -race -run 'TestChaosSoak|TestPlanDeterminism' -v -count=1 ./internal/soak
+
 # Regression gate: compare a fresh BENCH_sweep.json (run `make bench-sweep`
 # first) against the committed baseline at the default 10% threshold —
 # meant for before/after runs on the same machine. CI uses the same script
@@ -102,6 +128,10 @@ benchdiff-serve:
 # Same gate for snapshot boot (run `make bench-snapshot` first).
 benchdiff-snapshot:
 	awk -f scripts/benchdiff.awk BENCH_snapshot.baseline.json BENCH_snapshot.json
+
+# Same gate for overload protection (run `make bench-overload` first).
+benchdiff-overload:
+	awk -f scripts/benchdiff.awk BENCH_overload.baseline.json BENCH_overload.json
 
 # Refresh the committed baseline after an intentional performance change.
 # The baseline has its own name so `make clean` (which removes the
@@ -133,4 +163,5 @@ clean:
 	$(GO) clean ./...
 	rm -f test_output.txt bench_output.txt BENCH_hotpath.txt BENCH_hotpath.json \
 		BENCH_faults.txt BENCH_faults.json BENCH_sweep.txt BENCH_sweep.json \
-		BENCH_serve.txt BENCH_serve.json BENCH_snapshot.txt BENCH_snapshot.json
+		BENCH_serve.txt BENCH_serve.json BENCH_snapshot.txt BENCH_snapshot.json \
+		BENCH_overload.txt BENCH_overload.json

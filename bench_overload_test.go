@@ -1,0 +1,82 @@
+package lookaside
+
+// Overload-protection benchmarks: the per-packet cost of turning a query
+// away when the tier is saturated (the shed path must stay orders of
+// magnitude cheaper than serving), and the E18 goodput experiment end to
+// end — goodput_pct is the share of the shedding rig's plateau it still
+// delivers at the highest offered overload, the headline the admission
+// controller exists for. One BenchmarkOverloadGoodput iteration runs the
+// whole experiment over real sockets, so run with -benchtime=1x.
+// docs/results-overload.md records the measured numbers; `make
+// bench-overload` regenerates them into BENCH_overload.json.
+
+import (
+	"encoding/binary"
+	"net/netip"
+	"testing"
+	"time"
+
+	"github.com/dnsprivacy/lookaside/internal/experiment"
+	"github.com/dnsprivacy/lookaside/internal/overload"
+)
+
+// BenchmarkOverloadShedPath measures one saturated-window admission
+// decision plus the pre-encoded REFUSED answer — the work the read loop
+// does per packet at the height of a storm.
+func BenchmarkOverloadShedPath(b *testing.B) {
+	c := overload.New(overload.Config{MaxInFlight: 1, Exec: 1, QueueTarget: time.Millisecond})
+	src := netip.MustParseAddr("192.0.2.1")
+	// A minimal query packet: header plus one question for example.com A.
+	pkt := append([]byte{0, 0, 0x01, 0, 0, 1, 0, 0, 0, 0, 0, 0},
+		[]byte("\x07example\x03com\x00\x00\x01\x00\x01")...)
+	if v := c.AdmitFast(pkt, src); v != overload.Admitted {
+		b.Fatalf("first admit = %v", v)
+	}
+	// The window (capacity 1) now stays full: every further packet sheds.
+	var dst [overload.HeaderLen]byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		binary.BigEndian.PutUint16(pkt[:2], uint16(i))
+		if v := c.AdmitFast(pkt, src); v != overload.ShedWindow {
+			b.Fatalf("admit = %v, want ShedWindow", v)
+		}
+		resp := overload.RefusedInto(dst[:], pkt)
+		if resp[3]&0x0f != 5 {
+			b.Fatal("not REFUSED")
+		}
+	}
+}
+
+// BenchmarkOverloadGoodput runs a compact E18 over real loopback sockets
+// and reports the headline: goodput_pct (shed-on goodput at 2x offered
+// load as a share of the rig's plateau — flat-past-the-ceiling is ~100),
+// the same ratio for the unprotected rig, and the shedding rig's p99 at
+// 2x. CI gates goodput_pct; collapse_pct is informational (it varies with
+// how hard the box collapses).
+func BenchmarkOverloadGoodput(b *testing.B) {
+	var res *experiment.OverloadResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		// Default options: identical to `dlvmeasure -exp overload -scale
+		// 100`, so the bench artifact and the documented experiment are the
+		// same measurement.
+		res, err = experiment.OverloadWithOpts(experiment.Params{Seed: 1, Scale: 100},
+			experiment.OverloadOpts{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(100*res.GoodputRetention(), "goodput_pct")
+	b.ReportMetric(100*res.CollapseRatio(), "collapse_pct")
+	b.ReportMetric(res.CapacityQPS, "capacity_qps")
+	// The unprotected rig's collapse signature at the top point: its tail
+	// latency and timeout count against the shedding rig's (goodput alone
+	// understates the damage — timed-out queries and a stretched wall are
+	// the operator-visible failure).
+	if on, off := res.TopRows(); on != nil && off != nil {
+		b.ReportMetric(float64(on.P99.Microseconds())/1000, "p99_on_ms")
+		b.ReportMetric(float64(off.P99.Microseconds())/1000, "p99_off_ms")
+		b.ReportMetric(float64(off.Timeouts), "timeouts_off")
+	}
+}

@@ -59,6 +59,8 @@ func run(args []string, out io.Writer) error {
 	timeout := fs.Duration("timeout", 2*time.Second, "per-attempt query timeout")
 	retries := fs.Int("retries", 1, "re-sends after a timeout before counting the query lost")
 	maxQueries := fs.Int64("max-queries", 0, "stop after this many queries (0 = whole trace)")
+	overdrive := fs.Int("overdrive", 0,
+		"offered load in q/s: replace the trace with a flat cache-busting storm at this rate for -minutes wall seconds (forces open loop and uniform name sampling; for overload testing)")
 	do := fs.Bool("do", true, "set the EDNS DO (DNSSEC OK) bit")
 	stats := fs.Bool("stats", true, "scrape the server's stats surface before/after and print the delta")
 	quiet := fs.Bool("q", false, "suppress per-minute progress lines")
@@ -83,7 +85,21 @@ func run(args []string, out io.Writer) error {
 	}
 
 	var source func() (int, error)
-	if *traceFile != "" {
+	if *overdrive > 0 {
+		// A flat storm: every "trace minute" carries overdrive queries and
+		// replays in one wall second (compress 60), so the offered load is
+		// exactly -overdrive q/s for -minutes wall seconds. Open loop: the
+		// generator keeps pace even when the server sheds or stalls, which
+		// is the point of an overload test.
+		perMin := make([]int, *minutes)
+		for i := range perMin {
+			perMin[i] = *overdrive
+		}
+		source = loadgen.MinuteSource(perMin)
+		*mode = "open"
+		*compress = 60
+		fmt.Fprintf(out, "dlvload: overdrive storm: %d q/s offered for %ds\n", *overdrive, *minutes)
+	} else if *traceFile != "" {
 		f, err := os.Open(*traceFile)
 		if err != nil {
 			return err
@@ -130,6 +146,7 @@ func run(args []string, out io.Writer) error {
 		Server: addr,
 		Schedule: loadgen.ScheduleConfig{
 			Clients: *clients, PopSize: len(names), Seed: *schedSeed, MaxQueries: *maxQueries,
+			Uniform: *overdrive > 0,
 		},
 		Source:   source,
 		Names:    func(i int) dns.Name { return names[i] },

@@ -38,7 +38,7 @@ var experimentNames = []string{
 	"table4", "table5", "fig10", "fig11", "fig12", "deployment",
 	"dictionary", "nsec3", "fleet", "registry-size", "qname-min",
 	"phaseout", "policy", "padding", "enumeration", "adversary", "faults",
-	"sweep",
+	"overload", "sweep",
 }
 
 func run(args []string) error {
@@ -243,6 +243,8 @@ func dispatch(name string, p experiment.Params, traceMinutes, population int, kn
 		return experiment.Adversary(p)
 	case "faults":
 		return experiment.Faults(p, knobs)
+	case "overload":
+		return experiment.Overload(p)
 	case "sweep":
 		var populations []int
 		if population > 0 {

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +26,7 @@ import (
 
 	"github.com/dnsprivacy/lookaside/internal/dataset"
 	"github.com/dnsprivacy/lookaside/internal/faults"
+	"github.com/dnsprivacy/lookaside/internal/overload"
 	"github.com/dnsprivacy/lookaside/internal/resolver"
 	"github.com/dnsprivacy/lookaside/internal/serve"
 	"github.com/dnsprivacy/lookaside/internal/simnet"
@@ -62,6 +64,12 @@ func run(args []string) error {
 		"write the warmed shared infra cache (plus signed-zone state) to this snapshot file")
 	drain := fs.Duration("drain", 5*time.Second,
 		"graceful-shutdown deadline: how long SIGINT/SIGTERM waits for in-flight queries")
+	maxInflight := fs.Int("max-inflight", 0,
+		"overload protection: admission window across both transports (0 = unprotected)")
+	queueTarget := fs.Duration("queue-target", 20*time.Millisecond,
+		"overload protection: shed an admitted query queued past this deadline (CoDel-style target)")
+	clientQPS := fs.Float64("client-qps", 0,
+		"overload protection: per-client token-bucket rate limit in q/s (0 = off; enables protection on its own)")
 	verbose := fs.Bool("v", false, "log every query observed at the DLV registry")
 	faultSeed := fs.Int64("faultseed", 0, "fault-schedule seed (0 = -seed)")
 	loss := fs.Float64("loss", 0, "drop probability on the DLV registry link (0 = healthy)")
@@ -143,9 +151,19 @@ func run(args []string) error {
 			Breaker:     &faults.BreakerConfig{},
 		}
 	}
+	var gate *overload.Controller
+	if *maxInflight > 0 || *clientQPS > 0 {
+		gate = overload.New(overload.Config{
+			MaxInFlight: *maxInflight,
+			Exec:        *workers,
+			QueueTarget: *queueTarget,
+			ClientQPS:   *clientQPS,
+		})
+	}
 	svc, err := serve.Build(u, cfg, serve.Options{
 		Workers: *workers, SharedInfra: *sharedInfra, Plan: plan,
 		SnapshotLoad: *snapLoad, SnapshotSave: *snapSave,
+		Overload:     gate,
 		Log: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "resolved: "+format+"\n", args...)
 		},
@@ -153,6 +171,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	defer svc.Close()
 	fmt.Printf("resolved: serving tier ready in %v (boot=%s)\n",
 		svc.BootWall().Round(time.Millisecond), svc.BootMode())
 
@@ -160,10 +179,17 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	srv.SetWorkers(*workers)
 	tcpSrv, err := udptransport.ListenTCP(srv.AddrPort().String(), svc)
 	if err != nil {
 		return fmt.Errorf("binding tcp: %w", err)
+	}
+	if gate != nil {
+		srv.SetGate(gate)
+		tcpSrv.SetGate(gate)
+		fmt.Printf("resolved: overload protection on (max-inflight=%d, queue-target=%s, client-qps=%g)\n",
+			*maxInflight, *queueTarget, *clientQPS)
+	} else {
+		srv.SetWorkers(*workers)
 	}
 	svc.AttachTransports(srv, tcpSrv)
 	fmt.Printf("resolved: serving on %s udp+tcp (population=%d, dlv=%t, root-anchor=%t, remedy=%q, workers=%d)\n",
@@ -186,28 +212,53 @@ func run(args []string) error {
 	tcpDone := make(chan error, 1)
 	go func() { udpDone <- srv.Serve() }()
 	go func() { tcpDone <- tcpSrv.Serve() }()
-	sig := make(chan os.Signal, 1)
+	sig := make(chan os.Signal, 2) // room for a second signal during drain
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-udpDone:
+		// One transport failed: tear down the other and collect its exit
+		// too, so neither Serve goroutine is abandoned.
 		_ = tcpSrv.Close()
-		return err
+		return joinServeErrors(err, <-tcpDone)
 	case err := <-tcpDone:
 		_ = srv.Close()
-		return err
+		return joinServeErrors(err, <-udpDone)
 	case s := <-sig:
 		fmt.Printf("\nresolved: %s — draining in-flight queries (deadline %s)\n", s, *drain)
 		// Stop accepting on both transports, then wait for in-flight
 		// handlers to finish; a second deadline overrun is reported, not
-		// waited out twice.
-		udpErr := srv.Shutdown(*drain)
-		tcpErr := tcpSrv.Shutdown(*drain)
-		<-udpDone
-		<-tcpDone
-		if udpErr == udptransport.ErrDrainTimeout || tcpErr == udptransport.ErrDrainTimeout {
-			fmt.Println("resolved: drain deadline exceeded; some queries were cut off")
+		// waited out twice. The drain runs off the signal path so a second
+		// SIGINT/SIGTERM can cut it short.
+		drained := make(chan struct{})
+		go func() {
+			defer close(drained)
+			udpErr := srv.Shutdown(*drain)
+			tcpErr := tcpSrv.Shutdown(*drain)
+			<-udpDone
+			<-tcpDone
+			if udpErr == udptransport.ErrDrainTimeout || tcpErr == udptransport.ErrDrainTimeout {
+				fmt.Println("resolved: drain deadline exceeded; some queries were cut off")
+			}
+		}()
+		select {
+		case <-drained:
+			fmt.Println(svc.Snapshot().Render("final serving-tier scorecard"))
+			return nil
+		case s2 := <-sig:
+			fmt.Printf("resolved: %s during drain — forcing immediate exit\n", s2)
+			_ = srv.Close()
+			_ = tcpSrv.Close()
+			return fmt.Errorf("forced exit on second %s", s2)
 		}
-		fmt.Println(svc.Snapshot().Render("final serving-tier scorecard"))
-		return nil
 	}
+}
+
+// joinServeErrors reports why the transports exited: the primary error is
+// the one that triggered the teardown; the secondary is dropped when it is
+// just the ErrClosed our own Close provoked.
+func joinServeErrors(primary, secondary error) error {
+	if errors.Is(secondary, udptransport.ErrClosed) {
+		secondary = nil
+	}
+	return errors.Join(primary, secondary)
 }

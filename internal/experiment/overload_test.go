@@ -1,0 +1,48 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+)
+
+// TestOverloadSmoke runs a miniature E18 end to end over real sockets. It
+// asserts structure plus the mechanism (the shedding rig actually sheds at
+// 2x) rather than exact throughput, which is machine-dependent.
+func TestOverloadSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live-socket load test")
+	}
+	res, err := OverloadWithOpts(Params{Seed: 1, Scale: 100}, OverloadOpts{
+		PopSize:         100_000,
+		Clients:         50,
+		CapacityQueries: 2_000,
+		Seconds:         1,
+		Multiples:       []float64{1, 2},
+		MaxInFlight:     32,
+		QueueTarget:     2 * time.Millisecond,
+		Window:          512,
+		Timeout:         25 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CapacityQPS <= 0 {
+		t.Fatal("no capacity measured")
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(res.Rows))
+	}
+	over := res.rowAt(2, true)
+	if over == nil {
+		t.Fatal("missing 2x shed-on row")
+	}
+	if over.Refused == 0 || over.ServerSheds == 0 {
+		t.Errorf("shedding rig at 2x did not shed: %+v", over)
+	}
+	if res.GoodputRetention() <= 0 {
+		t.Errorf("retention = %f", res.GoodputRetention())
+	}
+	if s := res.String(); s == "" {
+		t.Error("empty rendering")
+	}
+}

@@ -102,9 +102,13 @@ type Counters struct {
 	Truncated    int64
 	TCPFallbacks int64
 	TCPErrors    int64
-	// RCode tallies over completed queries.
+	// RCode tallies over completed queries. Refused counts queries the
+	// server shed (REFUSED — the overload controller's cheap answer);
+	// these complete but do not count toward goodput or the latency
+	// histogram.
 	ServFails   int64
 	NXDomains   int64
+	Refused     int64
 	OtherRCodes int64
 	// Stale counts datagrams read whose ID matched no outstanding query
 	// (late answers to attempts already abandoned).
@@ -123,6 +127,7 @@ func (c Counters) Plus(o Counters) Counters {
 		TCPErrors:    c.TCPErrors + o.TCPErrors,
 		ServFails:    c.ServFails + o.ServFails,
 		NXDomains:    c.NXDomains + o.NXDomains,
+		Refused:      c.Refused + o.Refused,
 		OtherRCodes:  c.OtherRCodes + o.OtherRCodes,
 		Stale:        c.Stale + o.Stale,
 	}
@@ -273,6 +278,7 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 	}
 	if wall > 0 {
 		rep.QPS = float64(rep.Completed) / wall.Seconds()
+		rep.GoodputQPS = float64(rep.Goodput()) / wall.Seconds()
 	}
 	if runErr != nil && !errors.Is(runErr, context.Canceled) && !errors.Is(runErr, context.DeadlineExceeded) {
 		return rep, runErr
@@ -360,6 +366,14 @@ func (w *worker) doQuery(d dispatch) {
 		}
 		w.fb.Record(time.Since(fbStart))
 		resp = tcpResp
+	}
+	if resp.Header.RCode == dns.RCodeRefused {
+		// A shed: the server answered, but with its overload REFUSED. Keep
+		// it out of the latency histogram so percentiles describe real
+		// resolutions, not microsecond-fast rejections.
+		w.c.Completed++
+		w.c.Refused++
+		return
 	}
 	w.lat.Record(time.Since(start))
 	w.c.Completed++

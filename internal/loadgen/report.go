@@ -16,9 +16,11 @@ type Report struct {
 	Seed    int64
 
 	Counters
-	// Wall is the run duration; QPS is Completed / Wall.
-	Wall time.Duration
-	QPS  float64
+	// Wall is the run duration; QPS is Completed / Wall. GoodputQPS is
+	// Goodput() / Wall — completions that were real answers, not sheds.
+	Wall       time.Duration
+	QPS        float64
+	GoodputQPS float64
 	// Latency holds end-to-end completion latencies (a fallback's total
 	// spans both legs); Fallback holds the TCP leg alone, so truncation
 	// cost is attributable separately.
@@ -39,6 +41,10 @@ func (r *Report) Render() string {
 	t.AddRow("completed", fmt.Sprintf("%d (%s)", r.Completed, metrics.Percent(ratio(r.Completed, r.Sent))))
 	t.AddRow("wall time", r.Wall.Round(time.Millisecond))
 	t.AddRow("throughput", fmt.Sprintf("%.0f q/s", r.QPS))
+	if r.Refused > 0 {
+		t.AddRow("refused (shed)", fmt.Sprintf("%d (%s)", r.Refused, metrics.Percent(ratio(r.Refused, r.Completed))))
+		t.AddRow("goodput", fmt.Sprintf("%.0f q/s", r.GoodputQPS))
+	}
 	t.AddRow("latency p50", r.Latency.Quantile(0.50))
 	t.AddRow("latency p95", r.Latency.Quantile(0.95))
 	t.AddRow("latency p99", r.Latency.Quantile(0.99))
@@ -56,6 +62,10 @@ func (r *Report) Render() string {
 	}
 	return t.String()
 }
+
+// Goodput is the number of completions that were real answers — sheds
+// (REFUSED) complete fast but carry no answer, so they are excluded.
+func (c Counters) Goodput() int64 { return c.Completed - c.Refused }
 
 func ratio(a, b int64) float64 {
 	if b == 0 {

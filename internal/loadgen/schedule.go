@@ -39,6 +39,12 @@ type ScheduleConfig struct {
 	Seed int64
 	// MaxQueries caps the schedule length; 0 replays the whole trace.
 	MaxQueries int64
+	// Uniform samples names uniformly instead of Zipf — a cache-busting
+	// flood rather than a recursive workload. This is the adversarial
+	// shape overload storms take in the wild: Zipf replay mostly hits the
+	// resolver's answer cache, while uniform sampling over a large
+	// population forces real resolution work on nearly every query.
+	Uniform bool
 }
 
 // Schedule streams the deterministic query schedule derived from a
@@ -123,7 +129,11 @@ func (s *Schedule) fillMinute(q int) {
 	}
 	s.events = s.events[:q]
 	rng := rand.New(rand.NewSource(mix64(uint64(s.cfg.Seed), uint64(s.minute))))
-	zipf := rand.NewZipf(rng, 1.2, 1, uint64(s.cfg.PopSize-1))
+	sample := func() int32 { return int32(rng.Intn(s.cfg.PopSize)) }
+	if !s.cfg.Uniform {
+		zipf := rand.NewZipf(rng, 1.2, 1, uint64(s.cfg.PopSize-1))
+		sample = func() int32 { return int32(zipf.Uint64()) }
+	}
 	base := time.Duration(s.minute) * time.Minute
 	slot := time.Minute / time.Duration(q)
 	for i := range s.events {
@@ -131,7 +141,7 @@ func (s *Schedule) fillMinute(q int) {
 		s.events[i] = Event{
 			At:     base + time.Duration(i)*slot + jitter,
 			Client: int32(rng.Intn(s.cfg.Clients)),
-			Name:   int32(zipf.Uint64()),
+			Name:   sample(),
 		}
 	}
 }

@@ -1,0 +1,86 @@
+package overload
+
+import (
+	"net/netip"
+	"sync"
+	"time"
+)
+
+// limiterShards spreads the per-client bucket map over independent locks so
+// the admission fast path never serializes the read loop behind one mutex.
+const limiterShards = 16
+
+// maxClientsPerShard bounds limiter memory under address-spoofing floods;
+// past it an arbitrary bucket is evicted (a reset bucket refills to burst,
+// so eviction can only under-limit, never lock a client out).
+const maxClientsPerShard = 4096
+
+// bucket is one client's token bucket: tokens refill at qps up to burst.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// limiter is a sharded per-client token-bucket rate limiter keyed by source
+// address (port stripped — one stub host is one client, whatever socket it
+// queries from).
+type limiter struct {
+	qps, burst float64
+	shards     [limiterShards]struct {
+		mu      sync.Mutex
+		buckets map[netip.Addr]*bucket
+	}
+}
+
+func newLimiter(qps, burst float64) *limiter {
+	l := &limiter{qps: qps, burst: burst}
+	for i := range l.shards {
+		l.shards[i].buckets = make(map[netip.Addr]*bucket)
+	}
+	return l
+}
+
+// allow spends one token from src's bucket, refilling for the elapsed time
+// first. An invalid source address (a transport that could not attribute
+// the packet) is never limited — shedding it would be indiscriminate.
+func (l *limiter) allow(src netip.Addr, now time.Time) bool {
+	if !src.IsValid() {
+		return true
+	}
+	sh := &l.shards[shardOf(src)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	b := sh.buckets[src]
+	if b == nil {
+		if len(sh.buckets) >= maxClientsPerShard {
+			for k := range sh.buckets {
+				delete(sh.buckets, k)
+				break
+			}
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		sh.buckets[src] = b
+	}
+	if elapsed := now.Sub(b.last).Seconds(); elapsed > 0 {
+		b.tokens += elapsed * l.qps
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true
+	}
+	return false
+}
+
+// shardOf folds the address bytes into a shard index (FNV-1a over As16).
+func shardOf(a netip.Addr) int {
+	b := a.As16()
+	h := uint32(2166136261)
+	for _, c := range b {
+		h = (h ^ uint32(c)) * 16777619
+	}
+	return int(h % limiterShards)
+}

@@ -1,0 +1,419 @@
+// Package overload protects the serving tier from collapse when offered
+// load exceeds the hot-path ceiling. It provides the three classic
+// admission-control layers for a DNS front end:
+//
+//   - per-client token-bucket rate limiting (keyed by source address),
+//   - a bounded in-flight admission window, and
+//   - a CoDel-style queue deadline: an admitted query that cannot reach an
+//     execution slot before the queue target elapses is shed rather than
+//     served late — the server never burns capacity answering queries the
+//     client has already given up on.
+//
+// Shed queries are answered REFUSED from a pre-encoded 12-byte header with
+// only the query ID patched in, so the shed path costs a memcpy and one
+// syscall no matter how deep the storm. The `_stats.resolved.invalid.`
+// observability name always bypasses every layer — health stays scrapeable
+// while everything else is being turned away.
+//
+// A Controller also owns the serving tier's health state machine
+// (healthy → degraded → overloaded, driven by shed rate, rate-limit and
+// breaker activity, and watchdog trips) and the per-instance mutex-hold
+// watchdog (watchdog.go). Everything is exported through Stats, which
+// internal/serve folds into the wire-scrapeable Snapshot.
+package overload
+
+import (
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/dnsprivacy/lookaside/internal/metrics"
+)
+
+// Verdict is the admission decision for one query.
+type Verdict int
+
+// Admission verdicts. ShedQueue is produced by Acquire (the queue deadline
+// fires after admission), never by AdmitFast.
+const (
+	// Admitted lets the query proceed; the caller must pair it with
+	// Acquire/Release.
+	Admitted Verdict = iota
+	// Bypass is the stats-surface exemption: handle outside the window so
+	// observability survives a storm.
+	Bypass
+	// ShedRateLimited turned the query away at the per-client token bucket.
+	ShedRateLimited
+	// ShedWindow turned the query away because the in-flight window is full.
+	ShedWindow
+	// ShedQueue turned the query away because it queued past the deadline.
+	ShedQueue
+)
+
+// Health is the serving tier's coarse condition, exported in the snapshot
+// and used by operators (and the chaos soak) to decide when a storm is over.
+type Health int
+
+// Health states, ordered by severity.
+const (
+	// Healthy: no recent sheds and no recent trouble signals.
+	Healthy Health = iota
+	// Degraded: the tier is coping but something is wrong — clients being
+	// rate-limited, the DLV breaker opening, or a watchdog flag.
+	Degraded
+	// Overloaded: capacity sheds (window or queue deadline) are happening
+	// now; excess load is being turned away.
+	Overloaded
+)
+
+// String implements fmt.Stringer.
+func (h Health) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Overloaded:
+		return "overloaded"
+	default:
+		return "unknown"
+	}
+}
+
+// Config parameterizes a Controller. The zero value of any field selects
+// its default.
+type Config struct {
+	// MaxInFlight bounds queries admitted but not yet finished (the
+	// admission window). Default 4096.
+	MaxInFlight int
+	// Exec bounds queries executing against the resolver pool at once;
+	// admitted queries beyond it wait in the queue. Set it to the pool
+	// size — more would just contend on the pool mutexes. Default 1.
+	Exec int
+	// QueueTarget is the CoDel-style deadline: an admitted query still
+	// waiting for an execution slot after this long is shed. Default 20ms.
+	QueueTarget time.Duration
+	// ClientQPS enables per-client token-bucket rate limiting at this
+	// sustained rate; 0 disables the limiter entirely.
+	ClientQPS float64
+	// ClientBurst is the bucket depth (instantaneous burst allowance).
+	// Default 2*ClientQPS, floor 8.
+	ClientBurst float64
+	// WatchdogDeadline flags a resolver instance holding its mutex longer
+	// than this. Default 2s.
+	WatchdogDeadline time.Duration
+	// WatchdogInterval is the scan period. Default 100ms.
+	WatchdogInterval time.Duration
+	// Now is the clock (tests); default time.Now.
+	Now func() time.Time
+}
+
+// Stats is the overload scorecard at one instant. Counter fields are
+// monotone; InFlight/Queued/QueueDelay*/Health are gauges. All fields are
+// plain uint64 so serve.Snapshot stays comparable.
+type Stats struct {
+	// Admitted counts queries that passed AdmitFast; RateLimited, ShedWindow
+	// and ShedQueue count sheds at each layer.
+	Admitted    uint64
+	RateLimited uint64
+	ShedWindow  uint64
+	ShedQueue   uint64
+	// WatchdogTrips counts mutex-hold deadline violations (one per episode).
+	WatchdogTrips uint64
+	// InFlight and Queued are current depths (gauges).
+	InFlight uint64
+	Queued   uint64
+	// QueueDelayP50us/P99us are queue-wait percentiles in microseconds over
+	// admissions that had to wait (gauges; cumulative histogram).
+	QueueDelayP50us uint64
+	QueueDelayP99us uint64
+	// Health is the current Health state as a number (gauge).
+	Health uint64
+}
+
+// Sheds returns the total queries turned away at any layer.
+func (s Stats) Sheds() uint64 { return s.RateLimited + s.ShedWindow + s.ShedQueue }
+
+// Controller is the admission controller for one serving tier. One
+// instance gates both the UDP and TCP listeners, so the window and the
+// execution queue are global to the process. Safe for concurrent use.
+type Controller struct {
+	cfg     Config
+	now     func() time.Time
+	limiter *limiter
+
+	inflight atomic.Int64
+	queued   atomic.Int64
+	// exec is the execution queue: capacity Exec, shared by both
+	// transports. Queue wait beyond QueueTarget sheds.
+	exec chan struct{}
+
+	admitted    atomic.Uint64
+	rateLimited atomic.Uint64
+	shedWindow  atomic.Uint64
+	shedQueue   atomic.Uint64
+
+	// delay records queue waits of admissions that did not get an exec slot
+	// immediately (the CoDel signal).
+	delayMu sync.Mutex
+	delay   *metrics.Histogram
+
+	// shedWin tracks recent capacity sheds (window/queue) — the Overloaded
+	// signal; troubleWin tracks recent rate-limit sheds, breaker opens, and
+	// watchdog trips — the Degraded signal.
+	shedWin    rateWindow
+	troubleWin rateWindow
+
+	// lastBreakerOpens dedups ObserveBreakerOpens deltas from the merged
+	// resolver counter.
+	lastBreakerOpens atomic.Int64
+
+	wdMu sync.Mutex
+	wd   *Watchdog
+
+	stopScan  chan struct{}
+	closeOnce sync.Once
+}
+
+// New builds a Controller from cfg, applying defaults.
+func New(cfg Config) *Controller {
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 4096
+	}
+	if cfg.Exec <= 0 {
+		cfg.Exec = 1
+	}
+	if cfg.QueueTarget <= 0 {
+		cfg.QueueTarget = 20 * time.Millisecond
+	}
+	if cfg.WatchdogDeadline <= 0 {
+		cfg.WatchdogDeadline = 2 * time.Second
+	}
+	if cfg.WatchdogInterval <= 0 {
+		cfg.WatchdogInterval = 100 * time.Millisecond
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	c := &Controller{
+		cfg:      cfg,
+		now:      now,
+		exec:     make(chan struct{}, cfg.Exec),
+		delay:    metrics.NewHistogram(),
+		stopScan: make(chan struct{}),
+	}
+	if cfg.ClientQPS > 0 {
+		burst := cfg.ClientBurst
+		if burst <= 0 {
+			burst = 2 * cfg.ClientQPS
+			if burst < 8 {
+				burst = 8
+			}
+		}
+		c.limiter = newLimiter(cfg.ClientQPS, burst)
+	}
+	return c
+}
+
+// AdmitFast is the synchronous, read-loop-safe admission decision for one
+// raw query packet: stats bypass, then the per-client limiter, then the
+// in-flight window. It never blocks. On Admitted the caller owns one
+// window slot and must call Acquire (and, if that succeeds, Release).
+func (c *Controller) AdmitFast(pkt []byte, src netip.Addr) Verdict {
+	if IsStatsQuery(pkt) {
+		return Bypass
+	}
+	if c.limiter != nil && !c.limiter.allow(src, c.now()) {
+		c.rateLimited.Add(1)
+		c.troubleWin.add(c.now(), 1)
+		return ShedRateLimited
+	}
+	if c.inflight.Add(1) > int64(c.cfg.MaxInFlight) {
+		c.inflight.Add(-1)
+		c.shedWindow.Add(1)
+		c.shedWin.add(c.now(), 1)
+		return ShedWindow
+	}
+	c.admitted.Add(1)
+	return Admitted
+}
+
+// Acquire waits for an execution slot after an Admitted verdict, up to the
+// queue target. It returns false when the deadline fires first — the query
+// is shed, its window slot is released, and the caller must answer REFUSED
+// without calling Release.
+func (c *Controller) Acquire() bool {
+	select {
+	case c.exec <- struct{}{}:
+		return true
+	default:
+	}
+	c.queued.Add(1)
+	start := c.now()
+	t := time.NewTimer(c.cfg.QueueTarget)
+	defer t.Stop()
+	select {
+	case c.exec <- struct{}{}:
+		c.queued.Add(-1)
+		wait := c.now().Sub(start)
+		c.delayMu.Lock()
+		c.delay.Record(wait)
+		c.delayMu.Unlock()
+		return true
+	case <-t.C:
+		c.queued.Add(-1)
+		c.inflight.Add(-1)
+		c.shedQueue.Add(1)
+		c.shedWin.add(c.now(), 1)
+		return false
+	}
+}
+
+// Release frees the execution slot and window slot of one completed query.
+func (c *Controller) Release() {
+	<-c.exec
+	c.inflight.Add(-1)
+}
+
+// ObserveBreakerOpens feeds the merged resolver BreakerOpens counter into
+// the health machine; only the delta since the last observation counts.
+// Idempotent and monotone-safe under concurrent callers.
+func (c *Controller) ObserveBreakerOpens(total int) {
+	for {
+		last := c.lastBreakerOpens.Load()
+		if int64(total) <= last {
+			return
+		}
+		if c.lastBreakerOpens.CompareAndSwap(last, int64(total)) {
+			c.troubleWin.add(c.now(), uint64(int64(total)-last))
+			return
+		}
+	}
+}
+
+// InitWatchdog creates the mutex-hold watchdog for n resolver instances and
+// starts the background scan loop (stopped by Close). Call once.
+func (c *Controller) InitWatchdog(n int) *Watchdog {
+	c.wdMu.Lock()
+	defer c.wdMu.Unlock()
+	if c.wd != nil {
+		return c.wd
+	}
+	c.wd = newWatchdog(n, c.cfg.WatchdogDeadline, c.now)
+	go c.scanLoop()
+	return c.wd
+}
+
+// scanLoop periodically scans the watchdog, feeding new trips into the
+// health machine.
+func (c *Controller) scanLoop() {
+	t := time.NewTicker(c.cfg.WatchdogInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stopScan:
+			return
+		case <-t.C:
+			if trips := c.wd.Scan(); trips > 0 {
+				c.troubleWin.add(c.now(), trips)
+			}
+		}
+	}
+}
+
+// HealthState evaluates the health machine now: capacity sheds in the
+// recent window mean Overloaded; rate-limiting, breaker opens, watchdog
+// trips, or a currently-flagged instance mean Degraded; otherwise Healthy.
+func (c *Controller) HealthState() Health {
+	now := c.now()
+	if c.shedWin.recent(now) > 0 {
+		return Overloaded
+	}
+	if c.troubleWin.recent(now) > 0 {
+		return Degraded
+	}
+	c.wdMu.Lock()
+	wd := c.wd
+	c.wdMu.Unlock()
+	if wd != nil && wd.Flagged() {
+		return Degraded
+	}
+	return Healthy
+}
+
+// Stats snapshots the overload scorecard.
+func (c *Controller) Stats() Stats {
+	st := Stats{
+		Admitted:    c.admitted.Load(),
+		RateLimited: c.rateLimited.Load(),
+		ShedWindow:  c.shedWindow.Load(),
+		ShedQueue:   c.shedQueue.Load(),
+		InFlight:    clampUint(c.inflight.Load()),
+		Queued:      clampUint(c.queued.Load()),
+		Health:      uint64(c.HealthState()),
+	}
+	c.delayMu.Lock()
+	st.QueueDelayP50us = uint64(c.delay.Quantile(0.50).Microseconds())
+	st.QueueDelayP99us = uint64(c.delay.Quantile(0.99).Microseconds())
+	c.delayMu.Unlock()
+	c.wdMu.Lock()
+	wd := c.wd
+	c.wdMu.Unlock()
+	if wd != nil {
+		st.WatchdogTrips = wd.Trips()
+	}
+	return st
+}
+
+// Close stops the watchdog scan loop. Idempotent.
+func (c *Controller) Close() {
+	c.closeOnce.Do(func() { close(c.stopScan) })
+}
+
+func clampUint(v int64) uint64 {
+	if v < 0 {
+		return 0
+	}
+	return uint64(v)
+}
+
+// rateWindow counts events over a sliding ~2-second window with two
+// one-second buckets — cheap enough for the shed path, accurate enough for
+// a health machine that only needs "is this happening right now".
+type rateWindow struct {
+	mu        sync.Mutex
+	sec       int64
+	cur, prev uint64
+}
+
+func (w *rateWindow) add(now time.Time, n uint64) {
+	s := now.Unix()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	switch {
+	case s == w.sec:
+		w.cur += n
+	case s == w.sec+1:
+		w.prev, w.cur, w.sec = w.cur, n, s
+	default:
+		w.prev, w.cur, w.sec = 0, n, s
+	}
+}
+
+// recent returns the events in the current and previous one-second buckets,
+// or 0 when the window has fully aged out.
+func (w *rateWindow) recent(now time.Time) uint64 {
+	s := now.Unix()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	switch {
+	case s == w.sec:
+		return w.cur + w.prev
+	case s == w.sec+1:
+		return w.cur
+	default:
+		return 0
+	}
+}

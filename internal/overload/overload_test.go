@@ -1,0 +1,326 @@
+package overload
+
+import (
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/dnsprivacy/lookaside/internal/dns"
+)
+
+// fakeClock is a settable test clock.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1_700_000_000, 0)}
+}
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+func (f *fakeClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.t = f.t.Add(d)
+	f.mu.Unlock()
+}
+
+func encodeQuery(t *testing.T, name string, qtype dns.Type) []byte {
+	t.Helper()
+	q := dns.NewQuery(0x1234, dns.MustName(name), qtype, true)
+	wire, err := q.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wire
+}
+
+func TestRefusedInto(t *testing.T) {
+	q := encodeQuery(t, "example.com", dns.TypeA)
+	var buf [HeaderLen]byte
+	resp := RefusedInto(buf[:], q)
+	if len(resp) != HeaderLen {
+		t.Fatalf("len = %d", len(resp))
+	}
+	m, err := dns.DecodeMessage(resp)
+	if err != nil {
+		t.Fatalf("refused response does not decode: %v", err)
+	}
+	if m.Header.ID != 0x1234 {
+		t.Errorf("ID = %#x", m.Header.ID)
+	}
+	if !m.Header.QR {
+		t.Error("QR not set")
+	}
+	if m.Header.RCode != dns.RCodeRefused {
+		t.Errorf("rcode = %s", m.Header.RCode)
+	}
+	if m.Header.RD != (q[2]&0x01 != 0) {
+		t.Error("RD not echoed")
+	}
+	if len(m.Question) != 0 || len(m.Answer) != 0 {
+		t.Error("refused response must be header-only")
+	}
+}
+
+func TestIsStatsQuery(t *testing.T) {
+	stats := encodeQuery(t, "_stats.resolved.invalid", dns.TypeTXT)
+	if !IsStatsQuery(stats) {
+		t.Error("stats TXT query not recognized")
+	}
+	upper := encodeQuery(t, "_STATS.Resolved.INVALID", dns.TypeTXT)
+	if !IsStatsQuery(upper) {
+		t.Error("qname compare must be case-insensitive")
+	}
+	if IsStatsQuery(encodeQuery(t, "_stats.resolved.invalid", dns.TypeA)) {
+		t.Error("A query for the stats name is not a stats scrape")
+	}
+	if IsStatsQuery(encodeQuery(t, "example.com", dns.TypeTXT)) {
+		t.Error("other TXT queries must not bypass")
+	}
+	// A response for the stats name (QR=1) is not a query.
+	resp := make([]byte, len(stats))
+	copy(resp, stats)
+	resp[2] |= 0x80
+	if IsStatsQuery(resp) {
+		t.Error("responses must not bypass")
+	}
+	if IsStatsQuery(stats[:8]) {
+		t.Error("short packet accepted")
+	}
+}
+
+func TestAdmitWindowAndShed(t *testing.T) {
+	c := New(Config{MaxInFlight: 2, Exec: 2, QueueTarget: time.Second})
+	defer c.Close()
+	pkt := encodeQuery(t, "example.com", dns.TypeA)
+	src := netip.MustParseAddr("10.0.0.1")
+
+	if v := c.AdmitFast(pkt, src); v != Admitted {
+		t.Fatalf("first admit: %v", v)
+	}
+	if v := c.AdmitFast(pkt, src); v != Admitted {
+		t.Fatalf("second admit: %v", v)
+	}
+	if v := c.AdmitFast(pkt, src); v != ShedWindow {
+		t.Fatalf("third admit should shed at the window: %v", v)
+	}
+	if !c.Acquire() {
+		t.Fatal("exec slot available but Acquire failed")
+	}
+	c.Release()
+	st := c.Stats()
+	if st.Admitted != 2 || st.ShedWindow != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Health != uint64(Overloaded) {
+		t.Errorf("capacity shed just happened; health = %d", st.Health)
+	}
+}
+
+func TestQueueDeadlineSheds(t *testing.T) {
+	c := New(Config{MaxInFlight: 8, Exec: 1, QueueTarget: 10 * time.Millisecond})
+	defer c.Close()
+	pkt := encodeQuery(t, "example.com", dns.TypeA)
+	src := netip.MustParseAddr("10.0.0.1")
+
+	if v := c.AdmitFast(pkt, src); v != Admitted {
+		t.Fatalf("admit: %v", v)
+	}
+	if !c.Acquire() {
+		t.Fatal("first acquire must succeed")
+	}
+	// Second admitted query cannot get the (single) exec slot in time.
+	if v := c.AdmitFast(pkt, src); v != Admitted {
+		t.Fatalf("admit: %v", v)
+	}
+	if c.Acquire() {
+		t.Fatal("second acquire should shed at the queue deadline")
+	}
+	st := c.Stats()
+	if st.ShedQueue != 1 {
+		t.Errorf("shed_queue = %d", st.ShedQueue)
+	}
+	if st.InFlight != 1 {
+		t.Errorf("inflight after queue shed = %d (the shed must release its slot)", st.InFlight)
+	}
+	c.Release()
+	if got := c.Stats().InFlight; got != 0 {
+		t.Errorf("inflight after release = %d", got)
+	}
+}
+
+func TestQueueWaitRecorded(t *testing.T) {
+	c := New(Config{MaxInFlight: 8, Exec: 1, QueueTarget: time.Second})
+	defer c.Close()
+	pkt := encodeQuery(t, "example.com", dns.TypeA)
+	src := netip.MustParseAddr("10.0.0.1")
+	c.AdmitFast(pkt, src)
+	if !c.Acquire() {
+		t.Fatal("acquire")
+	}
+	c.AdmitFast(pkt, src)
+	done := make(chan bool)
+	go func() { done <- c.Acquire() }()
+	time.Sleep(5 * time.Millisecond)
+	c.Release()
+	if !<-done {
+		t.Fatal("queued acquire should succeed once the slot frees")
+	}
+	c.Release()
+	st := c.Stats()
+	if st.QueueDelayP99us == 0 {
+		t.Error("queue wait not recorded in the delay histogram")
+	}
+}
+
+func TestRateLimiter(t *testing.T) {
+	clk := newFakeClock()
+	c := New(Config{MaxInFlight: 100, ClientQPS: 10, ClientBurst: 2, Now: clk.Now})
+	defer c.Close()
+	pkt := encodeQuery(t, "example.com", dns.TypeA)
+	noisy := netip.MustParseAddr("10.0.0.1")
+	quiet := netip.MustParseAddr("10.0.0.2")
+
+	for i := 0; i < 2; i++ {
+		if v := c.AdmitFast(pkt, noisy); v != Admitted {
+			t.Fatalf("burst query %d: %v", i, v)
+		}
+	}
+	if v := c.AdmitFast(pkt, noisy); v != ShedRateLimited {
+		t.Fatalf("burst exhausted, expected rate-limit shed: %v", v)
+	}
+	// Another client is unaffected.
+	if v := c.AdmitFast(pkt, quiet); v != Admitted {
+		t.Fatalf("quiet client limited: %v", v)
+	}
+	// Refill: 100ms at 10 qps = 1 token.
+	clk.Advance(100 * time.Millisecond)
+	if v := c.AdmitFast(pkt, noisy); v != Admitted {
+		t.Fatalf("refilled token not granted: %v", v)
+	}
+	if v := c.AdmitFast(pkt, noisy); v != ShedRateLimited {
+		t.Fatalf("expected shed after spending the refilled token: %v", v)
+	}
+	st := c.Stats()
+	if st.RateLimited != 2 {
+		t.Errorf("rate_limited = %d", st.RateLimited)
+	}
+	// The stats surface always bypasses the limiter.
+	statsPkt := encodeQuery(t, "_stats.resolved.invalid", dns.TypeTXT)
+	if v := c.AdmitFast(statsPkt, noisy); v != Bypass {
+		t.Errorf("stats query from a limited client: %v", v)
+	}
+}
+
+func TestHealthMachine(t *testing.T) {
+	clk := newFakeClock()
+	c := New(Config{MaxInFlight: 1, Exec: 1, Now: clk.Now})
+	defer c.Close()
+	pkt := encodeQuery(t, "example.com", dns.TypeA)
+	src := netip.MustParseAddr("10.0.0.1")
+
+	if h := c.HealthState(); h != Healthy {
+		t.Fatalf("initial health = %s", h)
+	}
+	// Breaker activity degrades without sheds.
+	c.ObserveBreakerOpens(3)
+	if h := c.HealthState(); h != Degraded {
+		t.Fatalf("after breaker opens: %s", h)
+	}
+	// Re-observing the same total is not new trouble.
+	clk.Advance(5 * time.Second)
+	c.ObserveBreakerOpens(3)
+	if h := c.HealthState(); h != Healthy {
+		t.Fatalf("trouble should age out: %s", h)
+	}
+	// Capacity sheds dominate: Overloaded even while degraded signals fire.
+	c.ObserveBreakerOpens(4)
+	c.AdmitFast(pkt, src)
+	if v := c.AdmitFast(pkt, src); v != ShedWindow {
+		t.Fatalf("expected window shed: %v", v)
+	}
+	if h := c.HealthState(); h != Overloaded {
+		t.Fatalf("after capacity shed: %s", h)
+	}
+	// Everything ages out: back to Healthy.
+	clk.Advance(5 * time.Second)
+	if h := c.HealthState(); h != Healthy {
+		t.Fatalf("after quiet period: %s", h)
+	}
+}
+
+func TestWatchdog(t *testing.T) {
+	clk := newFakeClock()
+	c := New(Config{WatchdogDeadline: time.Second, WatchdogInterval: time.Hour, Now: clk.Now})
+	defer c.Close()
+	wd := c.InitWatchdog(2)
+	if c.InitWatchdog(2) != wd {
+		t.Fatal("InitWatchdog must be idempotent")
+	}
+
+	wd.Enter(0)
+	clk.Advance(500 * time.Millisecond)
+	if wd.Scan() != 0 {
+		t.Fatal("tripped before the deadline")
+	}
+	clk.Advance(time.Second)
+	if wd.Scan() != 1 {
+		t.Fatal("no trip past the deadline")
+	}
+	if wd.Scan() != 0 {
+		t.Fatal("one hold must trip once")
+	}
+	if !wd.Flagged() {
+		t.Error("instance should be flagged while stuck")
+	}
+	if c.Stats().WatchdogTrips != 1 {
+		t.Errorf("trips = %d", c.Stats().WatchdogTrips)
+	}
+	wd.Exit(0)
+	if wd.Flagged() {
+		t.Error("flag must clear when the hold ends")
+	}
+	// A fresh, quick hold does not trip.
+	wd.Enter(1)
+	wd.Exit(1)
+	if wd.Scan() != 0 {
+		t.Error("clean hold tripped")
+	}
+}
+
+func TestConcurrentAdmission(t *testing.T) {
+	c := New(Config{MaxInFlight: 16, Exec: 4, QueueTarget: 50 * time.Millisecond})
+	defer c.Close()
+	pkt := encodeQuery(t, "example.com", dns.TypeA)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			src := netip.AddrFrom4([4]byte{10, 0, 0, byte(g)})
+			for i := 0; i < 200; i++ {
+				if c.AdmitFast(pkt, src) != Admitted {
+					continue
+				}
+				if c.Acquire() {
+					c.Release()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.InFlight != 0 || st.Queued != 0 {
+		t.Errorf("leaked slots: %+v", st)
+	}
+	if st.Admitted+st.Sheds() != 8*200 {
+		t.Errorf("admitted %d + sheds %d != 1600", st.Admitted, st.Sheds())
+	}
+}

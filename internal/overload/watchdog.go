@@ -1,0 +1,72 @@
+package overload
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Watchdog flags resolver instances holding their pool mutex past a
+// deadline — the signature of an instance wedged on a pathological query
+// (or a real deadlock) while the rest of the pool keeps serving. Enter and
+// Exit bracket the mutex hold on the pool's hot path (two atomic stores);
+// Scan runs from the controller's background loop.
+type Watchdog struct {
+	deadline time.Duration
+	now      func() time.Time
+	// starts[i] is the UnixNano at which instance i took its mutex, 0 when
+	// free; flagged[i] latches a deadline violation until the hold ends.
+	starts  []atomic.Int64
+	flagged []atomic.Bool
+	trips   atomic.Uint64
+}
+
+func newWatchdog(n int, deadline time.Duration, now func() time.Time) *Watchdog {
+	if n < 1 {
+		n = 1
+	}
+	return &Watchdog{
+		deadline: deadline,
+		now:      now,
+		starts:   make([]atomic.Int64, n),
+		flagged:  make([]atomic.Bool, n),
+	}
+}
+
+// Enter records instance i taking its mutex.
+func (w *Watchdog) Enter(i int) { w.starts[i].Store(w.now().UnixNano()) }
+
+// Exit records instance i releasing its mutex, clearing any flag.
+func (w *Watchdog) Exit(i int) {
+	w.starts[i].Store(0)
+	w.flagged[i].Store(false)
+}
+
+// Scan checks every instance against the deadline, returning the number of
+// new trips (an instance trips once per hold, however long it stays stuck).
+func (w *Watchdog) Scan() uint64 {
+	nano := w.now().UnixNano()
+	var trips uint64
+	for i := range w.starts {
+		s := w.starts[i].Load()
+		if s != 0 && time.Duration(nano-s) > w.deadline {
+			if w.flagged[i].CompareAndSwap(false, true) {
+				w.trips.Add(1)
+				trips++
+			}
+		}
+	}
+	return trips
+}
+
+// Flagged reports whether any instance is currently past the deadline.
+func (w *Watchdog) Flagged() bool {
+	for i := range w.flagged {
+		if w.flagged[i].Load() {
+			return true
+		}
+	}
+	return false
+}
+
+// Trips returns the total deadline violations seen (monotone).
+func (w *Watchdog) Trips() uint64 { return w.trips.Load() }

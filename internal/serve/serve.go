@@ -18,6 +18,7 @@ import (
 	"github.com/dnsprivacy/lookaside/internal/dns"
 	"github.com/dnsprivacy/lookaside/internal/dnssec"
 	"github.com/dnsprivacy/lookaside/internal/faults"
+	"github.com/dnsprivacy/lookaside/internal/overload"
 	"github.com/dnsprivacy/lookaside/internal/resolver"
 	"github.com/dnsprivacy/lookaside/internal/simnet"
 	"github.com/dnsprivacy/lookaside/internal/udptransport"
@@ -50,6 +51,12 @@ type Options struct {
 	SnapshotSave string
 	// Log receives snapshot fallback/refusal reasons; nil discards them.
 	Log func(format string, args ...any)
+	// Overload, when non-nil, is the admission controller gating the
+	// transports. Build wires its per-instance mutex watchdog into the
+	// pool and the Snapshot gains the overload scorecard (sheds, queue
+	// percentiles, health). The same controller must be installed on the
+	// listeners via SetGate.
+	Overload *overload.Controller
 }
 
 // Service is the serving tier: a handler for the transport listeners plus
@@ -70,6 +77,21 @@ type Service struct {
 	// surface reads them from handler goroutines).
 	udp atomic.Pointer[udptransport.Server]
 	tcp atomic.Pointer[udptransport.TCPServer]
+
+	// ovl is the admission controller (nil when overload protection is
+	// off); its scorecard and health state join the Snapshot.
+	ovl *overload.Controller
+}
+
+// Overload returns the admission controller, or nil when protection is off.
+func (s *Service) Overload() *overload.Controller { return s.ovl }
+
+// Close releases background resources (the overload watchdog scan loop).
+// It does not touch the listeners — those belong to the caller.
+func (s *Service) Close() {
+	if s.ovl != nil {
+		s.ovl.Close()
+	}
 }
 
 // BootWall returns how long Build took; BootMode how the warm state booted.
@@ -95,8 +117,11 @@ func Build(u *universe.Universe, cfg resolver.Config, opts Options) (*Service, e
 		if err != nil {
 			return nil, err
 		}
-		single := &pool{res: []*resolver.Resolver{r}, mus: make([]sync.Mutex, 1)}
-		return &Service{handler: single, stats: single.stats, bootWall: time.Since(start)}, nil
+		single := &pool{res: []*resolver.Resolver{r}, mus: make([]sync.Mutex, 1), last: make([]resolver.Stats, 1)}
+		if opts.Overload != nil {
+			single.wd = opts.Overload.InitWatchdog(1)
+		}
+		return &Service{handler: single, stats: single.stats, bootWall: time.Since(start), ovl: opts.Overload}, nil
 	}
 	cfg.VerifyCache = dnssec.NewVerifyCache()
 	bootMode := core.BootLiveWarm
@@ -114,8 +139,12 @@ func Build(u *universe.Universe, cfg resolver.Config, opts Options) (*Service, e
 		cfg.Infra = ic
 	}
 	p := &pool{
-		res: make([]*resolver.Resolver, opts.Workers),
-		mus: make([]sync.Mutex, opts.Workers),
+		res:  make([]*resolver.Resolver, opts.Workers),
+		mus:  make([]sync.Mutex, opts.Workers),
+		last: make([]resolver.Stats, opts.Workers),
+	}
+	if opts.Overload != nil {
+		p.wd = opts.Overload.InitWatchdog(opts.Workers)
 	}
 	for i := range p.res {
 		sh := u.NewShard()
@@ -128,7 +157,7 @@ func Build(u *universe.Universe, cfg resolver.Config, opts Options) (*Service, e
 		}
 		p.res[i] = r
 	}
-	return &Service{handler: p, stats: p.stats, bootWall: time.Since(start), bootMode: bootMode}, nil
+	return &Service{handler: p, stats: p.stats, bootWall: time.Since(start), bootMode: bootMode, ovl: opts.Overload}, nil
 }
 
 // AttachTransports hands the Service its listeners so transport counters
@@ -171,6 +200,13 @@ func (s *Service) Snapshot() Snapshot {
 	if tcp := s.tcp.Load(); tcp != nil {
 		snap.TCP = tcp.Stats()
 	}
+	if s.ovl != nil {
+		// The controller never sees the resolver's counters directly; feed
+		// the merged breaker-open total into its health machine here, where
+		// both sides meet.
+		s.ovl.ObserveBreakerOpens(snap.Resolver.BreakerOpens)
+		snap.Overload = s.ovl.Stats()
+	}
 	return snap
 }
 
@@ -181,23 +217,49 @@ type pool struct {
 	next atomic.Uint64
 	res  []*resolver.Resolver
 	mus  []sync.Mutex
+	// wd, when non-nil, watches per-instance mutex holds (overload
+	// protection's stuck-instance detector).
+	wd *overload.Watchdog
+
+	// statsMu serializes stats readers; last caches the most recent
+	// per-instance counters so a busy instance (mutex held) contributes
+	// its last-known values instead of blocking the scrape.
+	statsMu sync.Mutex
+	last    []resolver.Stats
 }
 
 // HandleQuery implements simnet.Handler.
 func (p *pool) HandleQuery(q *dns.Message, from netip.Addr) (*dns.Message, error) {
 	i := int(p.next.Add(1) % uint64(len(p.res)))
 	p.mus[i].Lock()
-	defer p.mus[i].Unlock()
+	if p.wd != nil {
+		p.wd.Enter(i)
+	}
+	defer func() {
+		if p.wd != nil {
+			p.wd.Exit(i)
+		}
+		p.mus[i].Unlock()
+	}()
 	return p.res[i].HandleQuery(q, from)
 }
 
-// stats merges the per-instance counters.
+// stats merges the per-instance counters without ever waiting on a busy
+// instance: TryLock refreshes the cached counters when the mutex is free,
+// otherwise the instance's last-known values stand in. Readers serialize
+// on statsMu, and each cache entry only ever advances, so merged counters
+// are monotone across successive calls — the invariant the stats surface
+// promises its scrapers even mid-storm.
 func (p *pool) stats() resolver.Stats {
+	p.statsMu.Lock()
+	defer p.statsMu.Unlock()
 	var st resolver.Stats
 	for i, r := range p.res {
-		p.mus[i].Lock()
-		st = st.Plus(r.Stats())
-		p.mus[i].Unlock()
+		if p.mus[i].TryLock() {
+			p.last[i] = r.Stats()
+			p.mus[i].Unlock()
+		}
+		st = st.Plus(p.last[i])
 	}
 	return st
 }

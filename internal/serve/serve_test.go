@@ -1,11 +1,13 @@
 package serve
 
 import (
+	"sync"
 	"testing"
 	"time"
 
 	"github.com/dnsprivacy/lookaside/internal/dataset"
 	"github.com/dnsprivacy/lookaside/internal/dns"
+	"github.com/dnsprivacy/lookaside/internal/overload"
 	"github.com/dnsprivacy/lookaside/internal/resolver"
 	"github.com/dnsprivacy/lookaside/internal/udptransport"
 	"github.com/dnsprivacy/lookaside/internal/universe"
@@ -117,6 +119,9 @@ func TestSnapshotTXTRoundTrip(t *testing.T) {
 		UDP: udptransport.Stats{Queries: 17, Malformed: 18, Responses: 19,
 			Truncated: 20, ServFails: 21, InFlight: 22, MaxInFlight: 23},
 		TCP: udptransport.Stats{Queries: 24, Responses: 25, ServFails: 26, Conns: 27},
+		Overload: overload.Stats{Admitted: 28, RateLimited: 29, ShedWindow: 30,
+			ShedQueue: 31, WatchdogTrips: 32, InFlight: 33, Queued: 34,
+			QueueDelayP50us: 35, QueueDelayP99us: 36, Health: 2},
 	}
 	q := dns.NewQuery(9, StatsName, dns.TypeTXT, false)
 	got, err := ParseSnapshot(statsResponse(q, want))
@@ -132,12 +137,14 @@ func TestSnapshotMinus(t *testing.T) {
 	later := Snapshot{
 		Resolver:        resolver.Stats{Resolutions: 10, CacheHits: 6, InfraHits: 4, InfraMisses: 4},
 		PacketCacheHits: 20, PacketCacheMisses: 10,
-		UDP: udptransport.Stats{Queries: 30, MaxInFlight: 5},
+		UDP:             udptransport.Stats{Queries: 30, MaxInFlight: 5},
+		Overload:        overload.Stats{Admitted: 40, ShedQueue: 8, QueueDelayP99us: 900, Health: 1},
 	}
 	earlier := Snapshot{
 		Resolver:        resolver.Stats{Resolutions: 4, CacheHits: 2, InfraHits: 2, InfraMisses: 2},
 		PacketCacheHits: 5, PacketCacheMisses: 5,
-		UDP: udptransport.Stats{Queries: 10, MaxInFlight: 3},
+		UDP:             udptransport.Stats{Queries: 10, MaxInFlight: 3},
+		Overload:        overload.Stats{Admitted: 10, ShedQueue: 3, QueueDelayP99us: 200, Health: 2},
 	}
 	d := later.Minus(earlier)
 	if d.Resolver.Resolutions != 6 || d.PacketCacheHits != 15 || d.UDP.Queries != 20 {
@@ -154,6 +161,74 @@ func TestSnapshotMinus(t *testing.T) {
 	}
 	if rate := d.AnswerCacheHitRate(); rate < 0.66 || rate > 0.67 {
 		t.Errorf("answer rate = %f", rate)
+	}
+	if d.Overload.Admitted != 30 || d.Overload.ShedQueue != 5 {
+		t.Errorf("overload counters not subtracted: %+v", d.Overload)
+	}
+	if d.Overload.QueueDelayP99us != 900 || d.Overload.Health != 1 {
+		t.Errorf("overload instants should keep the later value: %+v", d.Overload)
+	}
+}
+
+// TestStatsWireNameMatchesBypass pins the cross-package contract: the raw
+// wire-level bypass check in internal/overload recognizes exactly the query
+// FetchSnapshot sends for serve.StatsName. If either side drifts, stats
+// scrapes start shedding during storms.
+func TestStatsWireNameMatchesBypass(t *testing.T) {
+	q := dns.NewQuery(0xda7a, StatsName, dns.TypeTXT, false)
+	wire, err := q.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !overload.IsStatsQuery(wire) {
+		t.Fatal("encoded StatsName TXT query not recognized by overload.IsStatsQuery")
+	}
+}
+
+// TestPoolStatsMonotoneUnderLoad is the stats-vs-serving stress test: many
+// goroutines hammer HandleQuery while another repeatedly merges stats, and
+// every merged counter must be monotone — the TryLock cache may serve stale
+// values but must never let a sum go backwards mid-merge.
+func TestPoolStatsMonotoneUnderLoad(t *testing.T) {
+	_, svc := buildService(t, 4)
+	names := []string{"secure00.edu", "secure01.net", "secure02.org", "secure03.com"}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := dns.NewQuery(uint16(i+1), dns.MustName(names[(g+i)%len(names)]), dns.TypeA, true)
+				if _, err := svc.HandleQuery(q, universe.StubAddr); err != nil {
+					t.Errorf("worker %d: %v", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+
+	var prev resolver.Stats
+	deadline := time.Now().Add(500 * time.Millisecond)
+	for reads := 0; time.Now().Before(deadline); reads++ {
+		st := svc.ResolverStats()
+		if st.Resolutions < prev.Resolutions || st.CacheHits < prev.CacheHits ||
+			st.InfraHits < prev.InfraHits || st.DLVQueries < prev.DLVQueries {
+			t.Fatalf("merged counters went backwards on read %d:\n prev %+v\n  now %+v", reads, prev, st)
+		}
+		prev = st
+	}
+	close(stop)
+	wg.Wait()
+	// One final fully-quiescent read still advances past the cached view.
+	if st := svc.ResolverStats(); st.Resolutions < prev.Resolutions {
+		t.Fatalf("final stats below last observed: %+v < %+v", st, prev)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"github.com/dnsprivacy/lookaside/internal/dns"
 	"github.com/dnsprivacy/lookaside/internal/metrics"
+	"github.com/dnsprivacy/lookaside/internal/overload"
 	"github.com/dnsprivacy/lookaside/internal/resolver"
 	"github.com/dnsprivacy/lookaside/internal/udptransport"
 )
@@ -33,6 +34,9 @@ type Snapshot struct {
 	// window counters: Minus keeps the later value.
 	BootMS   uint64
 	BootMode uint64
+	// Overload is the admission controller's scorecard; all-zero when
+	// overload protection is off.
+	Overload overload.Stats
 }
 
 // Minus subtracts an earlier snapshot field-wise, so a load run can report
@@ -47,8 +51,27 @@ func (s Snapshot) Minus(o Snapshot) Snapshot {
 		TCP:               subTransport(s.TCP, o.TCP),
 		BootMS:            s.BootMS,
 		BootMode:          s.BootMode,
+		Overload:          subOverload(s.Overload, o.Overload),
 	}
 	return out
+}
+
+// subOverload subtracts the overload counters; the queue-delay percentiles,
+// in-flight/queued gauges, and the health state are instants, not counters —
+// the later value stands.
+func subOverload(a, b overload.Stats) overload.Stats {
+	return overload.Stats{
+		Admitted:        a.Admitted - b.Admitted,
+		RateLimited:     a.RateLimited - b.RateLimited,
+		ShedWindow:      a.ShedWindow - b.ShedWindow,
+		ShedQueue:       a.ShedQueue - b.ShedQueue,
+		WatchdogTrips:   a.WatchdogTrips - b.WatchdogTrips,
+		InFlight:        a.InFlight,
+		Queued:          a.Queued,
+		QueueDelayP50us: a.QueueDelayP50us,
+		QueueDelayP99us: a.QueueDelayP99us,
+		Health:          a.Health,
+	}
 }
 
 func subStats(a, b resolver.Stats) resolver.Stats {
@@ -152,6 +175,16 @@ func (s *Snapshot) pairs() []struct {
 		{"tcp_servfails", s.TCP.ServFails},
 		{"boot_ms", s.BootMS},
 		{"boot_mode", s.BootMode},
+		{"ovl_admitted", s.Overload.Admitted},
+		{"ovl_rate_limited", s.Overload.RateLimited},
+		{"ovl_shed_window", s.Overload.ShedWindow},
+		{"ovl_shed_queue", s.Overload.ShedQueue},
+		{"ovl_watchdog_trips", s.Overload.WatchdogTrips},
+		{"ovl_inflight", s.Overload.InFlight},
+		{"ovl_queued", s.Overload.Queued},
+		{"ovl_qdelay_p50_us", s.Overload.QueueDelayP50us},
+		{"ovl_qdelay_p99_us", s.Overload.QueueDelayP99us},
+		{"ovl_health", s.Overload.Health},
 	}
 }
 
@@ -218,6 +251,26 @@ func (s *Snapshot) setField(key string, v uint64) {
 		s.BootMS = v
 	case "boot_mode":
 		s.BootMode = v
+	case "ovl_admitted":
+		s.Overload.Admitted = v
+	case "ovl_rate_limited":
+		s.Overload.RateLimited = v
+	case "ovl_shed_window":
+		s.Overload.ShedWindow = v
+	case "ovl_shed_queue":
+		s.Overload.ShedQueue = v
+	case "ovl_watchdog_trips":
+		s.Overload.WatchdogTrips = v
+	case "ovl_inflight":
+		s.Overload.InFlight = v
+	case "ovl_queued":
+		s.Overload.Queued = v
+	case "ovl_qdelay_p50_us":
+		s.Overload.QueueDelayP50us = v
+	case "ovl_qdelay_p99_us":
+		s.Overload.QueueDelayP99us = v
+	case "ovl_health":
+		s.Overload.Health = v
 	}
 }
 
@@ -302,5 +355,14 @@ func (s Snapshot) Render(title string) string {
 	t.AddRow("udp max in-flight", s.UDP.MaxInFlight)
 	t.AddRow("tcp conns", s.TCP.Conns)
 	t.AddRow("tcp queries", s.TCP.Queries)
+	if ovl := s.Overload; ovl.Admitted+ovl.Sheds() > 0 {
+		t.AddRow("overload admitted", ovl.Admitted)
+		t.AddRow("sheds (rate/window/queue)", fmt.Sprintf("%d/%d/%d",
+			ovl.RateLimited, ovl.ShedWindow, ovl.ShedQueue))
+		t.AddRow("queue delay p50/p99", fmt.Sprintf("%dµs/%dµs",
+			ovl.QueueDelayP50us, ovl.QueueDelayP99us))
+		t.AddRow("watchdog trips", ovl.WatchdogTrips)
+		t.AddRow("health", overload.Health(ovl.Health).String())
+	}
 	return t.String()
 }

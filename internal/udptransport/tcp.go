@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/dnsprivacy/lookaside/internal/dns"
+	"github.com/dnsprivacy/lookaside/internal/overload"
 	"github.com/dnsprivacy/lookaside/internal/simnet"
 )
 
@@ -23,6 +24,10 @@ const maxTCPMessage = 1 << 16
 type TCPServer struct {
 	ln      net.Listener
 	handler simnet.Handler
+	// gate, when set, is the shared overload admission controller (the
+	// same instance as the UDP listener's, so the window spans both
+	// transports).
+	gate *overload.Controller
 
 	stats counters
 
@@ -86,6 +91,10 @@ func (s *TCPServer) Serve() error {
 // Stats snapshots the transport counters.
 func (s *TCPServer) Stats() Stats { return s.stats.snapshot() }
 
+// SetGate installs the overload admission controller; nil serves ungated.
+// Must be called before Serve.
+func (s *TCPServer) SetGate(g *overload.Controller) { s.gate = g }
+
 func (s *TCPServer) track(conn net.Conn, add bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -116,25 +125,76 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		if draining {
 			return // stop accepting new queries on a draining server
 		}
-		q, err := dns.DecodeMessage(pkt)
-		if err != nil {
-			s.stats.malformed.Add(1)
+		if s.gate != nil {
+			switch v := s.gate.AdmitFast(pkt, src); v {
+			case overload.Bypass:
+				// Stats scrapes run ungated, same as over UDP.
+			case overload.Admitted:
+				// TCP handling is synchronous per connection, so waiting in
+				// the execution queue here blocks only this client.
+				if !s.gate.Acquire() {
+					if !s.shed(conn, pkt) {
+						return
+					}
+					continue
+				}
+				ok := s.answer(conn, pkt, src)
+				s.gate.Release()
+				if !ok {
+					return
+				}
+				continue
+			default: // ShedRateLimited, ShedWindow
+				if !s.shed(conn, pkt) {
+					return
+				}
+				continue
+			}
+		}
+		if !s.answer(conn, pkt, src) {
 			return
 		}
-		s.stats.queries.Add(1)
-		s.stats.enter()
-		resp, err := s.handler.HandleQuery(q, src)
-		if err != nil {
-			resp = dns.NewResponse(q)
-			resp.Header.RCode = dns.RCodeServFail
-			s.stats.servfails.Add(1)
-		}
-		s.stats.leave()
-		if err := writeFrame(conn, resp); err != nil {
-			return
-		}
-		s.stats.responses.Add(1)
 	}
+}
+
+// answer decodes and serves one framed query; false drops the connection.
+func (s *TCPServer) answer(conn net.Conn, pkt []byte, src netip.Addr) bool {
+	q, err := dns.DecodeMessage(pkt)
+	if err != nil {
+		s.stats.malformed.Add(1)
+		return false
+	}
+	s.stats.queries.Add(1)
+	s.stats.enter()
+	resp, err := s.handler.HandleQuery(q, src)
+	if err != nil {
+		resp = dns.NewResponse(q)
+		resp.Header.RCode = dns.RCodeServFail
+		s.stats.servfails.Add(1)
+	}
+	s.stats.leave()
+	if err := writeFrame(conn, resp); err != nil {
+		return false
+	}
+	s.stats.responses.Add(1)
+	return true
+}
+
+// shed writes the length-framed pre-encoded REFUSED response for one raw
+// query; false drops the connection.
+func (s *TCPServer) shed(conn net.Conn, pkt []byte) bool {
+	if len(pkt) < overload.HeaderLen {
+		s.stats.malformed.Add(1)
+		return false
+	}
+	var buf [2 + overload.HeaderLen]byte
+	binary.BigEndian.PutUint16(buf[:2], overload.HeaderLen)
+	overload.RefusedInto(buf[2:], pkt)
+	if _, err := conn.Write(buf[:]); err != nil {
+		return false
+	}
+	s.stats.responses.Add(1)
+	return true
 }
 
 // Close stops the server and tears down live connections.

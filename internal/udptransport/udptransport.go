@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"github.com/dnsprivacy/lookaside/internal/dns"
+	"github.com/dnsprivacy/lookaside/internal/overload"
 	"github.com/dnsprivacy/lookaside/internal/simnet"
 )
 
@@ -114,6 +115,10 @@ type Server struct {
 	handler simnet.Handler
 	// sem bounds in-flight packet handlers; nil means synchronous.
 	sem chan struct{}
+	// gate, when set, is the overload admission controller: every packet
+	// passes AdmitFast in the read loop, sheds answer REFUSED from the
+	// pre-encoded header, and admitted packets run under Acquire/Release.
+	gate *overload.Controller
 	// wg tracks in-flight handlers so Shutdown can drain them.
 	wg sync.WaitGroup
 
@@ -161,6 +166,12 @@ func (s *Server) SetWorkers(n int) {
 	}
 }
 
+// SetGate installs the overload admission controller; nil serves ungated.
+// The gate replaces the SetWorkers semaphore as the concurrency bound (its
+// in-flight window caps handler goroutines, its execution queue caps pool
+// pressure). Must be called before Serve.
+func (s *Server) SetGate(g *overload.Controller) { s.gate = g }
+
 // Serve processes packets until Close. Malformed packets are dropped;
 // handler errors produce SERVFAIL responses.
 func (s *Server) Serve() error {
@@ -189,23 +200,76 @@ func (s *Server) Serve() error {
 		}
 		s.wg.Add(1)
 		s.mu.Unlock()
+		if s.gate != nil {
+			s.dispatchGated(pkt, from)
+			continue
+		}
 		if s.sem == nil {
 			s.handle(pkt, from)
+			s.wg.Done()
 			continue
 		}
 		s.sem <- struct{}{}
 		go func() {
+			defer s.wg.Done()
 			defer func() { <-s.sem }()
 			s.handle(pkt, from)
 		}()
 	}
 }
 
+// dispatchGated routes one datagram through the admission controller. The
+// decision and both shed layers run synchronously — the read loop must
+// never block behind a full pool, because a blocked read loop is exactly
+// the collapse mode the gate exists to prevent. Only admitted packets (and
+// stats bypasses) get a goroutine; admitted goroutines are bounded by the
+// gate's in-flight window.
+func (s *Server) dispatchGated(pkt []byte, from net.Addr) {
+	var src netip.Addr
+	if ua, ok := from.(*net.UDPAddr); ok {
+		src = ua.AddrPort().Addr()
+	}
+	switch s.gate.AdmitFast(pkt, src) {
+	case overload.Bypass:
+		// Stats scrapes run outside the window so observability survives
+		// the storm; they are rare and cheap (TryLock-cached pool stats).
+		go func() {
+			defer s.wg.Done()
+			s.handle(pkt, from)
+		}()
+	case overload.Admitted:
+		go func() {
+			defer s.wg.Done()
+			if !s.gate.Acquire() {
+				s.shed(pkt, from) // queued past the deadline
+				return
+			}
+			defer s.gate.Release()
+			s.handle(pkt, from)
+		}()
+	default: // ShedRateLimited, ShedWindow
+		s.shed(pkt, from)
+		s.wg.Done()
+	}
+}
+
+// shed answers one raw query REFUSED from the pre-encoded header, patching
+// only the ID — the cheap path that keeps the read loop draining at wire
+// speed while the tier is saturated.
+func (s *Server) shed(pkt []byte, from net.Addr) {
+	if len(pkt) < overload.HeaderLen {
+		s.stats.malformed.Add(1)
+		return
+	}
+	var buf [overload.HeaderLen]byte
+	if _, err := s.conn.WriteTo(overload.RefusedInto(buf[:], pkt), from); err == nil {
+		s.stats.responses.Add(1)
+	}
+}
+
 // handle processes one datagram. Responses go out via conn.WriteTo, which
 // is safe for concurrent use when SetWorkers enabled parallel handling.
-// The caller must have added the handler to s.wg.
 func (s *Server) handle(pkt []byte, from net.Addr) {
-	defer s.wg.Done()
 	q, err := dns.DecodeMessage(pkt)
 	if err != nil {
 		s.stats.malformed.Add(1)
