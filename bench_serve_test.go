@@ -12,6 +12,7 @@ package lookaside
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -111,4 +112,114 @@ func benchServeReplay(b *testing.B, popSize, clients, queries int) {
 	b.ReportMetric(float64(rep.Latency.Quantile(0.50).Microseconds()), "p50_us")
 	b.ReportMetric(float64(rep.Latency.Quantile(0.99).Microseconds()), "p99_us")
 	b.ReportMetric(delta.PacketCacheHitRate()*100, "pktcache_hit_%")
+	// Width context: perf numbers from different core counts or shard
+	// layouts must never be diffed against each other (benchdiff skips the
+	// compare when these mismatch).
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+	b.ReportMetric(float64(srv.Shards()), "udp_shards")
+}
+
+// BenchmarkServeReplayMC measures multi-core scaling of the sharded UDP
+// serving tier: the same closed-loop replay against one service, first over
+// a single-socket listener and then over a 4-shard SO_REUSEPORT listener,
+// both at GOMAXPROCS=4. The benchmark pins GOMAXPROCS itself so the scaling
+// factor (speedup_x) means the same thing on any machine; on boxes with
+// fewer than 4 cores, or platforms without SO_REUSEPORT, it still runs but
+// the speedup is not meaningful — CI gates on it only when cpus >= 4.
+// Run with -benchtime=1x; ns/op is the sharded replay wall time.
+func BenchmarkServeReplayMC(b *testing.B) {
+	const (
+		popSize = 2_000
+		clients = 500
+		queries = 10_000
+		shards  = 4
+	)
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	pop, err := dataset.AlexaLike(dataset.PopulationConfig{Size: popSize, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	u, err := universe.Build(universe.Options{
+		Seed: 1, Population: pop, Extra: dataset.SecureDomains(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	svc, err := serve.Build(u, u.ResolverConfig(true, true), serve.Options{
+		Workers: 4, SharedInfra: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	names := make([]dns.Name, len(pop.Domains))
+	for i, d := range pop.Domains {
+		names[i] = d.Name
+	}
+
+	// Warm pass (untimed): fills the packet and answer caches so both
+	// measured passes serve from the same warm state.
+	replayOnce(b, svc, names, 1, popSize, clients, queries)
+	singleQPS, _ := replayOnce(b, svc, names, 1, popSize, clients, queries)
+
+	b.ResetTimer()
+	var shardQPS float64
+	var bound int
+	for i := 0; i < b.N; i++ {
+		shardQPS, bound = replayOnce(b, svc, names, shards, popSize, clients, queries)
+	}
+	b.StopTimer()
+	b.ReportMetric(shardQPS, "qps")
+	b.ReportMetric(shardQPS/singleQPS, "speedup_x")
+	b.ReportMetric(float64(bound), "udp_shards")
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+	b.ReportMetric(float64(runtime.NumCPU()), "cpus")
+}
+
+// replayOnce binds a fresh listener pair with the given shard count over an
+// existing service, replays the deterministic schedule closed-loop, and
+// returns the measured qps plus the shard count actually bound (platforms
+// without SO_REUSEPORT fall back to 1).
+func replayOnce(b *testing.B, svc *serve.Service, names []dns.Name, shards, popSize, clients, queries int) (float64, int) {
+	b.Helper()
+	srv, err := udptransport.ListenShards("127.0.0.1:0", svc, shards)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv.SetWorkers(4)
+	go func() { _ = srv.Serve() }()
+	defer func() { _ = srv.Close() }()
+	tcpSrv, err := udptransport.ListenTCP(srv.AddrPort().String(), svc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	go func() { _ = tcpSrv.Serve() }()
+	defer func() { _ = tcpSrv.Close() }()
+	svc.AttachTransports(srv, tcpSrv)
+
+	runner, err := loadgen.New(loadgen.Config{
+		Server: srv.AddrPort(),
+		Schedule: loadgen.ScheduleConfig{
+			Clients: clients, PopSize: popSize, Seed: 1, MaxQueries: int64(queries),
+		},
+		Source:   loadgen.MinuteSource([]int{queries}),
+		Names:    func(i int) dns.Name { return names[i] },
+		DNSSECOK: true,
+		Mode:     loadgen.ModeClosed,
+		Workers:  128,
+		Timeout:  5 * time.Second,
+		Retries:  1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rep, err := runner.Run(context.Background())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if rep.Completed != int64(queries) {
+		b.Fatalf("completed %d of %d (timeouts %d)", rep.Completed, queries, rep.Timeouts)
+	}
+	return rep.QPS, srv.Shards()
 }

@@ -86,6 +86,26 @@ func run(args []string, out io.Writer) error {
 
 	var source func() (int, error)
 	if *overdrive > 0 {
+		// A multi-shard server swallows far more concurrent datagrams than
+		// one read loop, so the default window would self-throttle the
+		// generator before the target rate is reached. Unless -window was
+		// given explicitly, scale it with the offered rate (~40ms of load
+		// in flight), capped at 4096 sockets.
+		windowSet := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "window" {
+				windowSet = true
+			}
+		})
+		if !windowSet {
+			if w := *overdrive / 25; w > *window {
+				if w > 4096 {
+					w = 4096
+				}
+				*window = w
+				fmt.Fprintf(out, "dlvload: overdrive window auto-scaled to %d (pass -window to pin it)\n", *window)
+			}
+		}
 		// A flat storm: every "trace minute" carries overdrive queries and
 		// replays in one wall second (compress 60), so the offered load is
 		// exactly -overdrive q/s for -minutes wall seconds. Open loop: the

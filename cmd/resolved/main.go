@@ -56,6 +56,8 @@ func run(args []string) error {
 	printTop := fs.Int("print-top", 10, "print the N most popular domains at startup")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0),
 		"resolver instances serving queries concurrently (1 = single-threaded)")
+	udpShards := fs.Int("udp-shards", defaultUDPShards(),
+		"UDP listener shards on one address via SO_REUSEPORT (1 = single socket; >1 needs Linux, other platforms fall back to 1)")
 	sharedInfra := fs.Bool("shared-infra", true,
 		"with workers > 1, pre-validate root/TLD/registry state once and share the sealed cache across instances")
 	snapLoad := fs.String("snapshot-load", "",
@@ -175,7 +177,7 @@ func run(args []string) error {
 	fmt.Printf("resolved: serving tier ready in %v (boot=%s)\n",
 		svc.BootWall().Round(time.Millisecond), svc.BootMode())
 
-	srv, err := udptransport.Listen(*listen, svc)
+	srv, err := udptransport.ListenShards(*listen, svc, *udpShards)
 	if err != nil {
 		return err
 	}
@@ -192,8 +194,8 @@ func run(args []string) error {
 		srv.SetWorkers(*workers)
 	}
 	svc.AttachTransports(srv, tcpSrv)
-	fmt.Printf("resolved: serving on %s udp+tcp (population=%d, dlv=%t, root-anchor=%t, remedy=%q, workers=%d)\n",
-		srv.Addr(), len(pop.Domains), *lookaside, *rootAnchor, *remedy, *workers)
+	fmt.Printf("resolved: serving on %s udp+tcp (population=%d, dlv=%t, root-anchor=%t, remedy=%q, workers=%d, udp-shards=%d)\n",
+		srv.Addr(), len(pop.Domains), *lookaside, *rootAnchor, *remedy, *workers, srv.Shards())
 	fmt.Printf("registry deposits: %d; secured test domains: secure00.edu ... secure44.edu\n",
 		u.Registry.DepositCount())
 	fmt.Printf("stats surface: dig @%s TXT %s\n", srv.Addr(), serve.StatsName)
@@ -251,6 +253,16 @@ func run(args []string) error {
 			return fmt.Errorf("forced exit on second %s", s2)
 		}
 	}
+}
+
+// defaultUDPShards picks the listener shard count: one per core up to 8 —
+// past that the resolver pool, not the read loops, is the bottleneck.
+func defaultUDPShards() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 8 {
+		n = 8
+	}
+	return n
 }
 
 // joinServeErrors reports why the transports exited: the primary error is

@@ -32,9 +32,11 @@ func TestServeAndGracefulShutdown(t *testing.T) {
 	addr := freePort(t)
 	done := make(chan error, 1)
 	go func() {
+		// -udp-shards 2 exercises the sharded boot and drain path end to
+		// end (non-Linux builds fall back to one socket and still pass).
 		done <- run([]string{
 			"-listen", addr, "-domains", "300", "-workers", "2",
-			"-print-top", "0", "-drain", "2s",
+			"-udp-shards", "2", "-print-top", "0", "-drain", "2s",
 		})
 	}()
 

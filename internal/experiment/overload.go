@@ -3,6 +3,7 @@ package experiment
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"strings"
 	"time"
 
@@ -36,6 +37,11 @@ type OverloadOpts struct {
 	// controller (0: 256 and 5ms).
 	MaxInFlight int
 	QueueTarget time.Duration
+	// Shards is the UDP listener shard count per rig (0: min(GOMAXPROCS,
+	// 8)). On platforms without SO_REUSEPORT the rigs fall back to one
+	// socket; both rigs always get the same count, so the shed-on/off
+	// comparison stays fair either way.
+	Shards int
 	// Window and Timeout are the load generator's in-flight bound and
 	// per-query deadline for the storm points (0: 2048 and 100ms). The
 	// window must exceed MaxInFlight — and the kernel's UDP receive
@@ -74,6 +80,12 @@ func (o OverloadOpts) withDefaults(p Params) OverloadOpts {
 	if o.QueueTarget <= 0 {
 		o.QueueTarget = 5 * time.Millisecond
 	}
+	if o.Shards <= 0 {
+		o.Shards = runtime.GOMAXPROCS(0)
+		if o.Shards > 8 {
+			o.Shards = 8
+		}
+	}
 	if o.Window <= 0 {
 		o.Window = 2048
 	}
@@ -111,8 +123,11 @@ type OverloadRow struct {
 // multiplies, timed-out queries burn server work without counting as
 // goodput, and the storm's wall clock stretches as the tier falls behind.
 type OverloadResult struct {
-	PopSize     int
-	Workers     int
+	PopSize int
+	Workers int
+	// Shards is the UDP listener shard count each rig actually bound
+	// (after any platform fallback).
+	Shards      int
 	CapacityQPS float64
 	Rows        []OverloadRow
 }
@@ -210,7 +225,7 @@ func buildOverloadRig(u *universe.Universe, o OverloadOpts, shed bool) (*overloa
 	if err != nil {
 		return nil, err
 	}
-	srv, err := udptransport.Listen("127.0.0.1:0", svc)
+	srv, err := udptransport.ListenShards("127.0.0.1:0", svc, o.Shards)
 	if err != nil {
 		svc.Close()
 		return nil, err
@@ -331,7 +346,10 @@ func OverloadWithOpts(p Params, opts OverloadOpts) (*OverloadResult, error) {
 		return nil, fmt.Errorf("capacity probe measured no throughput")
 	}
 
-	res := &OverloadResult{PopSize: o.PopSize, Workers: o.Workers, CapacityQPS: capacity}
+	res := &OverloadResult{
+		PopSize: o.PopSize, Workers: o.Workers,
+		Shards: rigs[true].srv.Shards(), CapacityQPS: capacity,
+	}
 	for pi, mult := range o.Multiples {
 		offered := int(mult * capacity)
 		if offered < 1 {
@@ -385,8 +403,8 @@ func OverloadWithOpts(p Params, opts OverloadOpts) (*OverloadResult, error) {
 func (r *OverloadResult) String() string {
 	var b strings.Builder
 	t := metrics.Table{
-		Title: fmt.Sprintf("E18 — goodput under overload (%d domains, %d workers, capacity %.0f q/s)",
-			r.PopSize, r.Workers, r.CapacityQPS),
+		Title: fmt.Sprintf("E18 — goodput under overload (%d domains, %d workers, %d udp shards, capacity %.0f q/s)",
+			r.PopSize, r.Workers, r.Shards, r.CapacityQPS),
 		Header: []string{"offered", "shedding", "goodput", "refused", "timeouts",
 			"p50", "p99", "lateness", "wall", "srv sheds", "health"},
 	}

@@ -244,15 +244,29 @@ func (c *Controller) AdmitFast(pkt []byte, src netip.Addr) Verdict {
 // queue target. It returns false when the deadline fires first — the query
 // is shed, its window slot is released, and the caller must answer REFUSED
 // without calling Release.
-func (c *Controller) Acquire() bool {
+func (c *Controller) Acquire() bool { return c.AcquireSince(c.now()) }
+
+// AcquireSince is Acquire with the queue clock started at start — the
+// AdmitFast timestamp when the admitted query traveled through a hand-off
+// queue (a shard's worker pool) before reaching an execution slot. Time
+// already spent queued counts against the CoDel target, so pooled dispatch
+// sheds late queries exactly as inline dispatch would instead of serving
+// them past the deadline.
+func (c *Controller) AcquireSince(start time.Time) bool {
 	select {
 	case c.exec <- struct{}{}:
 		return true
 	default:
 	}
+	remain := c.cfg.QueueTarget - c.now().Sub(start)
+	if remain <= 0 {
+		c.inflight.Add(-1)
+		c.shedQueue.Add(1)
+		c.shedWin.add(c.now(), 1)
+		return false
+	}
 	c.queued.Add(1)
-	start := c.now()
-	t := time.NewTimer(c.cfg.QueueTarget)
+	t := time.NewTimer(remain)
 	defer t.Stop()
 	select {
 	case c.exec <- struct{}{}:
@@ -270,6 +284,16 @@ func (c *Controller) Acquire() bool {
 		return false
 	}
 }
+
+// Window returns the configured admission-window size (MaxInFlight) — the
+// process-wide bound on queries admitted but unfinished. Listener shards
+// size their hand-off queues from it so an admitted datagram always has a
+// queue slot.
+func (c *Controller) Window() int { return c.cfg.MaxInFlight }
+
+// ExecSlots returns the configured execution-slot count; listener shards
+// size their worker pools from it.
+func (c *Controller) ExecSlots() int { return cap(c.exec) }
 
 // Release frees the execution slot and window slot of one completed query.
 func (c *Controller) Release() {

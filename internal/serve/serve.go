@@ -196,6 +196,7 @@ func (s *Service) Snapshot() Snapshot {
 	snap.PacketCacheHits, snap.PacketCacheMisses = authserver.CacheTotals()
 	if udp := s.udp.Load(); udp != nil {
 		snap.UDP = udp.Stats()
+		snap.UDPShards = uint64(udp.Shards())
 	}
 	if tcp := s.tcp.Load(); tcp != nil {
 		snap.TCP = tcp.Stats()

@@ -92,6 +92,9 @@ func TestStatsSurfaceOverWire(t *testing.T) {
 	if snap.UDP.Queries == 0 {
 		t.Error("scraped snapshot has no UDP transport counters")
 	}
+	if snap.UDPShards != 1 {
+		t.Errorf("udp_shards = %d, want 1 for a single-socket listener", snap.UDPShards)
+	}
 	// A stats query must not count as a resolution.
 	snap2, err := FetchSnapshot(c, srv.AddrPort())
 	if err != nil {
@@ -118,7 +121,8 @@ func TestSnapshotTXTRoundTrip(t *testing.T) {
 		PacketCacheMisses: 16,
 		UDP: udptransport.Stats{Queries: 17, Malformed: 18, Responses: 19,
 			Truncated: 20, ServFails: 21, InFlight: 22, MaxInFlight: 23},
-		TCP: udptransport.Stats{Queries: 24, Responses: 25, ServFails: 26, Conns: 27},
+		TCP:       udptransport.Stats{Queries: 24, Responses: 25, ServFails: 26, Conns: 27},
+		UDPShards: 37,
 		Overload: overload.Stats{Admitted: 28, RateLimited: 29, ShedWindow: 30,
 			ShedQueue: 31, WatchdogTrips: 32, InFlight: 33, Queued: 34,
 			QueueDelayP50us: 35, QueueDelayP99us: 36, Health: 2},

@@ -28,6 +28,11 @@ type Snapshot struct {
 	PacketCacheMisses uint64
 	UDP               udptransport.Stats
 	TCP               udptransport.Stats
+	// UDPShards is the number of SO_REUSEPORT listener shards behind the
+	// UDP counters — a startup/config fact, not a window counter: Minus
+	// keeps the later value. Baselines measured at different widths must
+	// never be compared as if alike.
+	UDPShards uint64
 	// BootMS is how long the serving tier took to come up (wall
 	// milliseconds); BootMode is how its warm state booted (0 live-warm,
 	// 1 snapshot — core.BootMode values). Both are startup facts, not
@@ -49,6 +54,7 @@ func (s Snapshot) Minus(o Snapshot) Snapshot {
 		PacketCacheMisses: s.PacketCacheMisses - o.PacketCacheMisses,
 		UDP:               subTransport(s.UDP, o.UDP),
 		TCP:               subTransport(s.TCP, o.TCP),
+		UDPShards:         s.UDPShards,
 		BootMS:            s.BootMS,
 		BootMode:          s.BootMode,
 		Overload:          subOverload(s.Overload, o.Overload),
@@ -169,6 +175,7 @@ func (s *Snapshot) pairs() []struct {
 		{"udp_servfails", s.UDP.ServFails},
 		{"udp_inflight", uint64(s.UDP.InFlight)},
 		{"udp_max_inflight", uint64(s.UDP.MaxInFlight)},
+		{"udp_shards", s.UDPShards},
 		{"tcp_queries", s.TCP.Queries},
 		{"tcp_conns", s.TCP.Conns},
 		{"tcp_responses", s.TCP.Responses},
@@ -239,6 +246,8 @@ func (s *Snapshot) setField(key string, v uint64) {
 		s.UDP.InFlight = int64(v)
 	case "udp_max_inflight":
 		s.UDP.MaxInFlight = int64(v)
+	case "udp_shards":
+		s.UDPShards = v
 	case "tcp_queries":
 		s.TCP.Queries = v
 	case "tcp_conns":
@@ -349,6 +358,7 @@ func (s Snapshot) Render(title string) string {
 	t.AddRow("retries", s.Resolver.Retries)
 	t.AddRow("upstream tcp fallbacks", s.Resolver.TCPFallbacks)
 	t.AddRow("breaker opens/skips", fmt.Sprintf("%d/%d", s.Resolver.BreakerOpens, s.Resolver.BreakerSkips))
+	t.AddRow("udp shards", s.UDPShards)
 	t.AddRow("udp queries", s.UDP.Queries)
 	t.AddRow("udp truncated (TC)", s.UDP.Truncated)
 	t.AddRow("udp servfails", s.UDP.ServFails)

@@ -1,0 +1,8 @@
+//go:build !(linux && batchio && (amd64 || arm64))
+
+package udptransport
+
+// runLoop is the shard read loop. Without the batchio build tag (or on
+// platforms where the raw recvmmsg/sendmmsg path is not wired up) it is
+// the scalar one-datagram-per-wakeup loop.
+func (sh *shard) runLoop() error { return sh.scalarLoop() }

@@ -1,0 +1,11 @@
+//go:build linux && batchio && amd64
+
+package udptransport
+
+// recvmmsg/sendmmsg syscall numbers for linux/amd64. The frozen syscall
+// package has SYS_RECVMMSG (299) but never grew SYS_SENDMMSG; both are
+// spelled out so the pair stays symmetric and greppable.
+const (
+	sysRecvmmsg = 299
+	sysSendmmsg = 307
+)

@@ -1,0 +1,10 @@
+//go:build linux && batchio && arm64
+
+package udptransport
+
+// recvmmsg/sendmmsg syscall numbers for linux/arm64 (the generic 64-bit
+// table).
+const (
+	sysRecvmmsg = 243
+	sysSendmmsg = 269
+)

@@ -1,0 +1,37 @@
+//go:build linux
+
+package udptransport
+
+import (
+	"context"
+	"net"
+	"syscall"
+)
+
+// reusePortAvailable reports whether ListenShards can bind multiple
+// sockets to one address. Linux has had SO_REUSEPORT with kernel-side
+// 4-tuple load balancing since 3.9.
+const reusePortAvailable = true
+
+// soReusePort is SO_REUSEPORT (15 on every Linux arch); the frozen syscall
+// package predates the option and never grew the constant.
+const soReusePort = 0xf
+
+// listenReusePort binds one UDP socket with SO_REUSEPORT set before bind,
+// so N shards can share the address and the kernel hashes flows across
+// them.
+func listenReusePort(addr string) (net.PacketConn, error) {
+	lc := net.ListenConfig{
+		Control: func(network, address string, c syscall.RawConn) error {
+			var serr error
+			err := c.Control(func(fd uintptr) {
+				serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+			})
+			if err != nil {
+				return err
+			}
+			return serr
+		},
+	}
+	return lc.ListenPacket(context.Background(), "udp", addr)
+}

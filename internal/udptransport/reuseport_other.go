@@ -1,0 +1,18 @@
+//go:build !linux
+
+package udptransport
+
+import "net"
+
+// reusePortAvailable is false off Linux: ListenShards degrades to a single
+// socket with identical semantics (SO_REUSEPORT exists on the BSDs too,
+// but without the kernel load balancing that makes sharding worthwhile,
+// and not at all on Windows — one portable fallback keeps the matrix
+// simple; see DESIGN.md §14).
+const reusePortAvailable = false
+
+// listenReusePort is never called when reusePortAvailable is false; it
+// exists so the package compiles identically on every platform.
+func listenReusePort(addr string) (net.PacketConn, error) {
+	return net.ListenPacket("udp", addr)
+}

@@ -20,6 +20,14 @@
 # stripped, so runs from hosts with different core counts line up.
 # Deterministic metrics ("leaked") must match exactly on any hardware; a
 # mismatch is reported as a regression too.
+#
+# Benchmarks that report width-context metrics ("gomaxprocs",
+# "udp_shards") are only perf-compared when both sides ran at the same
+# width: a 4-shard run against a single-shard baseline (or 8 cores against
+# 1) measures the config change, not a regression. A mismatch prints a
+# loud SKIP and the perf compare is dropped for that benchmark — refresh
+# the baseline at the new width to re-arm the gate. Deterministic metrics
+# are still checked across widths.
 
 BEGIN {
     if (threshold == "") threshold = 0.10
@@ -58,6 +66,20 @@ END {
                 printf "REGRESSION %s: leaked %d -> %d (deterministic metric changed)\n", name, o, n
                 bad = 1
             }
+        }
+        widthskip = ""
+        if (("old", name, "gomaxprocs") in val && ("new", name, "gomaxprocs") in val &&
+            val["old", name, "gomaxprocs"] != val["new", name, "gomaxprocs"])
+            widthskip = sprintf("gomaxprocs %d -> %d", val["old", name, "gomaxprocs"], val["new", name, "gomaxprocs"])
+        if (("old", name, "udp_shards") in val && ("new", name, "udp_shards") in val &&
+            val["old", name, "udp_shards"] != val["new", name, "udp_shards"]) {
+            if (widthskip != "") widthskip = widthskip ", "
+            widthskip = widthskip sprintf("udp_shards %d -> %d", val["old", name, "udp_shards"], val["new", name, "udp_shards"])
+        }
+        if (widthskip != "") {
+            printf "SKIP %s: run width changed (%s) — perf not compared; refresh the baseline at this width\n",
+                name, widthskip
+            continue
         }
         if (("old", name, "domains/sec") in val) {
             o = val["old", name, "domains/sec"]; n = val["new", name, "domains/sec"]
